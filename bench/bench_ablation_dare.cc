@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) of the DaRE forest primitives that
+// dominate FUME's runtime: training, cloning, batch deletion vs scratch
+// retraining, prediction, and the exact-vs-sampled threshold modes. These
+// back the complexity discussion in the paper's §5.1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fume;
+
+struct Env {
+  Dataset data;
+  DareForest forest;
+};
+
+const Env& SharedEnv(ThresholdMode mode) {
+  static Env* exact = nullptr;
+  static Env* sampled = nullptr;
+  Env*& slot = mode == ThresholdMode::kExact ? exact : sampled;
+  if (slot == nullptr) {
+    auto bundle = synth::MakeParametric(20000, 12, 4, 5);
+    FUME_ABORT_NOT_OK(bundle.status());
+    ForestConfig config;
+    config.num_trees = 10;
+    config.max_depth = 10;
+    config.random_depth = 2;
+    config.seed = 77;
+    config.threshold_mode = mode;
+    config.num_sampled_thresholds = 3;
+    auto forest = DareForest::Train(bundle->data, config);
+    FUME_ABORT_NOT_OK(forest.status());
+    slot = new Env{std::move(bundle->data), std::move(*forest)};
+  }
+  return *slot;
+}
+
+std::vector<RowId> RandomRows(int64_t n, int batch, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RowId> all(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) all[static_cast<size_t>(r)] = static_cast<RowId>(r);
+  rng.Shuffle(&all);
+  all.resize(static_cast<size_t>(batch));
+  return all;
+}
+
+void BM_Train(benchmark::State& state) {
+  auto bundle = synth::MakeParametric(state.range(0), 12, 4, 5);
+  FUME_ABORT_NOT_OK(bundle.status());
+  ForestConfig config;
+  config.num_trees = 10;
+  config.max_depth = 10;
+  config.random_depth = 2;
+  for (auto _ : state) {
+    auto forest = DareForest::Train(bundle->data, config);
+    benchmark::DoNotOptimize(forest);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Train)->Arg(2000)->Arg(10000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_Clone(benchmark::State& state) {
+  const Env& env = SharedEnv(ThresholdMode::kExact);
+  for (auto _ : state) {
+    DareForest clone = env.forest.Clone();
+    benchmark::DoNotOptimize(clone);
+  }
+}
+BENCHMARK(BM_Clone)->Unit(benchmark::kMillisecond);
+
+// The FUME inner loop: clone + unlearn a batch. Compare against BM_Retrain.
+void BM_UnlearnBatch(benchmark::State& state) {
+  const Env& env = SharedEnv(ThresholdMode::kExact);
+  const auto rows =
+      RandomRows(env.data.num_rows(), static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    DareForest clone = env.forest.Clone();
+    FUME_ABORT_NOT_OK(clone.DeleteRows(rows));
+    benchmark::DoNotOptimize(clone);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UnlearnBatch)->Arg(10)->Arg(100)->Arg(1000)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RetrainAfterDrop(benchmark::State& state) {
+  const Env& env = SharedEnv(ThresholdMode::kExact);
+  const auto rows =
+      RandomRows(env.data.num_rows(), static_cast<int>(state.range(0)), 3);
+  std::vector<int64_t> rows64(rows.begin(), rows.end());
+  ForestConfig config = env.forest.config();
+  for (auto _ : state) {
+    auto forest = DareForest::Train(env.data.DropRows(rows64), config);
+    benchmark::DoNotOptimize(forest);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RetrainAfterDrop)->Arg(10)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PredictAll(benchmark::State& state) {
+  const Env& env = SharedEnv(ThresholdMode::kExact);
+  for (auto _ : state) {
+    auto preds = env.forest.PredictAll(env.data);
+    benchmark::DoNotOptimize(preds);
+  }
+  state.SetItemsProcessed(state.iterations() * env.data.num_rows());
+}
+BENCHMARK(BM_PredictAll)->Unit(benchmark::kMillisecond);
+
+// Ablation: exact vs sampled thresholds (paper's k' parameter).
+void BM_UnlearnThresholdMode(benchmark::State& state) {
+  const ThresholdMode mode = state.range(0) == 0 ? ThresholdMode::kExact
+                                                 : ThresholdMode::kSampled;
+  const Env& env = SharedEnv(mode);
+  const auto rows = RandomRows(env.data.num_rows(), 500, 9);
+  for (auto _ : state) {
+    DareForest clone = env.forest.Clone();
+    FUME_ABORT_NOT_OK(clone.DeleteRows(rows));
+    benchmark::DoNotOptimize(clone);
+  }
+}
+BENCHMARK(BM_UnlearnThresholdMode)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

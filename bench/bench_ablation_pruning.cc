@@ -1,0 +1,69 @@
+// Ablation (ours, called out in DESIGN.md): contribution of each pruning
+// rule. Runs FUME on German Credit with Rules 2, 4 and 5 toggled and
+// reports evaluations, wall time and whether the top-1 subset changes.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fume;
+  using namespace fume::bench;
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Ablation: pruning rules on/off (German Credit)",
+              "DESIGN.md ablation; complements paper Table 9");
+
+  auto dataset = synth::FindDataset("german-credit");
+  FUME_ABORT_NOT_OK(dataset.status());
+  auto pipeline = SetupPipeline(*dataset, full);
+  FUME_ABORT_NOT_OK(pipeline.status());
+  Pipeline& p = *pipeline;
+
+  struct Variant {
+    const char* label;
+    bool rule2, rule4, rule5;
+  };
+  const Variant variants[] = {
+      {"all rules (paper)", true, true, true},
+      {"no Rule 2 (support)", false, true, true},
+      {"no Rule 4 (parent)", true, false, true},
+      {"no Rule 5 (positive)", true, true, false},
+      {"no pruning at all", false, false, false},
+  };
+
+  TablePrinter table({"Variant", "Evaluations", "Cache hits", "Time (sec)",
+                      "Top-1 subset", "Top-1 reduction"});
+  for (const Variant& variant : variants) {
+    FumeConfig config = BenchFumeConfig(p.group);
+    // Expand to 3 literals so Rules 4/5 (which gate lattice expansion)
+    // actually have descendants to prune.
+    config.max_literals = 3;
+    config.rule2_support = variant.rule2;
+    config.rule4_parent = variant.rule4;
+    config.rule5_positive = variant.rule5;
+    Stopwatch watch;
+    auto result = ExplainFairnessViolation(p.model, p.train, p.test, config);
+    const double seconds = watch.ElapsedSeconds();
+    if (!result.ok()) {
+      table.AddRow({variant.label, "-", "-", FormatDouble(seconds, 2),
+                    result.status().ToString(), "-"});
+      continue;
+    }
+    std::string top = "(none)";
+    std::string reduction = "-";
+    if (!result->top_k.empty()) {
+      top = result->top_k[0].predicate.ToString(p.train.schema());
+      reduction = FormatPercent(result->top_k[0].attribution);
+    }
+    table.AddRow({variant.label,
+                  std::to_string(result->stats.attribution_evaluations),
+                  std::to_string(result->stats.cache_hits),
+                  FormatDouble(seconds, 2), top, reduction});
+  }
+  table.Print(std::cout);
+  std::cout <<
+      "\nReading: the rules buy large evaluation savings; Rules 4/5 can in "
+      "principle change the reported set (they prune candidates, not just "
+      "expansions) — this table quantifies that trade on this dataset.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Comparator study (paper §7 related work): SliceFinder-style accuracy
+// slicing vs FUME's fairness attribution on German Credit. For both
+// methods' top-5 subsets we report the subset's parity reduction when
+// unlearned — quantifying the paper's argument that "slices where the model
+// performs worse" are not the subsets that explain unfairness.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/removal_method.h"
+#include "core/slice_finder.h"
+
+int main(int argc, char** argv) {
+  using namespace fume;
+  using namespace fume::bench;
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Comparator: SliceFinder-style slices vs FUME subsets",
+              "paper §7 related-work discussion");
+
+  auto dataset = synth::FindDataset("german-credit");
+  FUME_ABORT_NOT_OK(dataset.status());
+  auto pipeline = SetupPipeline(*dataset, full);
+  FUME_ABORT_NOT_OK(pipeline.status());
+  Pipeline& p = *pipeline;
+
+  FumeConfig fume_config = BenchFumeConfig(p.group);
+  auto fume_result =
+      ExplainFairnessViolation(p.model, p.train, p.test, fume_config);
+  FUME_ABORT_NOT_OK(fume_result.status());
+
+  SliceFinderConfig slice_config;
+  slice_config.top_k = 5;
+  slice_config.support_min = fume_config.support_min;
+  slice_config.support_max = fume_config.support_max;
+  slice_config.max_literals = fume_config.max_literals;
+  auto slices = FindProblematicSlices(p.model, p.train, slice_config);
+  FUME_ABORT_NOT_OK(slices.status());
+
+  UnlearnRemovalMethod removal(&p.model, &p.test, p.group,
+                               fume_config.metric);
+  const double original = fume_result->original_fairness;
+
+  TablePrinter table({"Method", "#", "Subset", "Support",
+                      "Error-rate gap", "Parity reduction"});
+  int index = 1;
+  for (const auto& subset : fume_result->top_k) {
+    table.AddRow({"FUME", std::to_string(index++),
+                  subset.predicate.ToString(p.train.schema()),
+                  FormatPercent(subset.support), "-",
+                  FormatPercent(subset.attribution)});
+  }
+  index = 1;
+  for (const Slice& slice : *slices) {
+    // Measure the slice's actual parity reduction via unlearning.
+    std::vector<int32_t> matched = slice.predicate.MatchingRows(p.train);
+    auto eval = removal.EvaluateWithout(
+        std::vector<RowId>(matched.begin(), matched.end()));
+    FUME_ABORT_NOT_OK(eval.status());
+    const double reduction =
+        (std::abs(original) - std::abs(eval->fairness)) / std::abs(original);
+    table.AddRow({"SliceFinder", std::to_string(index++),
+                  slice.predicate.ToString(p.train.schema()),
+                  FormatPercent(slice.support),
+                  FormatPercent(slice.effect_size),
+                  FormatPercent(reduction)});
+  }
+  table.Print(std::cout);
+  std::cout <<
+      "\nReading: SliceFinder ranks by where the model is inaccurate; its "
+      "slices' parity reductions are typically far below FUME's top-5 (and "
+      "can be negative), showing accuracy-based slicing does not localize "
+      "fairness violations — the gap the paper's related-work section "
+      "highlights.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Regenerates the paper's Figure 4 (RQ2): quality of the identified
+// attributable subsets — maximum and average parity reduction of the top-5
+// subsets, per dataset, per support range {0-5%, 5-15%, >30%}. Also reports
+// the accuracy change, backing the paper's observation that accuracy drops
+// at most a few percent in the 5-15% range.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace fume;
+  using namespace fume::bench;
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Figure 4: max/avg bias reduction of top-5 subsets",
+              "paper Figure 4 / §6.3 (RQ2)");
+
+  struct Range {
+    const char* label;
+    double lo, hi;
+  };
+  const Range ranges[] = {
+      {"0-5%", 0.005, 0.05}, {"5-15%", 0.05, 0.15}, {">30%", 0.30, 0.60}};
+
+  TablePrinter table({"Dataset", "Support", "Max reduction", "Avg reduction",
+                      "#subsets", "Max accuracy drop"});
+  std::vector<std::vector<std::string>> artifact;
+  for (const auto& dataset : synth::AllDatasets()) {
+    auto pipeline = SetupPipeline(dataset, full);
+    FUME_ABORT_NOT_OK(pipeline.status());
+    Pipeline& p = *pipeline;
+    const double base_accuracy = p.model.Accuracy(p.test);
+
+    for (const Range& range : ranges) {
+      FumeConfig config = BenchFumeConfig(p.group);
+      config.support_min = range.lo;
+      config.support_max = range.hi;
+      auto result = ExplainFairnessViolation(p.model, p.train, p.test, config);
+      if (!result.ok()) {
+        table.AddRow({dataset.name, range.label, "(no violation)", "-", "0",
+                      "-"});
+        continue;
+      }
+      double max_reduction = 0.0, avg = 0.0, max_acc_drop = 0.0;
+      for (const auto& subset : result->top_k) {
+        max_reduction = std::max(max_reduction, subset.attribution);
+        avg += subset.attribution;
+        max_acc_drop =
+            std::max(max_acc_drop, base_accuracy - subset.new_accuracy);
+      }
+      if (!result->top_k.empty()) {
+        avg /= static_cast<double>(result->top_k.size());
+      }
+      table.AddRow({dataset.name, range.label, FormatPercent(max_reduction),
+                    FormatPercent(avg),
+                    std::to_string(result->top_k.size()),
+                    FormatPercent(max_acc_drop)});
+      artifact.push_back({dataset.name, range.label,
+                          FormatDouble(max_reduction, 6),
+                          FormatDouble(avg, 6),
+                          FormatDouble(max_acc_drop, 6)});
+    }
+  }
+  table.Print(std::cout);
+  WriteArtifact("fig4_quality",
+                {"dataset", "support_range", "max_reduction", "avg_reduction",
+                 "max_accuracy_drop"},
+                artifact);
+  std::cout <<
+      "\nPaper shape to check: German reaches >90% in every range; ACS "
+      "Income stays low (~12-27%) at 5-15% but recovers (~70%) at >30%; "
+      "accuracy drops in the 5-15% range stay within a few percent.\n";
+  return 0;
+}

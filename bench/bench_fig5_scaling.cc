@@ -1,0 +1,96 @@
+// Regenerates the paper's Figure 5: FUME efficiency on parametric synthetic
+// data. (a) runtime vs number of instances for several attribute counts at
+// 2 distinct values per attribute; (b) runtime vs number of distinct values
+// per attribute at fixed instances/attributes.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "synth/datasets.h"
+
+namespace {
+
+using namespace fume;
+using namespace fume::bench;
+
+// Runs the full pipeline (train + FUME) on one parametric dataset and
+// returns the FUME wall time.
+double TimeFume(int64_t rows, int attrs, int values, uint64_t seed) {
+  auto bundle = synth::MakeParametric(rows, attrs, values, seed);
+  FUME_ABORT_NOT_OK(bundle.status());
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+  ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 8;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+  FumeConfig config = BenchFumeConfig(bundle->group);
+  Stopwatch watch;
+  auto result =
+      ExplainFairnessViolation(*model, split->train, split->test, config);
+  const double seconds = watch.ElapsedSeconds();
+  if (!result.ok()) return seconds;  // "no violation" still measures search
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Figure 5: FUME efficiency on parametric synthetic data",
+              "paper Figure 5 / §6.4");
+
+  // (a) runtime vs instances, d = 2 values per attribute.
+  std::cout << "\n(a) runtime (sec) vs #instances, 2 values per attribute\n";
+  const std::vector<int64_t> sizes =
+      full ? std::vector<int64_t>{5000, 10000, 20000, 30000, 50000}
+           : std::vector<int64_t>{2000, 5000, 10000, 20000};
+  const std::vector<int> attr_counts = {5, 10, 15, 20};
+  TablePrinter table_a([&] {
+    std::vector<std::string> header = {"#instances"};
+    for (int p : attr_counts) {
+      header.push_back("p=" + std::to_string(p));
+    }
+    return header;
+  }());
+  std::vector<std::vector<std::string>> artifact_a;
+  for (int64_t n : sizes) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (int p : attr_counts) {
+      const double seconds = TimeFume(n, p, 2, 7);
+      row.push_back(FormatDouble(seconds, 2));
+      artifact_a.push_back({std::to_string(n), std::to_string(p),
+                            FormatDouble(seconds, 4)});
+    }
+    table_a.AddRow(row);
+  }
+  table_a.Print(std::cout);
+  WriteArtifact("fig5a_scaling", {"instances", "attributes", "seconds"},
+                artifact_a);
+
+  // (b) runtime vs distinct values per attribute (paper: 30k x 10).
+  const int64_t fixed_n = full ? 30000 : 10000;
+  std::cout << "\n(b) runtime (sec) vs distinct values per attribute ("
+            << fixed_n << " instances, 10 attributes)\n";
+  TablePrinter table_b({"values/attr", "time (sec)"});
+  std::vector<std::vector<std::string>> artifact_b;
+  for (int d : {2, 4, 6, 8, 12}) {
+    const double seconds = TimeFume(fixed_n, 10, d, 7);
+    table_b.AddRow({std::to_string(d), FormatDouble(seconds, 2)});
+    artifact_b.push_back({std::to_string(d), FormatDouble(seconds, 4)});
+  }
+  table_b.Print(std::cout);
+  WriteArtifact("fig5b_scaling", {"values_per_attr", "seconds"}, artifact_b);
+  std::cout <<
+      "\nPaper shape to check: (a) runtime grows quickly with instances and "
+      "with attribute count; (b) no clear monotone pattern in distinct "
+      "values — pruning absorbs the larger literal space, so runtime is "
+      "governed by how many subsets invoke unlearning.\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 3: top-5 subsets attributable to
+// statistical disparity in (synthetic) German Credit, support 5-15%,
+// plus the DropUnprivUnfavor baseline comparison of §6.3.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  fume::bench::PrintBanner(
+      "Table 3: Top-5 attributable subsets — German Credit",
+      "paper Table 3 / §6.3");
+  return fume::bench::RunTopKBench("german-credit", argc, argv);
+}

@@ -1,0 +1,11 @@
+// Regenerates the paper's Table 4: top-5 subsets attributable to
+// statistical disparity in (synthetic) Adult Census Income, support 5-15%.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  fume::bench::PrintBanner(
+      "Table 4: Top-5 attributable subsets — Adult Census Income",
+      "paper Table 4 / §6.3");
+  return fume::bench::RunTopKBench("adult-income", argc, argv);
+}

@@ -1,0 +1,13 @@
+// Regenerates the paper's Table 5: top-5 subsets attributable to
+// statistical disparity in (synthetic) Stop-Question-Frisk, support 5-15%.
+// The headline shape: Sex=Female surfaces as SS1 with near-total parity
+// reduction via the planted sex-race proxy correlation.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  fume::bench::PrintBanner(
+      "Table 5: Top-5 attributable subsets — Stop-Question-Frisk",
+      "paper Table 5 / §6.3");
+  return fume::bench::RunTopKBench("sqf", argc, argv);
+}

@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 6: top-5 subsets for (synthetic) ACS
+// Income. The expected shape is NEGATIVE: bias here is diffuse, so 5-15%
+// support subsets only reach modest (roughly 12-27%) parity reductions.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  fume::bench::PrintBanner(
+      "Table 6: Top-5 attributable subsets — ACS Income",
+      "paper Table 6 / §6.3");
+  return fume::bench::RunTopKBench("acs-income", argc, argv);
+}

@@ -1,0 +1,132 @@
+// Regenerates the paper's Table 9: effect of pruning on subset exploration
+// for German Credit — possible vs explored subsets per lattice level and
+// the pruned percentage, expanding to 4 literals as the paper does.
+//
+// "Possible subsets" counts what the UNPRUNED lattice would generate (the
+// paper's denominator): level 1 = all literals; level l = apriori join
+// pairs over the full level-(l-1) lattice, counted combinatorially for
+// equality literals (no materialization needed).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+// For equality-only literals over attributes with cardinalities card[a],
+// the unpruned lattice's level-l node count and level-(l+1) join-pair count.
+//
+// A level-l node is l literals on l distinct attributes (Rule 1 removes
+// same-attribute duplicates when the node is formed, exactly as the paper's
+// lattice does); the join at level l+1 considers every pair of level-l
+// nodes sharing their first l-1 literals. Nodes sharing that prefix differ
+// only in the last literal, whose attribute must rank above the prefix's
+// largest attribute — so for each prefix with largest attribute a, the
+// group size is S(a) = sum of cardinalities of attributes > a, and the pair
+// count is C(S(a), 2), summed over prefixes via a simple DP.
+// possible(1) = number of literals T;
+// possible(2) = C(T, 2)                       (all level-1 pairs);
+// possible(L) = sum over valid (L-2)-literal prefixes Q of C(S(max(Q)), 2)
+//               for L >= 3, where S(a) = number of literals on attributes
+//               ranked above a (both join partners extend Q by one such
+//               literal; same-attribute partner pairs are counted here and
+//               rejected by Rule 1, matching the paper's accounting).
+//
+// N(m, a) = number of m-literal predicates whose largest attribute is a:
+//   N(1, a) = card(a);   N(m, a) = card(a) * sum_{a' < a} N(m-1, a').
+std::vector<int64_t> CountUnprunedPossible(const std::vector<int64_t>& card,
+                                           int max_level) {
+  const int p = static_cast<int>(card.size());
+  std::vector<int64_t> suffix(static_cast<size_t>(p) + 1, 0);
+  for (int a = p - 1; a >= 0; --a) {
+    suffix[static_cast<size_t>(a)] =
+        suffix[static_cast<size_t>(a) + 1] + card[static_cast<size_t>(a)];
+  }
+  const int64_t total = suffix[0];
+
+  std::vector<int64_t> possible;
+  possible.push_back(total);
+  if (max_level >= 2) possible.push_back(total * (total - 1) / 2);
+
+  // dp[a] = N(m, a) for the current prefix length m.
+  std::vector<int64_t> dp(static_cast<size_t>(p));
+  for (int a = 0; a < p; ++a) {
+    dp[static_cast<size_t>(a)] = card[static_cast<size_t>(a)];
+  }
+  for (int level = 3; level <= max_level; ++level) {
+    // dp holds N(level - 3, .) entering this iteration for level > 3 (it
+    // starts at N(1, .) for level == 3); advance it to the prefix length
+    // level - 2.
+    if (level > 3) {
+      std::vector<int64_t> next(static_cast<size_t>(p), 0);
+      int64_t running = 0;
+      for (int a = 0; a < p; ++a) {
+        next[static_cast<size_t>(a)] = running * card[static_cast<size_t>(a)];
+        running += dp[static_cast<size_t>(a)];
+      }
+      dp = std::move(next);
+    }
+    int64_t pairs = 0;
+    for (int a = 0; a < p; ++a) {
+      const int64_t s = suffix[static_cast<size_t>(a) + 1];
+      pairs += dp[static_cast<size_t>(a)] * (s * (s - 1) / 2);
+    }
+    possible.push_back(pairs);
+  }
+  return possible;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fume;
+  using namespace fume::bench;
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Table 9: Effect of pruning on subset exploration",
+              "paper Table 9 / §6.4");
+
+  auto dataset = synth::FindDataset("german-credit");
+  FUME_ABORT_NOT_OK(dataset.status());
+  auto pipeline = SetupPipeline(*dataset, full);
+  FUME_ABORT_NOT_OK(pipeline.status());
+  Pipeline& p = *pipeline;
+
+  FumeConfig config = BenchFumeConfig(p.group);
+  config.max_literals = 4;  // paper expands the lattice to level 4
+  Stopwatch watch;
+  auto result = ExplainFairnessViolation(p.model, p.train, p.test, config);
+  FUME_ABORT_NOT_OK(result.status());
+
+  // Unpruned "possible" counts: level 1 = literals, level l>=2 = join pairs
+  // over the full level-(l-1) lattice.
+  std::vector<int64_t> cards;
+  for (int j = 0; j < p.train.num_attributes(); ++j) {
+    cards.push_back(p.train.schema().attribute(j).cardinality());
+  }
+  const std::vector<int64_t> possible_per_level =
+      CountUnprunedPossible(cards, 4);
+
+  TablePrinter table({"Level", "Possible subsets (unpruned lattice)",
+                      "Subsets explored", "Subsets pruned (%)"});
+  for (const LevelStats& level : result->stats.levels) {
+    const int64_t possible =
+        possible_per_level[static_cast<size_t>(level.level) - 1];
+    const double pruned =
+        possible == 0 ? 0.0
+                      : 100.0 * (1.0 - static_cast<double>(level.explored) /
+                                           static_cast<double>(possible));
+    table.AddRow({std::to_string(level.level), std::to_string(possible),
+                  std::to_string(level.explored), FormatDouble(pruned, 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "attribution evaluations: "
+            << result->stats.attribution_evaluations
+            << " (cache hits: " << result->stats.cache_hits << "), time "
+            << FormatDouble(watch.ElapsedSeconds(), 2) << " s\n";
+  std::cout <<
+      "\nPaper shape to check: level 1 prunes little (support filter only); "
+      "deeper levels prune the vast majority — the paper reports >99% of "
+      "possible level-3/4 subsets never being evaluated.\n";
+  return 0;
+}

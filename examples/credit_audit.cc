@@ -1,0 +1,108 @@
+// Credit-risk audit (the paper's Example 1.1): a lender's random forest is
+// 10%-ish more likely to grant good-credit predictions to older applicants.
+// The audit walks all three fairness metrics, compares FUME's explanations
+// with the DropUnprivUnfavor baseline, and inspects base rates inside the
+// top subset — the workflow of the paper's §6.3 German Credit analysis.
+
+#include <iostream>
+
+#include "core/baseline.h"
+#include "core/fume.h"
+#include "core/report.h"
+#include "data/split.h"
+#include "synth/datasets.h"
+#include "util/string_util.h"
+
+namespace {
+
+void InspectSubset(const fume::Dataset& train,
+                   const fume::AttributableSubset& subset,
+                   const fume::GroupSpec& group) {
+  using fume::RowId;
+  // Base rates of the two groups inside the subset (paper §6.3: a higher
+  // privileged base rate explains why the subset fuels model bias).
+  int64_t n[2] = {0, 0}, pos[2] = {0, 0};
+  for (int32_t r : subset.predicate.MatchingRows(train)) {
+    const int g =
+        train.Code(r, group.sensitive_attr) == group.privileged_code ? 1 : 0;
+    ++n[g];
+    pos[g] += train.Label(r);
+  }
+  auto rate = [](int64_t p, int64_t c) {
+    return c == 0 ? 0.0 : static_cast<double>(p) / static_cast<double>(c);
+  };
+  std::cout << "    inside subset: privileged base rate "
+            << fume::FormatPercent(rate(pos[1], n[1])) << " (" << n[1]
+            << " rows), protected base rate "
+            << fume::FormatPercent(rate(pos[0], n[0])) << " (" << n[0]
+            << " rows)\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace fume;
+
+  synth::SynthOptions opts;
+  opts.seed = 4;
+  auto bundle = synth::MakeGermanCredit(opts);
+  FUME_ABORT_NOT_OK(bundle.status());
+
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+
+  ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 7;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+
+  std::cout << "=== German Credit audit (synthetic; sensitive attribute: "
+               "Age, privileged = Senior) ===\n\n";
+  FairnessSummary summary = Summarize(*model, split->test, bundle->group);
+  std::cout << "accuracy " << FormatPercent(summary.accuracy)
+            << ", statistical parity " << FormatDouble(summary.statistical_parity, 4)
+            << ", equalized odds " << FormatDouble(summary.equalized_odds, 4)
+            << ", predictive parity "
+            << FormatDouble(summary.predictive_parity, 4) << "\n\n";
+
+  for (FairnessMetric metric :
+       {FairnessMetric::kStatisticalParity, FairnessMetric::kEqualizedOdds,
+        FairnessMetric::kPredictiveParity}) {
+    FumeConfig config;
+    config.top_k = 5;
+    config.support_min = 0.05;
+    config.support_max = 0.15;
+    config.max_literals = 2;
+    config.metric = metric;
+    config.group = bundle->group;
+    auto result =
+        ExplainFairnessViolation(*model, split->train, split->test, config);
+    std::cout << "--- metric: " << FairnessMetricName(metric) << " ---\n";
+    if (!result.ok()) {
+      std::cout << "  " << result.status().ToString() << "\n\n";
+      continue;
+    }
+    PrintViolationSummary(*result, metric, std::cout);
+    PrintTopK(*result, split->train.schema(), "GS", std::cout);
+    if (!result->top_k.empty()) {
+      InspectSubset(split->train, result->top_k[0], bundle->group);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "--- baseline ---\n";
+  auto baseline = RunDropUnprivUnfavor(split->train, split->test,
+                                       forest_config, bundle->group,
+                                       FairnessMetric::kStatisticalParity);
+  FUME_ABORT_NOT_OK(baseline.status());
+  PrintBaseline(*baseline, std::cout);
+  std::cout << "FUME's subsets remove comparable bias while deleting far "
+               "fewer rows and naming the cohorts a data steward can audit.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Policing audit (the paper's SQF study): the frisk-prediction model is
+// race-disparate, yet the strongest explanation FUME surfaces is phrased in
+// terms of Sex — a *proxy attribute* correlated with race. The example
+// demonstrates the proxy-discovery workflow, including the permutation
+// feature-importance deviation analysis of §6.3.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/fume.h"
+#include "core/report.h"
+#include "data/split.h"
+#include "fairness/importance.h"
+#include "synth/datasets.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fume;
+
+  synth::SynthOptions opts;
+  opts.num_rows = 12000;  // scaled from the paper's 72,546 for example speed
+  opts.seed = 6;
+  auto bundle = synth::MakeSqf(opts);
+  FUME_ABORT_NOT_OK(bundle.status());
+
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 1;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+
+  ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 8;
+  forest_config.random_depth = 2;
+  forest_config.seed = 13;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+
+  std::cout << "=== Stop-Question-Frisk audit (synthetic; sensitive "
+               "attribute: Race) ===\n\n";
+
+  FumeConfig config;
+  config.top_k = 5;
+  config.support_min = 0.05;
+  config.support_max = 0.15;
+  config.max_literals = 2;
+  config.group = bundle->group;
+  // Search only non-sensitive attributes: we want the proxies, not
+  // "Race = Non-white" itself.
+  config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+  auto result =
+      ExplainFairnessViolation(*model, split->train, split->test, config);
+  FUME_ABORT_NOT_OK(result.status());
+
+  PrintViolationSummary(*result, config.metric, std::cout);
+  PrintTopK(*result, split->train.schema(), "SS", std::cout);
+  std::cout << "\n";
+
+  if (result->top_k.empty()) return 0;
+
+  // Feature-importance deviation: delete the top subset and compare
+  // permutation importances before/after (the paper's explanation of WHY
+  // Sex=Female rows drive the race disparity).
+  const AttributableSubset& top = result->top_k[0];
+  std::cout << "Deleting " << top.predicate.ToString(split->train.schema())
+            << " and comparing permutation feature importance:\n";
+  ImportanceOptions iopts;
+  iopts.num_repeats = 3;
+  auto before = PermutationImportance(*model, split->test, iopts);
+
+  DareForest what_if = model->Clone();
+  {
+    std::vector<int32_t> matched = top.predicate.MatchingRows(split->train);
+    FUME_ABORT_NOT_OK(what_if.DeleteRows(
+        std::vector<RowId>(matched.begin(), matched.end())));
+  }
+  auto after = PermutationImportance(what_if, split->test, iopts);
+
+  std::cout << "  top features before -> after (importance = mean accuracy "
+               "drop when shuffled):\n";
+  for (size_t i = 0; i < std::min<size_t>(6, before.size()); ++i) {
+    const double shift = ImportanceShift(before, after, before[i].attr);
+    std::cout << "    " << before[i].name << ": "
+              << FormatDouble(before[i].importance, 4) << " -> "
+              << FormatDouble(
+                     [&] {
+                       for (const auto& fi : after) {
+                         if (fi.attr == before[i].attr) return fi.importance;
+                       }
+                       return 0.0;
+                     }(),
+                     4)
+              << "  (" << FormatPercent(shift, 1) << " shift)\n";
+  }
+  std::cout << "\nA large drop in the Sex/Race-adjacent importances after "
+               "removal confirms the proxy pathway the paper describes.\n";
+  return 0;
+}

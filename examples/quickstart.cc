@@ -1,0 +1,69 @@
+// Quickstart: the complete FUME pipeline in ~60 lines.
+//
+//   1. get an all-categorical labeled dataset (here: a synthetic one with a
+//      known planted biased cohort),
+//   2. split train/test and train a DaRE random forest,
+//   3. observe the group-fairness violation on test data,
+//   4. run FUME to find the top-k training-data subsets attributable to it.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/fume.h"
+#include "core/report.h"
+#include "data/split.h"
+#include "synth/datasets.h"
+
+int main() {
+  using namespace fume;
+
+  // 1. Data: 2,000 rows, attributes Group/A/B/C/D/E, with a planted biased
+  //    cohort (A = a1 AND B = b2) whose protected members fare much worse.
+  synth::PlantedOptions data_opts;
+  data_opts.num_rows = 2000;
+  auto bundle = synth::MakePlantedBias(data_opts);
+  FUME_ABORT_NOT_OK(bundle.status());
+
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+
+  // 2. Model: a data-removal-enabled random forest.
+  ForestConfig forest_config;
+  forest_config.num_trees = 20;
+  forest_config.max_depth = 7;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+
+  // 3. The violation: statistical parity difference on test predictions.
+  const double fairness =
+      ComputeFairness(*model, split->test, bundle->group,
+                      FairnessMetric::kStatisticalParity);
+  std::cout << "Test accuracy:        " << model->Accuracy(split->test)
+            << "\nStatistical parity:   " << fairness
+            << "  (negative = biased against the protected group)\n\n";
+
+  // 4. Explain it: top-5 predicate subsets in the 2-25% support range, at
+  //    most 2 literals, searched over the non-sensitive attributes.
+  FumeConfig config;
+  config.top_k = 5;
+  config.support_min = 0.02;
+  config.support_max = 0.25;
+  config.max_literals = 2;
+  config.group = bundle->group;
+  config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+  auto result =
+      ExplainFairnessViolation(*model, split->train, split->test, config);
+  FUME_ABORT_NOT_OK(result.status());
+
+  std::cout << FormatReport(*result, split->train.schema(),
+                            config.metric, "T");
+  std::cout << "\nThe planted cohort is (A = a1) AND (B = b2) — FUME should "
+               "rank it first.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Repair workbench: after FUME points at a cohort, which FIX is best? This
+// example compares three interventions on the top attributable subset —
+// removing it, correcting its protected members' labels, and upweighting it
+// — all evaluated without retraining, via exact unlearning + exact
+// incremental addition.
+
+#include <iostream>
+
+#include "core/fume.h"
+#include "core/report.h"
+#include "data/split.h"
+#include "repair/what_if.h"
+#include "synth/datasets.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace fume;
+
+  synth::SynthOptions opts;
+  opts.seed = 4;
+  auto bundle = synth::MakeGermanCredit(opts);
+  FUME_ABORT_NOT_OK(bundle.status());
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+
+  ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 8;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+
+  FumeConfig config;
+  config.top_k = 1;
+  config.support_min = 0.05;
+  config.support_max = 0.15;
+  config.group = bundle->group;
+  auto fume_result =
+      ExplainFairnessViolation(*model, split->train, split->test, config);
+  FUME_ABORT_NOT_OK(fume_result.status());
+  if (fume_result->top_k.empty()) {
+    std::cout << "no attributable subset found\n";
+    return 0;
+  }
+  const Predicate& subset = fume_result->top_k[0].predicate;
+  std::cout << "Auditing the top attributable subset:\n  "
+            << subset.ToString(split->train.schema()) << "\n\n";
+  PrintViolationSummary(*fume_result, config.metric, std::cout);
+  std::cout << "\n";
+
+  TablePrinter table({"Intervention", "Rows touched", "Parity reduction",
+                      "Fairness after", "Accuracy after"});
+  auto add_row = [&](const std::string& name,
+                     const Result<WhatIfResult>& r) {
+    if (!r.ok()) {
+      table.AddRow({name, "-", r.status().ToString(), "-", "-"});
+      return;
+    }
+    table.AddRow({name, std::to_string(r->rows_affected),
+                  FormatPercent(r->parity_reduction),
+                  FormatDouble(r->after.fairness, 4),
+                  FormatPercent(r->after.accuracy)});
+  };
+  add_row("remove subset",
+          WhatIfRemove(*model, split->train, split->test, bundle->group,
+                       config.metric, subset));
+  add_row("relabel: protected members favorable",
+          WhatIfRelabel(*model, split->train, split->test, bundle->group,
+                        config.metric, subset,
+                        RelabelPolicy::kSetProtectedPositive));
+  add_row("relabel: flip all",
+          WhatIfRelabel(*model, split->train, split->test, bundle->group,
+                        config.metric, subset, RelabelPolicy::kFlipAll));
+  add_row("upweight subset 2x",
+          WhatIfDuplicate(*model, split->train, split->test, bundle->group,
+                          config.metric, subset, /*extra_copies=*/1));
+  table.Print(std::cout);
+  std::cout <<
+      "\nEvery row is an exact counterfactual model (unlearn + re-add), so "
+      "the steward can choose the least invasive fix with retraining-grade "
+      "confidence.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Streaming audit: production models retrain on growing data. Because the
+// DaRE forest supports EXACT incremental addition (AddData) as well as
+// deletion, a deployed model can ingest each new batch without retraining
+// while a fairness monitor re-checks the violation — and triggers a FUME
+// explanation the moment disparity crosses a threshold.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/fume.h"
+#include "core/report.h"
+#include "synth/datasets.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fume;
+
+  // Launch-time data: genuinely fair (equal base rates, no cohorts). The
+  // same SynthModel with a planted biased cohort generates the later
+  // arrival batches — simulating an upstream policy change.
+  synth::SynthModel spec;
+  spec.name = "streaming";
+  spec.sensitive_attr = "Group";
+  spec.privileged_category = "Privileged";
+  spec.protected_fraction = 0.4;
+  spec.priv_base = 0.60;
+  spec.prot_base = 0.60;
+  spec.label_noise = 0.01;
+  auto add_attr = [&spec](const std::string& name,
+                          std::vector<std::string> cats,
+                          std::vector<double> weights) {
+    synth::AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(weights);
+    spec.attrs.push_back(std::move(a));
+  };
+  add_attr("Group", {"Protected", "Privileged"}, {0.5, 0.5});
+  add_attr("A", {"a0", "a1", "a2"}, {0.45, 0.33, 0.22});
+  add_attr("B", {"b0", "b1", "b2"}, {0.40, 0.33, 0.27});
+  add_attr("C", {"c0", "c1"}, {0.5, 0.5});
+  add_attr("D", {"d0", "d1", "d2", "d3"}, {0.25, 0.25, 0.25, 0.25});
+
+  auto launch = synth::GenerateFromModel(spec, 4200, /*seed=*/12);
+  FUME_ABORT_NOT_OK(launch.status());
+  std::vector<int64_t> initial_rows, monitor_rows;
+  for (int64_t r = 0; r < launch->data.num_rows(); ++r) {
+    (r % 2 == 0 ? initial_rows : monitor_rows).push_back(r);
+  }
+  Dataset train = launch->data.Select(initial_rows);
+  const Dataset monitor = launch->data.Select(monitor_rows);
+  const synth::DatasetBundle& bundle = *launch;
+
+  // The drifted arrival process: protected members of (A = a1 AND B = b2)
+  // suddenly receive far worse outcomes.
+  synth::SynthModel drift_spec = spec;
+  drift_spec.prot_base = 0.55;
+  drift_spec.cohorts = {
+      {{{"A", "a1"}, {"B", "b2"}}, /*protected_delta=*/-0.60,
+       /*privileged_delta=*/+0.15},
+  };
+  auto drift_bundle = synth::GenerateFromModel(drift_spec, 4800, /*seed=*/77);
+  FUME_ABORT_NOT_OK(drift_bundle.status());
+
+  ForestConfig config;
+  config.num_trees = 20;
+  config.max_depth = 7;
+  config.random_depth = 2;
+  config.seed = 31;
+  auto model = DareForest::Train(train, config);
+  FUME_ABORT_NOT_OK(model.status());
+
+  const double initial_fairness = ComputeFairness(
+      *model, monitor, bundle.group, FairnessMetric::kStatisticalParity);
+  // Alert when disparity grows meaningfully beyond the launch baseline.
+  const double alert_threshold =
+      std::max(0.10, 1.5 * std::abs(initial_fairness));
+  std::cout << "launch: statistical parity "
+            << FormatDouble(initial_fairness, 4) << ", alert threshold |F| > "
+            << FormatDouble(alert_threshold, 4) << "\n\n";
+  std::cout << "month | trained rows | statistical parity | accuracy | action\n";
+  const int64_t batch_size = 800;
+  for (int month = 0; month < 6; ++month) {
+    // Ingest this month's batch without retraining.
+    std::vector<int64_t> batch;
+    for (int64_t i = month * batch_size;
+         i < (month + 1) * batch_size &&
+         i < drift_bundle->data.num_rows();
+         ++i) {
+      batch.push_back(i);
+    }
+    const Dataset arriving = drift_bundle->data.Select(batch);
+    FUME_ABORT_NOT_OK(model->AddData(arriving).status());
+    // Keep a matching training-set view for FUME (store order: old + new).
+    {
+      Dataset merged(train.schema());
+      std::vector<int32_t> codes(static_cast<size_t>(train.num_attributes()));
+      for (const Dataset* part :
+           {static_cast<const Dataset*>(&train), &arriving}) {
+        for (int64_t r = 0; r < part->num_rows(); ++r) {
+          for (int j = 0; j < part->num_attributes(); ++j) {
+            codes[static_cast<size_t>(j)] = part->Code(r, j);
+          }
+          FUME_ABORT_NOT_OK(merged.AppendRow(codes, part->Label(r)));
+        }
+      }
+      train = std::move(merged);
+    }
+
+    const double fairness = ComputeFairness(
+        *model, monitor, bundle.group, FairnessMetric::kStatisticalParity);
+    const bool alert = fairness < -alert_threshold;
+    std::cout << "  " << month + 1 << "   | " << train.num_rows() << "        | "
+              << FormatDouble(fairness, 4) << "            | "
+              << FormatPercent(model->Accuracy(monitor)) << "  | "
+              << (alert ? "ALERT -> run FUME" : "ok") << "\n";
+
+    if (alert) {
+      FumeConfig fume_config;
+      fume_config.top_k = 3;
+      fume_config.support_min = 0.02;
+      fume_config.support_max = 0.25;
+      fume_config.group = bundle.group;
+      fume_config.lattice.excluded_attrs = {bundle.group.sensitive_attr};
+      auto result =
+          ExplainFairnessViolation(*model, train, monitor, fume_config);
+      if (result.ok()) {
+        PrintTopK(*result, train.schema(), "M", std::cout);
+      } else {
+        std::cout << result.status().ToString() << "\n";
+      }
+      break;
+    }
+  }
+  std::cout << "\nThe monitor caught the drift introduced by the biased "
+               "arrival batches; FUME names the cohort (the planted one is "
+               "(A = a1) AND (B = b2)).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Unlearning demo: shows (and times) the property FUME is built on — DaRE
+// deletion produces EXACTLY the model you would get by retraining from
+// scratch, at a fraction of the cost.
+
+#include <iostream>
+
+#include "core/removal_method.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace fume;
+
+  auto bundle = synth::MakeParametric(/*num_rows=*/20000, /*num_attrs=*/12,
+                                      /*values_per_attr=*/4, /*seed=*/5);
+  FUME_ABORT_NOT_OK(bundle.status());
+  const Dataset& data = bundle->data;
+
+  ForestConfig config;
+  config.num_trees = 10;
+  config.max_depth = 10;
+  config.random_depth = 3;
+  config.seed = 77;
+
+  Stopwatch train_watch;
+  auto model = DareForest::Train(data, config);
+  FUME_ABORT_NOT_OK(model.status());
+  const double train_ms = train_watch.ElapsedMillis();
+  std::cout << "Trained DaRE forest: " << config.num_trees << " trees, "
+            << model->num_nodes() << " nodes, " << FormatDouble(train_ms, 1)
+            << " ms\n\n";
+
+  std::cout << "| batch deleted | unlearn (ms) | retrain (ms) | speedup | "
+               "identical predictions |\n";
+  Rng rng(9);
+  for (int batch : {1, 10, 100, 1000, 4000}) {
+    // Pick a random batch of rows to forget.
+    std::vector<RowId> doomed;
+    {
+      std::vector<RowId> all(static_cast<size_t>(data.num_rows()));
+      for (int64_t r = 0; r < data.num_rows(); ++r) {
+        all[static_cast<size_t>(r)] = static_cast<RowId>(r);
+      }
+      rng.Shuffle(&all);
+      doomed.assign(all.begin(), all.begin() + batch);
+    }
+
+    Stopwatch unlearn_watch;
+    DareForest unlearned = model->Clone();
+    FUME_ABORT_NOT_OK(unlearned.DeleteRows(doomed));
+    const double unlearn_ms = unlearn_watch.ElapsedMillis();
+
+    Stopwatch retrain_watch;
+    std::vector<int64_t> doomed64(doomed.begin(), doomed.end());
+    auto retrained = DareForest::Train(data.DropRows(doomed64), config);
+    FUME_ABORT_NOT_OK(retrained.status());
+    const double retrain_ms = retrain_watch.ElapsedMillis();
+
+    // Exactness: identical predictions over the full dataset.
+    bool identical = true;
+    for (int64_t r = 0; r < data.num_rows() && identical; ++r) {
+      identical = unlearned.PredictProb(data, r) ==
+                  retrained->PredictProb(data, r);
+    }
+    std::cout << "| " << batch << " | " << FormatDouble(unlearn_ms, 2)
+              << " | " << FormatDouble(retrain_ms, 2) << " | "
+              << FormatDouble(retrain_ms / unlearn_ms, 1) << "x | "
+              << (identical ? "yes" : "NO (bug!)") << " |\n";
+  }
+
+  std::cout << "\nDeletion work counters (cumulative over the clones' "
+               "lifetimes are per-clone; shown for the last batch):\n";
+  std::cout << "retraining touched only the subtrees whose split decision "
+               "changed — the DaRE property that makes per-subset "
+               "attribution affordable.\n";
+  return 0;
+}

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Plots the paper figures from the bench harness's CSV artifacts.
+
+Run the benches first (they write bench_artifacts/*.csv), then:
+
+    python3 scripts/plot_figures.py [artifact_dir] [output_dir]
+
+Requires matplotlib; if it is unavailable the script prints per-figure
+summaries instead so it remains useful in minimal containers.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        return list(reader)
+
+
+def maybe_matplotlib():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+    except ImportError:
+        return None
+
+
+def plot_fig3(rows, plt, out_dir):
+    """Scatter of estimated vs actual fairness per (subsets, range) panel."""
+    panels = defaultdict(list)
+    for row in rows:
+        if row["metric"] != "predictive parity":
+            continue
+        panels[(row["subsets"], row["support_range"])].append(
+            (float(row["actual_fairness"]), float(row["estimated_fairness"]))
+        )
+    if plt is None:
+        for key, pts in sorted(panels.items()):
+            mae = sum(abs(a - e) for a, e in pts) / max(1, len(pts))
+            print(f"fig3 {key}: {len(pts)} points, MAE={mae:.4f}")
+        return
+    keys = sorted(panels)
+    fig, axes = plt.subplots(1, len(keys), figsize=(4 * len(keys), 4))
+    if len(keys) == 1:
+        axes = [axes]
+    for ax, key in zip(axes, keys):
+        pts = panels[key]
+        xs = [a for a, _ in pts]
+        ys = [e for _, e in pts]
+        lo, hi = min(xs + ys), max(xs + ys)
+        ax.plot([lo, hi], [lo, hi], color="green", linewidth=1)
+        ax.scatter(xs, ys, s=8, alpha=0.6)
+        ax.set_title(f"{key[0]}, {key[1]}")
+        ax.set_xlabel("actual fairness")
+        ax.set_ylabel("estimated fairness")
+    fig.suptitle("Figure 3: DaRE-estimated vs actual (predictive parity)")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig3.png"), dpi=150)
+    print("wrote fig3.png")
+
+
+def plot_fig4(rows, plt, out_dir):
+    if plt is None:
+        for row in rows:
+            print(
+                f"fig4 {row['dataset']} {row['support_range']}: "
+                f"max={row['max_reduction']}, avg={row['avg_reduction']}"
+            )
+        return
+    datasets = sorted({row["dataset"] for row in rows})
+    ranges = ["0-5%", "5-15%", ">30%"]
+    fig, ax = plt.subplots(figsize=(10, 4))
+    width = 0.25
+    for i, rng in enumerate(ranges):
+        xs, maxs, avgs = [], [], []
+        for d, dataset in enumerate(datasets):
+            for row in rows:
+                if row["dataset"] == dataset and row["support_range"] == rng:
+                    xs.append(d + (i - 1) * width)
+                    maxs.append(float(row["max_reduction"]) * 100)
+                    avgs.append(float(row["avg_reduction"]) * 100)
+        ax.bar(xs, maxs, width=width, alpha=0.4, label=f"max {rng}")
+        ax.bar(xs, avgs, width=width * 0.6, label=f"avg {rng}")
+    ax.set_xticks(range(len(datasets)))
+    ax.set_xticklabels(datasets, rotation=20)
+    ax.set_ylabel("bias reduction (%)")
+    ax.set_title("Figure 4: quality of top-5 attributable subsets")
+    ax.legend(fontsize=7, ncol=3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig4.png"), dpi=150)
+    print("wrote fig4.png")
+
+
+def plot_fig5(rows_a, rows_b, plt, out_dir):
+    if plt is None:
+        for row in rows_a:
+            print(
+                f"fig5a n={row['instances']} p={row['attributes']}: "
+                f"{row['seconds']}s"
+            )
+        for row in rows_b:
+            print(f"fig5b d={row['values_per_attr']}: {row['seconds']}s")
+        return
+    fig, (ax_a, ax_b) = plt.subplots(1, 2, figsize=(10, 4))
+    by_p = defaultdict(list)
+    for row in rows_a:
+        by_p[int(row["attributes"])].append(
+            (int(row["instances"]), float(row["seconds"]))
+        )
+    for p, pts in sorted(by_p.items()):
+        pts.sort()
+        ax_a.plot([n for n, _ in pts], [s for _, s in pts], marker="o",
+                  label=f"p={p}")
+    ax_a.set_xlabel("#instances")
+    ax_a.set_ylabel("FUME runtime (s)")
+    ax_a.set_title("Figure 5(a)")
+    ax_a.legend()
+    ax_b.plot([int(r["values_per_attr"]) for r in rows_b],
+              [float(r["seconds"]) for r in rows_b], marker="s")
+    ax_b.set_xlabel("distinct values per attribute")
+    ax_b.set_ylabel("FUME runtime (s)")
+    ax_b.set_title("Figure 5(b)")
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig5.png"), dpi=150)
+    print("wrote fig5.png")
+
+
+def main():
+    artifact_dir = sys.argv[1] if len(sys.argv) > 1 else "bench_artifacts"
+    out_dir = sys.argv[2] if len(sys.argv) > 2 else artifact_dir
+    os.makedirs(out_dir, exist_ok=True)
+    plt = maybe_matplotlib()
+    if plt is None:
+        print("(matplotlib unavailable — printing summaries instead)")
+
+    def load(name):
+        path = os.path.join(artifact_dir, name)
+        return read_csv(path) if os.path.exists(path) else None
+
+    fig3 = load("fig3_scatter.csv")
+    if fig3:
+        plot_fig3(fig3, plt, out_dir)
+    fig4 = load("fig4_quality.csv")
+    if fig4:
+        plot_fig4(fig4, plt, out_dir)
+    fig5a, fig5b = load("fig5a_scaling.csv"), load("fig5b_scaling.csv")
+    if fig5a and fig5b:
+        plot_fig5(fig5a, fig5b, plt, out_dir)
+    if not any([fig3, fig4, fig5a]):
+        print(f"no artifacts found in {artifact_dir}; run the benches first")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#include "core/attribution.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fume {
+
+double ComputePhi(double original_fairness, double new_fairness) {
+  const double original_bias = std::fabs(original_fairness);
+  FUME_CHECK(original_bias > 0.0);
+  return (std::fabs(new_fairness) - original_bias) / original_bias;
+}
+
+Result<AttributableSubset> EstimateAttribution(
+    RemovalMethod* removal, const Predicate& predicate,
+    const std::vector<RowId>& rows, int64_t num_train_rows,
+    double original_fairness) {
+  if (std::fabs(original_fairness) <= 0.0) {
+    return Status::Invalid(
+        "original fairness is zero: there is no violation to attribute");
+  }
+  FUME_ASSIGN_OR_RETURN(ModelEval eval, removal->EvaluateWithout(rows));
+  AttributableSubset out;
+  out.predicate = predicate;
+  out.num_rows = static_cast<int64_t>(rows.size());
+  out.support = num_train_rows == 0
+                    ? 0.0
+                    : static_cast<double>(rows.size()) /
+                          static_cast<double>(num_train_rows);
+  out.new_fairness = eval.fairness;
+  out.new_accuracy = eval.accuracy;
+  out.phi = ComputePhi(original_fairness, eval.fairness);
+  out.attribution = -out.phi;
+  return out;
+}
+
+}  // namespace fume

@@ -1,0 +1,40 @@
+// Subset attribution toward bias (paper Definitions 2.2/2.3, Eq. 2).
+
+#ifndef FUME_CORE_ATTRIBUTION_H_
+#define FUME_CORE_ATTRIBUTION_H_
+
+#include "core/removal_method.h"
+#include "subset/predicate.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// \brief One evaluated training-data subset.
+struct AttributableSubset {
+  Predicate predicate;
+  double support = 0.0;
+  int64_t num_rows = 0;
+  /// phi_T of Definition 2.3: (|F(h_T)| - |F(h)|) / |F(h)|.
+  /// Negative means removing the subset reduces bias.
+  double phi = 0.0;
+  /// -phi, the fraction of bias removed — the paper's "parity reduction"
+  /// (e.g. 0.978 is reported as 97.8%). Positive = subset is attributable.
+  double attribution = 0.0;
+  /// Signed fairness of the counterfactual model, F(h_T, D_test).
+  double new_fairness = 0.0;
+  double new_accuracy = 0.0;
+};
+
+/// phi from the original and counterfactual fairness values.
+/// |original_fairness| must be nonzero (the violation being explained).
+double ComputePhi(double original_fairness, double new_fairness);
+
+/// Evaluates one subset of training rows through a removal method.
+Result<AttributableSubset> EstimateAttribution(
+    RemovalMethod* removal, const Predicate& predicate,
+    const std::vector<RowId>& rows, int64_t num_train_rows,
+    double original_fairness);
+
+}  // namespace fume
+
+#endif  // FUME_CORE_ATTRIBUTION_H_

@@ -1,0 +1,46 @@
+#include "core/baseline.h"
+
+#include <cmath>
+
+namespace fume {
+
+Result<BaselineResult> RunDropUnprivUnfavor(const Dataset& train,
+                                            const Dataset& test,
+                                            const ForestConfig& config,
+                                            const GroupSpec& group,
+                                            FairnessMetric metric) {
+  FUME_ASSIGN_OR_RETURN(DareForest original, DareForest::Train(train, config));
+  BaselineResult result;
+  result.original_fairness = ComputeFairness(original, test, group, metric);
+  result.original_accuracy = original.Accuracy(test);
+
+  std::vector<int64_t> to_drop;
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    const bool unprivileged =
+        train.Code(r, group.sensitive_attr) != group.privileged_code;
+    if (unprivileged && train.Label(r) == 0) to_drop.push_back(r);
+  }
+  result.removed_rows = static_cast<int64_t>(to_drop.size());
+  result.removed_fraction =
+      train.num_rows() == 0
+          ? 0.0
+          : static_cast<double>(to_drop.size()) /
+                static_cast<double>(train.num_rows());
+
+  const Dataset reduced = train.DropRows(to_drop);
+  if (reduced.num_rows() == 0) {
+    return Status::Invalid("baseline removed the entire training set");
+  }
+  FUME_ASSIGN_OR_RETURN(DareForest retrained,
+                        DareForest::Train(reduced, config));
+  result.new_fairness = ComputeFairness(retrained, test, group, metric);
+  result.new_accuracy = retrained.Accuracy(test);
+  const double original_bias = std::fabs(result.original_fairness);
+  result.parity_reduction =
+      original_bias == 0.0
+          ? 0.0
+          : (original_bias - std::fabs(result.new_fairness)) / original_bias;
+  return result;
+}
+
+}  // namespace fume

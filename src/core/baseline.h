@@ -1,0 +1,37 @@
+// DropUnprivUnfavor baseline (paper §6.1.4): drop every training row where
+// the unprivileged group received the unfavorable outcome, retrain, and
+// measure the parity change.
+
+#ifndef FUME_CORE_BASELINE_H_
+#define FUME_CORE_BASELINE_H_
+
+#include "fairness/metrics.h"
+#include "forest/forest.h"
+#include "util/result.h"
+
+namespace fume {
+
+struct BaselineResult {
+  /// Fraction of training rows removed.
+  double removed_fraction = 0.0;
+  int64_t removed_rows = 0;
+  double original_fairness = 0.0;
+  double new_fairness = 0.0;
+  /// Fraction of |original bias| removed; negative when the baseline
+  /// overshoots into the opposite disparity (the paper's SQF observation).
+  double parity_reduction = 0.0;
+  double original_accuracy = 0.0;
+  double new_accuracy = 0.0;
+};
+
+/// Runs the baseline: removes rows with (sensitive != privileged_code AND
+/// label == 0) and retrains with `config`.
+Result<BaselineResult> RunDropUnprivUnfavor(const Dataset& train,
+                                            const Dataset& test,
+                                            const ForestConfig& config,
+                                            const GroupSpec& group,
+                                            FairnessMetric metric);
+
+}  // namespace fume
+
+#endif  // FUME_CORE_BASELINE_H_

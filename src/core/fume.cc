@@ -1,0 +1,286 @@
+#include "core/fume.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace fume {
+
+namespace {
+
+// Hash of a sorted row-id vector, for the attribution memo table.
+struct RowsKey {
+  std::vector<int32_t> rows;
+  bool operator==(const RowsKey& other) const { return rows == other.rows; }
+};
+
+struct RowsKeyHash {
+  size_t operator()(const RowsKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int32_t r : k.rows) {
+      h = Mix64(h ^ static_cast<uint64_t>(static_cast<uint32_t>(r)));
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+Status ValidateConfig(const FumeConfig& config) {
+  if (config.top_k < 1) return Status::Invalid("top_k must be >= 1");
+  if (config.max_literals < 1) {
+    return Status::Invalid("max_literals must be >= 1");
+  }
+  if (config.support_min < 0.0 || config.support_max > 1.0 ||
+      config.support_min >= config.support_max) {
+    return Status::Invalid("need 0 <= support_min < support_max <= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
+                                      const Dataset& train,
+                                      const FumeConfig& config,
+                                      RemovalMethod* removal) {
+  FUME_RETURN_NOT_OK(ValidateConfig(config));
+  if (!train.schema().AllCategorical()) {
+    return Status::Invalid("training data must be all-categorical");
+  }
+  Stopwatch total_watch;
+
+  FumeResult result;
+  result.original_fairness = original.fairness;
+  result.original_accuracy = original.accuracy;
+  if (std::fabs(result.original_fairness) < config.min_original_bias) {
+    return Status::Invalid(
+        "model satisfies " +
+        std::string(FairnessMetricName(config.metric)) +
+        " on the test data (|F| = " +
+        std::to_string(std::fabs(result.original_fairness)) +
+        "); there is no violation to explain");
+  }
+
+  Lattice lattice(train, config.lattice);
+  std::unordered_map<RowsKey, ModelEval, RowsKeyHash> memo;
+
+  std::vector<LatticeNode> frontier = lattice.MakeLevel1();
+  int64_t possible = lattice.NumPossibleLevel1();
+
+  const int num_threads = std::max(1, config.num_threads);
+
+  for (int level = 1; level <= config.max_literals; ++level) {
+    Stopwatch level_watch;
+    LevelStats level_stats;
+    level_stats.level = level;
+    level_stats.possible = possible;
+
+    // ---- Phase 1: classify nodes against Rule 2 and collect the distinct
+    // row sets that need an attribution evaluation.
+    enum class NodeFate : uint8_t { kSkip, kExpandOnly, kEvaluate };
+    std::vector<NodeFate> fates(frontier.size(), NodeFate::kSkip);
+    std::vector<RowsKey> keys(frontier.size());
+    struct EvalJob {
+      RowsKey key;
+      ModelEval eval;
+      Status status;
+    };
+    std::vector<EvalJob> jobs;
+    std::unordered_map<RowsKey, size_t, RowsKeyHash> job_index;
+    std::vector<size_t> job_of_node(frontier.size(), SIZE_MAX);
+    std::vector<uint8_t> created_job(frontier.size(), 0);
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      LatticeNode& node = frontier[i];
+      // Rule 2 (upper bound): too-large subsets are not reported and not
+      // estimated, but stay expandable — their children shrink into range.
+      if (config.rule2_support && node.support > config.support_max) {
+        fates[i] = NodeFate::kExpandOnly;
+        continue;
+      }
+      // Rule 2 (lower bound): support is anti-monotone along the lattice,
+      // so a too-small subset's whole subtree is out of range.
+      if (config.rule2_support && node.support < config.support_min) continue;
+      if (node.rows.Count() == 0) continue;
+      fates[i] = NodeFate::kEvaluate;
+      keys[i].rows = node.rows.ToRows();
+      if (config.cache_by_rowset && memo.count(keys[i]) > 0) continue;
+      auto [it, inserted] = job_index.emplace(keys[i], jobs.size());
+      if (inserted) {
+        jobs.push_back(EvalJob{keys[i], ModelEval{}, Status::OK()});
+        created_job[i] = 1;
+      } else if (!config.cache_by_rowset) {
+        // Without the cache, duplicates are evaluated independently.
+        jobs.push_back(EvalJob{keys[i], ModelEval{}, Status::OK()});
+        it->second = jobs.size() - 1;
+        created_job[i] = 1;
+      }
+      job_of_node[i] = it->second;
+    }
+
+    // ---- Phase 2: run the evaluations, optionally across threads. Each
+    // job is independent (clone + delete + score), so the outcome does not
+    // depend on scheduling.
+    auto run_job = [&](EvalJob& job) {
+      std::vector<RowId> rows(job.key.rows.begin(), job.key.rows.end());
+      auto eval = removal->EvaluateWithout(rows);
+      if (eval.ok()) {
+        job.eval = *eval;
+      } else {
+        job.status = eval.status();
+      }
+    };
+    if (num_threads <= 1 || jobs.size() < 2) {
+      for (EvalJob& job : jobs) run_job(job);
+    } else {
+      std::atomic<size_t> next{0};
+      std::vector<std::thread> workers;
+      const int spawn =
+          std::min<int>(num_threads, static_cast<int>(jobs.size()));
+      workers.reserve(static_cast<size_t>(spawn));
+      for (int t = 0; t < spawn; ++t) {
+        workers.emplace_back([&]() {
+          while (true) {
+            const size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) return;
+            run_job(jobs[i]);
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+    }
+    for (EvalJob& job : jobs) {
+      FUME_RETURN_NOT_OK(job.status);
+      ++result.stats.attribution_evaluations;
+      if (config.cache_by_rowset) memo.emplace(std::move(job.key), job.eval);
+    }
+
+    // ---- Phase 3: apply Rules 4/5 and assemble candidates, in frontier
+    // order (deterministic regardless of thread count).
+    std::vector<LatticeNode> expandable;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      LatticeNode& node = frontier[i];
+      if (fates[i] == NodeFate::kSkip) continue;
+      if (fates[i] == NodeFate::kExpandOnly) {
+        expandable.push_back(std::move(node));
+        continue;
+      }
+      ModelEval eval;
+      if (config.cache_by_rowset) {
+        auto it = memo.find(keys[i]);
+        FUME_CHECK(it != memo.end());
+        eval = it->second;
+        // A node that did not create its own job reused a prior level's
+        // memo entry or another node's identical row set.
+        if (!created_job[i]) ++result.stats.cache_hits;
+      } else {
+        eval = jobs[job_of_node[i]].eval;
+      }
+      ++level_stats.explored;
+
+      node.attribution = -ComputePhi(result.original_fairness, eval.fairness);
+
+      // Rule 5: only subsets whose removal reduces bias are worth keeping.
+      bool selected = !config.rule5_positive || node.attribution > 0.0;
+      // Rule 4: a merged subset weaker than its strongest estimated parent
+      // is a dead end.
+      if (selected && config.rule4_parent &&
+          !std::isnan(node.parent_attribution) &&
+          node.attribution < node.parent_attribution) {
+        selected = false;
+      }
+      if (!selected) continue;
+
+      AttributableSubset subset;
+      subset.predicate = node.predicate;
+      subset.support = node.support;
+      subset.num_rows = node.rows.Count();
+      subset.new_fairness = eval.fairness;
+      subset.new_accuracy = eval.accuracy;
+      subset.attribution = node.attribution;
+      subset.phi = -node.attribution;
+      // Output is restricted to the support range even when Rule 2 pruning
+      // is disabled for ablation.
+      if (subset.support >= config.support_min &&
+          subset.support <= config.support_max && subset.attribution > 0.0) {
+        result.all_candidates.push_back(subset);
+      }
+      expandable.push_back(std::move(node));
+    }
+
+    level_stats.seconds = level_watch.ElapsedSeconds();
+    result.stats.levels.push_back(level_stats);
+
+    if (level == config.max_literals) break;  // Rule 3
+    if (expandable.size() < 2) break;  // nothing left to merge
+    int64_t pairs = 0;
+    frontier = lattice.MergeLevel(std::move(expandable), &pairs);
+    possible = pairs;
+    if (frontier.empty()) break;
+  }
+
+  // Rank candidates: attribution descending, predicate order for ties.
+  std::sort(result.all_candidates.begin(), result.all_candidates.end(),
+            [](const AttributableSubset& a, const AttributableSubset& b) {
+              if (a.attribution != b.attribution) {
+                return a.attribution > b.attribution;
+              }
+              return a.predicate < b.predicate;
+            });
+  if (config.max_row_overlap >= 1.0) {
+    const size_t k = std::min<size_t>(static_cast<size_t>(config.top_k),
+                                      result.all_candidates.size());
+    result.top_k.assign(result.all_candidates.begin(),
+                        result.all_candidates.begin() +
+                            static_cast<std::ptrdiff_t>(k));
+  } else {
+    // Greedy diverse selection: walk candidates best-first, skipping any
+    // whose matched rows overlap a picked subset beyond the threshold.
+    std::vector<Bitmap> picked_rows;
+    for (const AttributableSubset& candidate : result.all_candidates) {
+      if (static_cast<int>(result.top_k.size()) >= config.top_k) break;
+      Bitmap rows = lattice.index().Match(candidate.predicate);
+      const int64_t size = rows.Count();
+      bool too_close = false;
+      for (const Bitmap& prev : picked_rows) {
+        const int64_t inter = Bitmap::Intersect(rows, prev).Count();
+        const int64_t uni = size + prev.Count() - inter;
+        if (uni > 0 && static_cast<double>(inter) / static_cast<double>(uni) >
+                           config.max_row_overlap) {
+          too_close = true;
+          break;
+        }
+      }
+      if (too_close) continue;
+      picked_rows.push_back(std::move(rows));
+      result.top_k.push_back(candidate);
+    }
+  }
+  result.stats.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+Result<FumeResult> ExplainWithRemoval(const DareForest& model,
+                                      const Dataset& train,
+                                      const Dataset& test,
+                                      const FumeConfig& config,
+                                      RemovalMethod* removal) {
+  ModelEval original;
+  original.fairness = ComputeFairness(model, test, config.group, config.metric);
+  original.accuracy = model.Accuracy(test);
+  return ExplainWithRemoval(original, train, config, removal);
+}
+
+Result<FumeResult> ExplainFairnessViolation(const DareForest& model,
+                                            const Dataset& train,
+                                            const Dataset& test,
+                                            const FumeConfig& config) {
+  UnlearnRemovalMethod removal(&model, &test, config.group, config.metric);
+  return ExplainWithRemoval(model, train, test, config, &removal);
+}
+
+}  // namespace fume

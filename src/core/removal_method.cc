@@ -1,0 +1,56 @@
+#include "core/removal_method.h"
+
+namespace fume {
+
+UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
+                                           const Dataset* test,
+                                           GroupSpec group,
+                                           FairnessMetric metric)
+    : model_(model), test_(test), group_(group), metric_(metric) {}
+
+Result<ModelEval> UnlearnRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  DareForest what_if = model_->Clone();
+  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    deletion_stats_.Add(what_if.deletion_stats());
+  }
+  // One prediction pass serves both the fairness metric and accuracy.
+  const std::vector<int> preds = what_if.PredictAll(*test_);
+  ModelEval eval;
+  eval.fairness = ComputeFairness(*test_, preds, group_, metric_);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test_->num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test_->Label(r)) ++correct;
+  }
+  eval.accuracy = test_->num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(test_->num_rows());
+  return eval;
+}
+
+RetrainRemovalMethod::RetrainRemovalMethod(const Dataset* train,
+                                           const Dataset* test,
+                                           ForestConfig config,
+                                           GroupSpec group,
+                                           FairnessMetric metric)
+    : train_(train),
+      test_(test),
+      config_(config),
+      group_(group),
+      metric_(metric) {}
+
+Result<ModelEval> RetrainRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  std::vector<int64_t> to_drop(rows.begin(), rows.end());
+  const Dataset reduced = train_->DropRows(to_drop);
+  FUME_ASSIGN_OR_RETURN(DareForest model, DareForest::Train(reduced, config_));
+  ModelEval eval;
+  eval.fairness = ComputeFairness(model, *test_, group_, metric_);
+  eval.accuracy = model.Accuracy(*test_);
+  return eval;
+}
+
+}  // namespace fume

@@ -1,0 +1,88 @@
+// RemovalMethod: the pluggable R of Eq. (2) — evaluates the model as if it
+// had been trained without a given set of training rows. FUME uses the DaRE
+// unlearning implementation; the scratch-retraining implementation provides
+// ground truth for the RQ1 fidelity experiment (Figure 3) and a reference
+// for tests.
+
+#ifndef FUME_CORE_REMOVAL_METHOD_H_
+#define FUME_CORE_REMOVAL_METHOD_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "fairness/metrics.h"
+#include "forest/forest.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// Evaluation of a counterfactual model ("trained without T") on test data.
+struct ModelEval {
+  /// Signed fairness F(h_T, D_test).
+  double fairness = 0.0;
+  double accuracy = 0.0;
+};
+
+/// \brief Interface: evaluate fairness/accuracy of the model trained without
+/// the given training rows.
+///
+/// Implementations used with FumeConfig::num_threads > 1 must make
+/// EvaluateWithout safe to call concurrently (both built-in methods are).
+class RemovalMethod {
+ public:
+  virtual ~RemovalMethod() = default;
+  virtual Result<ModelEval> EvaluateWithout(
+      const std::vector<RowId>& rows) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// \brief Machine unlearning removal: clones the trained DaRE forest and
+/// exactly deletes the rows — no retraining pass over the data.
+class UnlearnRemovalMethod : public RemovalMethod {
+ public:
+  /// Pointers must outlive this object.
+  UnlearnRemovalMethod(const DareForest* model, const Dataset* test,
+                       GroupSpec group, FairnessMetric metric);
+
+  Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override;
+  const char* name() const override { return "dare-unlearn"; }
+
+  /// Unlearning work counters accumulated across evaluations. Do not call
+  /// while evaluations are in flight on other threads.
+  const DeletionStats& deletion_stats() const { return deletion_stats_; }
+
+ private:
+  const DareForest* model_;
+  const Dataset* test_;
+  GroupSpec group_;
+  FairnessMetric metric_;
+  std::mutex stats_mutex_;
+  DeletionStats deletion_stats_;
+};
+
+/// \brief Naive removal: drops the rows from the training set and retrains a
+/// forest from scratch.
+class RetrainRemovalMethod : public RemovalMethod {
+ public:
+  /// `config.seed` controls the retrained forest's randomness: pass the
+  /// original seed to reproduce the unlearned model exactly (tests), or a
+  /// different seed to model a fresh retrain (the paper's Figure 3 setting).
+  RetrainRemovalMethod(const Dataset* train, const Dataset* test,
+                       ForestConfig config, GroupSpec group,
+                       FairnessMetric metric);
+
+  Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override;
+  const char* name() const override { return "scratch-retrain"; }
+
+ private:
+  const Dataset* train_;
+  const Dataset* test_;
+  ForestConfig config_;
+  GroupSpec group_;
+  FairnessMetric metric_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_CORE_REMOVAL_METHOD_H_

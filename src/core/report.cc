@@ -1,0 +1,69 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace fume {
+
+void PrintTopK(const FumeResult& result, const Schema& schema,
+               const std::string& index_prefix, std::ostream& os) {
+  TablePrinter table({"Index", "Patterns", "Support", "Parity Reduction"});
+  int i = 1;
+  for (const AttributableSubset& s : result.top_k) {
+    table.AddRow({index_prefix + std::to_string(i++),
+                  s.predicate.ToString(schema), FormatPercent(s.support),
+                  FormatPercent(s.attribution)});
+  }
+  if (result.top_k.empty()) {
+    os << "(no attributable subsets found in the requested support range)\n";
+    return;
+  }
+  table.Print(os);
+}
+
+void PrintExplorationStats(const FumeStats& stats, std::ostream& os) {
+  TablePrinter table(
+      {"Level", "Possible subsets", "Subsets explored", "Subsets pruned (%)"});
+  for (const LevelStats& level : stats.levels) {
+    table.AddRow({std::to_string(level.level), std::to_string(level.possible),
+                  std::to_string(level.explored),
+                  FormatDouble(level.pruned_percent(), 2)});
+  }
+  table.Print(os);
+  os << "attribution evaluations: " << stats.attribution_evaluations
+     << " (cache hits: " << stats.cache_hits << "), total time: "
+     << FormatDouble(stats.total_seconds, 2) << " s\n";
+}
+
+void PrintViolationSummary(const FumeResult& result, FairnessMetric metric,
+                           std::ostream& os) {
+  os << "Violation: " << FairnessMetricName(metric) << " difference of "
+     << FormatDouble(result.original_fairness, 4) << " on test data ("
+     << (result.original_fairness < 0 ? "biased against the protected group"
+                                      : "biased against the privileged group")
+     << "); model accuracy " << FormatPercent(result.original_accuracy)
+     << ".\n";
+}
+
+void PrintBaseline(const BaselineResult& baseline, std::ostream& os) {
+  os << "DropUnprivUnfavor baseline: removed "
+     << FormatPercent(baseline.removed_fraction) << " of training data ("
+     << baseline.removed_rows << " rows), parity reduction "
+     << FormatPercent(baseline.parity_reduction) << ", accuracy "
+     << FormatPercent(baseline.original_accuracy) << " -> "
+     << FormatPercent(baseline.new_accuracy) << ".\n";
+}
+
+std::string FormatReport(const FumeResult& result, const Schema& schema,
+                         FairnessMetric metric,
+                         const std::string& index_prefix) {
+  std::ostringstream oss;
+  PrintViolationSummary(result, metric, oss);
+  PrintTopK(result, schema, index_prefix, oss);
+  PrintExplorationStats(result.stats, oss);
+  return oss.str();
+}
+
+}  // namespace fume

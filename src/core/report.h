@@ -1,0 +1,37 @@
+// Human-readable rendering of FUME results (the form of the paper's
+// Tables 3-7 plus search statistics).
+
+#ifndef FUME_CORE_REPORT_H_
+#define FUME_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "core/baseline.h"
+#include "core/fume.h"
+
+namespace fume {
+
+/// Renders the top-k table: index, pattern, support, parity reduction.
+/// `index_prefix` labels rows like the paper ("GS" -> GS1..GS5).
+void PrintTopK(const FumeResult& result, const Schema& schema,
+               const std::string& index_prefix, std::ostream& os);
+
+/// Renders exploration statistics per level (paper Table 9 shape).
+void PrintExplorationStats(const FumeStats& stats, std::ostream& os);
+
+/// One-paragraph summary of the violation being explained.
+void PrintViolationSummary(const FumeResult& result, FairnessMetric metric,
+                           std::ostream& os);
+
+/// Renders the DropUnprivUnfavor comparison line.
+void PrintBaseline(const BaselineResult& baseline, std::ostream& os);
+
+/// Everything above concatenated into a string (for examples/logging).
+std::string FormatReport(const FumeResult& result, const Schema& schema,
+                         FairnessMetric metric,
+                         const std::string& index_prefix);
+
+}  // namespace fume
+
+#endif  // FUME_CORE_REPORT_H_

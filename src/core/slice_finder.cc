@@ -1,0 +1,75 @@
+#include "core/slice_finder.h"
+
+#include <algorithm>
+
+namespace fume {
+
+Result<std::vector<Slice>> FindProblematicSlices(
+    const DareForest& model, const Dataset& data,
+    const SliceFinderConfig& config) {
+  if (config.top_k < 1) return Status::Invalid("top_k must be >= 1");
+  if (config.max_literals < 1) {
+    return Status::Invalid("max_literals must be >= 1");
+  }
+  if (!data.schema().AllCategorical()) {
+    return Status::Invalid("slice finding requires all-categorical data");
+  }
+
+  const std::vector<int> preds = model.PredictAll(data);
+  std::vector<uint8_t> wrong(static_cast<size_t>(data.num_rows()));
+  int64_t total_wrong = 0;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    wrong[static_cast<size_t>(r)] =
+        preds[static_cast<size_t>(r)] != data.Label(r) ? 1 : 0;
+    total_wrong += wrong[static_cast<size_t>(r)];
+  }
+  const double overall_error =
+      data.num_rows() == 0
+          ? 0.0
+          : static_cast<double>(total_wrong) /
+                static_cast<double>(data.num_rows());
+
+  Lattice lattice(data, config.lattice);
+  std::vector<Slice> slices;
+  std::vector<LatticeNode> frontier = lattice.MakeLevel1();
+  for (int level = 1; level <= config.max_literals; ++level) {
+    std::vector<LatticeNode> expandable;
+    for (LatticeNode& node : frontier) {
+      if (node.support > config.support_max) {
+        expandable.push_back(std::move(node));
+        continue;
+      }
+      if (node.support < config.support_min) continue;
+      Slice slice;
+      slice.predicate = node.predicate;
+      slice.support = node.support;
+      slice.num_rows = node.rows.Count();
+      int64_t slice_wrong = 0;
+      for (int32_t r : node.rows.ToRows()) {
+        slice_wrong += wrong[static_cast<size_t>(r)];
+      }
+      slice.slice_error = slice.num_rows == 0
+                              ? 0.0
+                              : static_cast<double>(slice_wrong) /
+                                    static_cast<double>(slice.num_rows);
+      slice.overall_error = overall_error;
+      slice.effect_size = slice.slice_error - overall_error;
+      slices.push_back(slice);
+      expandable.push_back(std::move(node));
+    }
+    if (level == config.max_literals || expandable.size() < 2) break;
+    frontier = lattice.MergeLevel(std::move(expandable), nullptr);
+    if (frontier.empty()) break;
+  }
+
+  std::sort(slices.begin(), slices.end(), [](const Slice& a, const Slice& b) {
+    if (a.effect_size != b.effect_size) return a.effect_size > b.effect_size;
+    return a.predicate < b.predicate;
+  });
+  if (static_cast<int>(slices.size()) > config.top_k) {
+    slices.resize(static_cast<size_t>(config.top_k));
+  }
+  return slices;
+}
+
+}  // namespace fume

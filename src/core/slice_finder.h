@@ -1,0 +1,49 @@
+// SliceFinder-style comparator (Polyzotis et al., ICDE'19 — discussed in
+// the paper's related work): finds predicate slices where the model's
+// ACCURACY is worst, ranked by the error-rate gap against the rest of the
+// data. The paper argues such accuracy-based slicing only indirectly
+// relates to fairness attribution; the bench harness quantifies that by
+// measuring the parity reduction of SliceFinder's slices next to FUME's.
+
+#ifndef FUME_CORE_SLICE_FINDER_H_
+#define FUME_CORE_SLICE_FINDER_H_
+
+#include <vector>
+
+#include "forest/forest.h"
+#include "subset/lattice.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// One problematic slice.
+struct Slice {
+  Predicate predicate;
+  double support = 0.0;
+  int64_t num_rows = 0;
+  /// Model error rate inside the slice.
+  double slice_error = 0.0;
+  /// Model error rate on the full evaluation data.
+  double overall_error = 0.0;
+  /// slice_error - overall_error; the ranking key (descending).
+  double effect_size = 0.0;
+};
+
+struct SliceFinderConfig {
+  int top_k = 5;
+  double support_min = 0.05;
+  double support_max = 0.15;
+  int max_literals = 2;
+  LatticeOptions lattice;
+};
+
+/// Enumerates the same lattice FUME searches (levels 1..max_literals,
+/// support-filtered) and returns the top-k slices by error-rate gap of
+/// `model`'s predictions over `data`.
+Result<std::vector<Slice>> FindProblematicSlices(
+    const DareForest& model, const Dataset& data,
+    const SliceFinderConfig& config);
+
+}  // namespace fume
+
+#endif  // FUME_CORE_SLICE_FINDER_H_

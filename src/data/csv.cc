@@ -1,0 +1,237 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace fume {
+
+namespace {
+
+// Splits one CSV record. Handles double-quoted fields with embedded
+// delimiters and doubled quotes ("" -> ").
+std::vector<std::string> SplitCsvLine(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string QuoteIfNeeded(const std::string& s, char delim) {
+  if (s.find(delim) == std::string::npos &&
+      s.find('"') == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Dataset> ReadCsv(std::istream& in, const CsvReadOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (Trim(line).empty()) continue;
+    records.push_back(SplitCsvLine(line, options.delimiter));
+  }
+  if (records.empty()) return Status::Invalid("CSV input is empty");
+
+  std::vector<std::string> header;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    header = records[0];
+    first_data_row = 1;
+    if (records.size() < 2) return Status::Invalid("CSV has a header only");
+  } else {
+    for (size_t c = 0; c < records[0].size(); ++c) {
+      header.push_back("col" + std::to_string(c));
+    }
+  }
+  const size_t width = header.size();
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (records[r].size() != width) {
+      return Status::Invalid("row " + std::to_string(r) + " has " +
+                             std::to_string(records[r].size()) +
+                             " fields, expected " + std::to_string(width));
+    }
+  }
+
+  // Locate the label column.
+  int label_col;
+  if (options.has_header) {
+    auto it = std::find(header.begin(), header.end(), options.label_column);
+    if (it == header.end()) {
+      return Status::KeyError("label column '" + options.label_column +
+                              "' not found in header");
+    }
+    label_col = static_cast<int>(it - header.begin());
+  } else {
+    label_col = static_cast<int>(width) - 1;
+  }
+
+  auto is_missing = [&](std::string_view field) {
+    const std::string trimmed(Trim(field));
+    return std::find(options.missing_values.begin(),
+                     options.missing_values.end(),
+                     trimmed) != options.missing_values.end();
+  };
+  constexpr const char* kMissingCategory = "(missing)";
+
+  // Infer per-column types (over non-label columns). A column with any
+  // missing field is read as categorical (see CsvReadOptions docs).
+  std::vector<bool> is_numeric(width, true);
+  for (size_t c = 0; c < width; ++c) {
+    if (static_cast<int>(c) == label_col) continue;
+    if (std::find(options.force_categorical.begin(),
+                  options.force_categorical.end(),
+                  header[c]) != options.force_categorical.end()) {
+      is_numeric[c] = false;
+      continue;
+    }
+    for (size_t r = first_data_row; r < records.size(); ++r) {
+      const std::string& field = records[r][c];
+      double unused;
+      if (is_missing(field) ||
+          (!Trim(field).empty() && !ParseDouble(field, &unused))) {
+        is_numeric[c] = false;
+        break;
+      }
+    }
+  }
+
+  // Build dictionaries for categorical columns.
+  Schema schema;
+  schema.set_label_name(header[static_cast<size_t>(label_col)]);
+  std::vector<std::unordered_map<std::string, int>> dicts(width);
+  for (size_t c = 0; c < width; ++c) {
+    if (static_cast<int>(c) == label_col) continue;
+    if (is_numeric[c]) {
+      FUME_RETURN_NOT_OK(schema.AddNumeric(header[c]));
+    } else {
+      std::vector<std::string> categories;
+      for (size_t r = first_data_row; r < records.size(); ++r) {
+        const std::string value = is_missing(records[r][c])
+                                      ? std::string(kMissingCategory)
+                                      : std::string(Trim(records[r][c]));
+        if (dicts[c].emplace(value, static_cast<int>(categories.size()))
+                .second) {
+          categories.push_back(value);
+        }
+      }
+      FUME_RETURN_NOT_OK(schema.AddCategorical(header[c], categories));
+    }
+  }
+
+  Dataset data(schema);
+  const int p = schema.num_attributes();
+  std::vector<int32_t> codes(static_cast<size_t>(p));
+  std::vector<double> nums(static_cast<size_t>(p), 0.0);
+  bool any_numeric =
+      std::any_of(is_numeric.begin(), is_numeric.end(),
+                  [&](bool b) { return b; });
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    int j = 0;
+    for (size_t c = 0; c < width; ++c) {
+      if (static_cast<int>(c) == label_col) continue;
+      if (is_numeric[c]) {
+        double v = 0.0;
+        if (!ParseDouble(records[r][c], &v)) {
+          return Status::Invalid("non-numeric value '" + records[r][c] +
+                                 "' in numeric column '" + header[c] + "'");
+        }
+        nums[static_cast<size_t>(j)] = v;
+        codes[static_cast<size_t>(j)] = 0;
+      } else {
+        const std::string value = is_missing(records[r][c])
+                                      ? std::string(kMissingCategory)
+                                      : std::string(Trim(records[r][c]));
+        codes[static_cast<size_t>(j)] = dicts[c].at(value);
+      }
+      ++j;
+    }
+    // Parse label.
+    const std::string label_field(
+        Trim(records[r][static_cast<size_t>(label_col)]));
+    int label;
+    if (options.positive_label_values.empty()) {
+      if (!ParseInt(label_field, &label) || (label != 0 && label != 1)) {
+        return Status::Invalid("label '" + label_field +
+                               "' is not 0/1; set positive_label_values");
+      }
+    } else {
+      label = std::find(options.positive_label_values.begin(),
+                        options.positive_label_values.end(),
+                        label_field) != options.positive_label_values.end()
+                  ? 1
+                  : 0;
+    }
+    FUME_RETURN_NOT_OK(
+        data.AppendRowMixed(codes, any_numeric ? nums : std::vector<double>{},
+                            label));
+  }
+  return data;
+}
+
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvReadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return ReadCsv(in, options);
+}
+
+Status WriteCsv(const Dataset& data, std::ostream& out, char delimiter) {
+  const Schema& schema = data.schema();
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    out << QuoteIfNeeded(schema.attribute(j).name, delimiter) << delimiter;
+  }
+  out << QuoteIfNeeded(schema.label_name(), delimiter) << "\n";
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    for (int j = 0; j < schema.num_attributes(); ++j) {
+      out << QuoteIfNeeded(data.CellToString(r, j), delimiter) << delimiter;
+    }
+    out << data.Label(r) << "\n";
+  }
+  if (!out) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const Dataset& data, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return WriteCsv(data, out, delimiter);
+}
+
+}  // namespace fume

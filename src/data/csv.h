@@ -1,0 +1,56 @@
+// CSV reader/writer so users can run FUME on their own data (the paper's
+// pipeline loads UCI-style CSVs, discretizes, then searches).
+
+#ifndef FUME_DATA_CSV_H_
+#define FUME_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// Options controlling CSV ingestion.
+struct CsvReadOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Name of the binary label column (must exist in the header). When
+  /// has_header is false, the last column is the label.
+  std::string label_column = "label";
+  /// Category names (in order) interpreted as label 1; everything else is 0.
+  /// Empty means: parse the label column as integer 0/1.
+  std::vector<std::string> positive_label_values;
+  /// Columns forced to be read as categorical even if every value parses as
+  /// a number (e.g. zip codes).
+  std::vector<std::string> force_categorical;
+  /// Field values treated as missing (after trimming), e.g. {"", "?", "NA"}.
+  /// Missing categorical fields become a dedicated "(missing)" category;
+  /// a column with missing numeric fields is read as categorical with its
+  /// numbers as string categories plus "(missing)" (binning such columns is
+  /// the caller's choice — silently imputing would hide exactly the data
+  /// issues FUME exists to surface). Empty list = no missing handling
+  /// (default; empty numeric fields are then a parse error).
+  std::vector<std::string> missing_values;
+};
+
+/// Parses CSV text into a Dataset. Column types are inferred: a column where
+/// every non-empty field parses as a double becomes numeric, otherwise
+/// categorical with a dictionary built in first-appearance order.
+Result<Dataset> ReadCsv(std::istream& in, const CsvReadOptions& options);
+
+/// Convenience wrapper opening a file.
+Result<Dataset> ReadCsvFile(const std::string& path,
+                            const CsvReadOptions& options);
+
+/// Writes a dataset (attributes then label) with a header row.
+Status WriteCsv(const Dataset& data, std::ostream& out, char delimiter = ',');
+
+Status WriteCsvFile(const Dataset& data, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace fume
+
+#endif  // FUME_DATA_CSV_H_

@@ -1,0 +1,112 @@
+#include "data/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace fume {
+
+namespace {
+
+// Deduplicated ascending interior edges -> bin names "[lo, hi)".
+std::vector<std::string> BinNames(const std::vector<double>& edges) {
+  std::vector<std::string> names;
+  const size_t nbins = edges.size() + 1;
+  for (size_t b = 0; b < nbins; ++b) {
+    std::string lo = b == 0 ? "-inf" : FormatDouble(edges[b - 1], 3);
+    std::string hi = b == edges.size() ? "+inf" : FormatDouble(edges[b], 3);
+    names.push_back("[" + lo + ", " + hi + ")");
+  }
+  return names;
+}
+
+int32_t BinOf(double v, const std::vector<double>& edges) {
+  // First bin whose upper edge exceeds v; values >= last edge go to the
+  // final bin.
+  auto it = std::upper_bound(edges.begin(), edges.end(), v);
+  return static_cast<int32_t>(it - edges.begin());
+}
+
+}  // namespace
+
+Result<Discretizer> Discretizer::Fit(const Dataset& data,
+                                     const DiscretizerOptions& options) {
+  if (options.num_bins < 2) {
+    return Status::Invalid("num_bins must be >= 2");
+  }
+  if (data.num_rows() == 0) {
+    return Status::Invalid("cannot fit a discretizer on an empty dataset");
+  }
+  Discretizer d;
+  d.input_schema_ = data.schema();
+  d.output_schema_.set_label_name(data.schema().label_name());
+  d.edges_.resize(static_cast<size_t>(data.num_attributes()));
+
+  for (int j = 0; j < data.num_attributes(); ++j) {
+    const Attribute& a = data.schema().attribute(j);
+    if (a.type == AttributeType::kCategorical) {
+      FUME_RETURN_NOT_OK(d.output_schema_.AddAttribute(a));
+      continue;
+    }
+    std::vector<double> values = data.numerics(j);
+    std::sort(values.begin(), values.end());
+    std::vector<double> edges;
+    if (options.strategy == BinningStrategy::kEquiWidth) {
+      const double lo = values.front();
+      const double hi = values.back();
+      if (hi > lo) {
+        const double w = (hi - lo) / options.num_bins;
+        for (int b = 1; b < options.num_bins; ++b) edges.push_back(lo + b * w);
+      }
+    } else {
+      const int64_t n = static_cast<int64_t>(values.size());
+      for (int b = 1; b < options.num_bins; ++b) {
+        const double q = static_cast<double>(b) / options.num_bins;
+        const int64_t idx = std::min<int64_t>(
+            n - 1, static_cast<int64_t>(std::llround(q * (n - 1))));
+        edges.push_back(values[idx]);
+      }
+    }
+    // Deduplicate edges (constant / low-cardinality columns collapse bins)
+    // and drop edges that cannot split the observed range: an edge <= min
+    // would leave the first bin empty, one > max the last.
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&](double e) {
+                                 return e <= values.front() ||
+                                        e > values.back();
+                               }),
+                edges.end());
+    Attribute binned;
+    binned.name = a.name;
+    binned.type = AttributeType::kCategorical;
+    binned.categories = BinNames(edges);
+    FUME_RETURN_NOT_OK(d.output_schema_.AddAttribute(binned));
+    d.edges_[static_cast<size_t>(j)] = std::move(edges);
+  }
+  return d;
+}
+
+Result<Dataset> Discretizer::Transform(const Dataset& data) const {
+  if (!data.schema().Equals(input_schema_)) {
+    return Status::Invalid("dataset schema does not match fitted schema");
+  }
+  Dataset out(output_schema_);
+  const int p = data.num_attributes();
+  std::vector<int32_t> codes(static_cast<size_t>(p));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    for (int j = 0; j < p; ++j) {
+      if (input_schema_.attribute(j).type == AttributeType::kCategorical) {
+        codes[static_cast<size_t>(j)] = data.Code(r, j);
+      } else {
+        codes[static_cast<size_t>(j)] =
+            BinOf(data.Numeric(r, j), edges_[static_cast<size_t>(j)]);
+      }
+    }
+    FUME_RETURN_NOT_OK(out.AppendRow(codes, data.Label(r)));
+  }
+  return out;
+}
+
+}  // namespace fume

@@ -1,0 +1,72 @@
+#include "data/schema.h"
+
+namespace fume {
+
+int Attribute::FindCategory(const std::string& category) const {
+  for (size_t i = 0; i < categories.size(); ++i) {
+    if (categories[i] == category) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddAttribute(Attribute attr) {
+  if (attr.name.empty()) {
+    return Status::Invalid("attribute name must be non-empty");
+  }
+  if (index_.count(attr.name) > 0) {
+    return Status::Invalid("duplicate attribute name: " + attr.name);
+  }
+  if (attr.type == AttributeType::kCategorical && attr.categories.empty()) {
+    return Status::Invalid("categorical attribute '" + attr.name +
+                           "' needs at least one category");
+  }
+  index_[attr.name] = static_cast<int>(attributes_.size());
+  attributes_.push_back(std::move(attr));
+  return Status::OK();
+}
+
+Status Schema::AddCategorical(const std::string& name,
+                              std::vector<std::string> categories) {
+  Attribute a;
+  a.name = name;
+  a.type = AttributeType::kCategorical;
+  a.categories = std::move(categories);
+  return AddAttribute(std::move(a));
+}
+
+Status Schema::AddNumeric(const std::string& name) {
+  Attribute a;
+  a.name = name;
+  a.type = AttributeType::kNumeric;
+  return AddAttribute(std::move(a));
+}
+
+Result<int> Schema::FindAttribute(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::KeyError("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::AllCategorical() const {
+  for (const auto& a : attributes_) {
+    if (a.type != AttributeType::kCategorical) return false;
+  }
+  return true;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  if (label_name_ != other.label_name_) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    const Attribute& a = attributes_[i];
+    const Attribute& b = other.attributes_[i];
+    if (a.name != b.name || a.type != b.type || a.categories != b.categories) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fume

@@ -1,0 +1,79 @@
+// Schema: attribute names, types, and category dictionaries for a Dataset.
+
+#ifndef FUME_DATA_SCHEMA_H_
+#define FUME_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace fume {
+
+/// Column content type. After discretization every attribute is categorical:
+/// an ordered dictionary of category names addressed by small integer codes.
+enum class AttributeType {
+  kNumeric,      // raw double values
+  kCategorical,  // int32 codes into a category dictionary
+};
+
+/// \brief Description of one attribute (feature column).
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kCategorical;
+  /// Category names, indexed by code. Empty for numeric attributes. Code
+  /// order is meaningful for discretized numeric attributes (bin order) and
+  /// is the split order used by the forest.
+  std::vector<std::string> categories;
+
+  int cardinality() const { return static_cast<int>(categories.size()); }
+
+  /// Returns the code for a category name, or -1 if absent.
+  int FindCategory(const std::string& category) const;
+};
+
+/// \brief Ordered collection of attributes plus the binary label's name.
+///
+/// The label is stored separately from attributes (it is not searchable by
+/// predicates and not an input to the classifier).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Appends an attribute; fails on duplicate name.
+  Status AddAttribute(Attribute attr);
+
+  /// Convenience: appends a categorical attribute with the given categories.
+  Status AddCategorical(const std::string& name,
+                        std::vector<std::string> categories);
+
+  /// Convenience: appends a numeric attribute.
+  Status AddNumeric(const std::string& name);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const Attribute& attribute(int i) const { return attributes_[i]; }
+
+  /// Index of the attribute with the given name, or error.
+  Result<int> FindAttribute(const std::string& name) const;
+
+  /// True when every attribute is categorical (required by the forest and
+  /// the predicate lattice).
+  bool AllCategorical() const;
+
+  const std::string& label_name() const { return label_name_; }
+  void set_label_name(std::string name) { label_name_ = std::move(name); }
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, int> index_;
+  std::string label_name_ = "label";
+};
+
+}  // namespace fume
+
+#endif  // FUME_DATA_SCHEMA_H_

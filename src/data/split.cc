@@ -1,0 +1,55 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace fume {
+
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      const SplitOptions& options) {
+  if (options.test_fraction <= 0.0 || options.test_fraction >= 1.0) {
+    return Status::Invalid("test_fraction must be in (0, 1)");
+  }
+  if (data.num_rows() < 2) {
+    return Status::Invalid("need at least 2 rows to split");
+  }
+  Rng rng(Hash64({options.seed, 0x73706c6974ULL}));  // "split"
+  std::vector<int64_t> test_rows;
+  std::vector<int64_t> train_rows;
+  if (options.stratify_by_label) {
+    for (int label : {0, 1}) {
+      std::vector<int64_t> group;
+      for (int64_t r = 0; r < data.num_rows(); ++r) {
+        if (data.Label(r) == label) group.push_back(r);
+      }
+      rng.Shuffle(&group);
+      const size_t n_test = static_cast<size_t>(
+          options.test_fraction * static_cast<double>(group.size()));
+      for (size_t i = 0; i < group.size(); ++i) {
+        (i < n_test ? test_rows : train_rows).push_back(group[i]);
+      }
+    }
+  } else {
+    std::vector<int64_t> rows(static_cast<size_t>(data.num_rows()));
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      rows[static_cast<size_t>(r)] = r;
+    }
+    rng.Shuffle(&rows);
+    const size_t n_test = static_cast<size_t>(
+        options.test_fraction * static_cast<double>(rows.size()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      (i < n_test ? test_rows : train_rows).push_back(rows[i]);
+    }
+  }
+  // Preserve original row order inside each half (row ids in downstream
+  // indexes stay monotone, which eases debugging).
+  std::sort(train_rows.begin(), train_rows.end());
+  std::sort(test_rows.begin(), test_rows.end());
+  if (train_rows.empty() || test_rows.empty()) {
+    return Status::Invalid("split produced an empty half");
+  }
+  return TrainTestSplit{data.Select(train_rows), data.Select(test_rows)};
+}
+
+}  // namespace fume

@@ -1,0 +1,31 @@
+// Train/test splitting with optional stratification by label.
+
+#ifndef FUME_DATA_SPLIT_H_
+#define FUME_DATA_SPLIT_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace fume {
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+struct SplitOptions {
+  double test_fraction = 0.3;
+  uint64_t seed = 0;
+  /// Keep the positive rate (approximately) equal across the two halves.
+  bool stratify_by_label = true;
+};
+
+/// Randomly partitions `data` into train/test.
+Result<TrainTestSplit> SplitTrainTest(const Dataset& data,
+                                      const SplitOptions& options);
+
+}  // namespace fume
+
+#endif  // FUME_DATA_SPLIT_H_

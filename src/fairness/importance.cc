@@ -1,0 +1,55 @@
+#include "fairness/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fume {
+
+std::vector<FeatureImportance> PermutationImportance(
+    const DareForest& model, const Dataset& data,
+    const ImportanceOptions& options) {
+  const double baseline = model.Accuracy(data);
+  const int64_t n = data.num_rows();
+  std::vector<FeatureImportance> out;
+  out.reserve(static_cast<size_t>(data.num_attributes()));
+  for (int j = 0; j < data.num_attributes(); ++j) {
+    double drop_sum = 0.0;
+    for (int rep = 0; rep < options.num_repeats; ++rep) {
+      Rng rng(Hash64({options.seed, static_cast<uint64_t>(j),
+                      static_cast<uint64_t>(rep)}));
+      std::vector<int64_t> perm(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+      rng.Shuffle(&perm);
+      const Dataset shuffled = data.WithPermutedColumn(j, perm);
+      drop_sum += baseline - model.Accuracy(shuffled);
+    }
+    FeatureImportance fi;
+    fi.attr = j;
+    fi.name = data.schema().attribute(j).name;
+    fi.importance = drop_sum / options.num_repeats;
+    out.push_back(std::move(fi));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FeatureImportance& a, const FeatureImportance& b) {
+                     return a.importance > b.importance;
+                   });
+  return out;
+}
+
+double ImportanceShift(const std::vector<FeatureImportance>& before,
+                       const std::vector<FeatureImportance>& after, int attr) {
+  auto find = [&](const std::vector<FeatureImportance>& v) -> double {
+    for (const auto& fi : v) {
+      if (fi.attr == attr) return fi.importance;
+    }
+    return 0.0;
+  };
+  const double old_imp = find(before);
+  const double new_imp = find(after);
+  const double denom = std::max(std::fabs(old_imp), 1e-9);
+  return (new_imp - old_imp) / denom;
+}
+
+}  // namespace fume

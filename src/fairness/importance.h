@@ -1,0 +1,41 @@
+// Permutation feature importance (scikit-learn's permutation_importance
+// re-implemented): the paper's §6.3 analysis compares importance rankings
+// before and after deleting an attributable subset.
+
+#ifndef FUME_FAIRNESS_IMPORTANCE_H_
+#define FUME_FAIRNESS_IMPORTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "forest/forest.h"
+
+namespace fume {
+
+struct ImportanceOptions {
+  /// Shuffles per attribute; the importance is the mean accuracy drop.
+  int num_repeats = 5;
+  uint64_t seed = 17;
+};
+
+struct FeatureImportance {
+  int attr = 0;
+  std::string name;
+  /// Mean accuracy drop when this column is shuffled. Larger = the model
+  /// leans on the feature more.
+  double importance = 0.0;
+};
+
+/// Importances for every attribute, sorted descending by importance.
+std::vector<FeatureImportance> PermutationImportance(
+    const DareForest& model, const Dataset& data,
+    const ImportanceOptions& options);
+
+/// Relative change (new - old) / max(|old|, eps) of one attribute's
+/// importance between two rankings; the §6.3 "feature importance deviation".
+double ImportanceShift(const std::vector<FeatureImportance>& before,
+                       const std::vector<FeatureImportance>& after, int attr);
+
+}  // namespace fume
+
+#endif  // FUME_FAIRNESS_IMPORTANCE_H_

@@ -1,0 +1,64 @@
+#include "fairness/intersectional.h"
+
+namespace fume {
+
+Result<IntersectionalDataset> WithIntersectionalAttribute(
+    const Dataset& data, int attr_a, int attr_b, const std::string& name) {
+  const Schema& schema = data.schema();
+  if (attr_a < 0 || attr_a >= schema.num_attributes() || attr_b < 0 ||
+      attr_b >= schema.num_attributes() || attr_a == attr_b) {
+    return Status::Invalid("attr_a/attr_b must be distinct valid attributes");
+  }
+  const Attribute& a = schema.attribute(attr_a);
+  const Attribute& b = schema.attribute(attr_b);
+  if (a.type != AttributeType::kCategorical ||
+      b.type != AttributeType::kCategorical) {
+    return Status::Invalid("intersectional attributes must be categorical");
+  }
+
+  Schema extended;
+  extended.set_label_name(schema.label_name());
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    FUME_RETURN_NOT_OK(extended.AddAttribute(schema.attribute(j)));
+  }
+  Attribute derived;
+  derived.name = name;
+  derived.type = AttributeType::kCategorical;
+  for (const std::string& ca : a.categories) {
+    for (const std::string& cb : b.categories) {
+      derived.categories.push_back(ca + "|" + cb);
+    }
+  }
+  FUME_RETURN_NOT_OK(extended.AddAttribute(derived));
+
+  IntersectionalDataset out;
+  out.derived_attr = schema.num_attributes();
+  Dataset result(extended);
+  const int32_t card_b = b.cardinality();
+  std::vector<int32_t> codes(static_cast<size_t>(extended.num_attributes()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    for (int j = 0; j < schema.num_attributes(); ++j) {
+      codes[static_cast<size_t>(j)] = data.Code(r, j);
+    }
+    codes[static_cast<size_t>(out.derived_attr)] =
+        data.Code(r, attr_a) * card_b + data.Code(r, attr_b);
+    FUME_RETURN_NOT_OK(result.AppendRow(codes, data.Label(r)));
+  }
+  out.data = std::move(result);
+  return out;
+}
+
+Result<GroupSpec> IntersectionalGroup(const IntersectionalDataset& derived,
+                                      const std::string& privileged_a,
+                                      const std::string& privileged_b) {
+  const Attribute& attr =
+      derived.data.schema().attribute(derived.derived_attr);
+  const int code = attr.FindCategory(privileged_a + "|" + privileged_b);
+  if (code < 0) {
+    return Status::KeyError("no combination '" + privileged_a + "|" +
+                            privileged_b + "' in derived attribute");
+  }
+  return GroupSpec{derived.derived_attr, code};
+}
+
+}  // namespace fume

@@ -1,0 +1,42 @@
+// Intersectional group audits: fairness violations often concentrate at the
+// intersection of sensitive attributes (e.g. race x gender). This utility
+// derives a cross-product attribute so the standard GroupSpec machinery —
+// and FUME itself — can audit an intersectional group like
+// "non-white women vs everyone else" unchanged.
+
+#ifndef FUME_FAIRNESS_INTERSECTIONAL_H_
+#define FUME_FAIRNESS_INTERSECTIONAL_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "fairness/confusion.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// Result of deriving an intersectional attribute.
+struct IntersectionalDataset {
+  /// The input dataset plus one appended categorical attribute whose
+  /// categories are "A|B" combinations (cardinality = card(a) * card(b)).
+  Dataset data;
+  /// Index of the derived attribute (the last one).
+  int derived_attr = 0;
+};
+
+/// Appends the cross product of attributes `attr_a` and `attr_b` as a new
+/// categorical attribute named `name`. Fails if the name collides or either
+/// attribute is not categorical.
+Result<IntersectionalDataset> WithIntersectionalAttribute(
+    const Dataset& data, int attr_a, int attr_b, const std::string& name);
+
+/// Builds a GroupSpec over the derived attribute where the privileged group
+/// is ONE combination (everything else is protected) — e.g. privileged =
+/// White|Male for an audit of all other intersections against it.
+Result<GroupSpec> IntersectionalGroup(const IntersectionalDataset& derived,
+                                      const std::string& privileged_a,
+                                      const std::string& privileged_b);
+
+}  // namespace fume
+
+#endif  // FUME_FAIRNESS_INTERSECTIONAL_H_

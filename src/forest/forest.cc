@@ -1,0 +1,230 @@
+#include "forest/forest.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fume {
+
+std::shared_ptr<TrainingStore> TrainingStore::Make(const Dataset& data) {
+  FUME_CHECK(data.schema().AllCategorical());
+  auto store = std::make_shared<TrainingStore>();
+  store->num_rows_ = data.num_rows();
+  store->num_attrs_ = data.num_attributes();
+  store->cards_.resize(static_cast<size_t>(store->num_attrs_));
+  for (int j = 0; j < store->num_attrs_; ++j) {
+    store->cards_[static_cast<size_t>(j)] =
+        data.schema().attribute(j).cardinality();
+  }
+  store->codes_.resize(static_cast<size_t>(store->num_rows_) *
+                       static_cast<size_t>(store->num_attrs_));
+  store->labels_.resize(static_cast<size_t>(store->num_rows_));
+  for (int64_t r = 0; r < store->num_rows_; ++r) {
+    for (int j = 0; j < store->num_attrs_; ++j) {
+      store->codes_[static_cast<size_t>(r) * store->num_attrs_ + j] =
+          data.Code(r, j);
+    }
+    store->labels_[static_cast<size_t>(r)] =
+        static_cast<uint8_t>(data.Label(r));
+  }
+  return store;
+}
+
+std::shared_ptr<TrainingStore> TrainingStore::FromParts(
+    std::vector<int32_t> cards, std::vector<int32_t> codes,
+    std::vector<uint8_t> labels) {
+  auto store = std::make_shared<TrainingStore>();
+  store->num_attrs_ = static_cast<int>(cards.size());
+  FUME_CHECK(store->num_attrs_ > 0);
+  FUME_CHECK_EQ(codes.size() % cards.size(), 0u);
+  store->num_rows_ = static_cast<int64_t>(labels.size());
+  FUME_CHECK_EQ(codes.size(),
+                labels.size() * static_cast<size_t>(store->num_attrs_));
+  store->cards_ = std::move(cards);
+  store->codes_ = std::move(codes);
+  store->labels_ = std::move(labels);
+  return store;
+}
+
+RowId TrainingStore::Append(const std::vector<int32_t>& codes, int label) {
+  FUME_CHECK_EQ(static_cast<int>(codes.size()), num_attrs_);
+  FUME_CHECK(label == 0 || label == 1);
+  for (int j = 0; j < num_attrs_; ++j) {
+    FUME_CHECK(codes[static_cast<size_t>(j)] >= 0 &&
+               codes[static_cast<size_t>(j)] < cards_[static_cast<size_t>(j)]);
+  }
+  codes_.insert(codes_.end(), codes.begin(), codes.end());
+  labels_.push_back(static_cast<uint8_t>(label));
+  return static_cast<RowId>(num_rows_++);
+}
+
+Result<DareForest> DareForest::Train(const Dataset& train,
+                                     const ForestConfig& config) {
+  if (!train.schema().AllCategorical()) {
+    return Status::Invalid(
+        "DareForest requires an all-categorical dataset; discretize numeric "
+        "attributes first");
+  }
+  if (train.num_rows() == 0) {
+    return Status::Invalid("cannot train on an empty dataset");
+  }
+  if (config.num_trees < 1 || config.max_depth < 1) {
+    return Status::Invalid("num_trees and max_depth must be positive");
+  }
+  if (config.random_depth < 0 || config.random_depth > config.max_depth) {
+    return Status::Invalid("random_depth must lie in [0, max_depth]");
+  }
+  DareForest forest;
+  forest.config_ = config;
+  forest.store_ = TrainingStore::Make(train);
+  std::vector<RowId> all_rows(static_cast<size_t>(train.num_rows()));
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    all_rows[static_cast<size_t>(r)] = static_cast<RowId>(r);
+  }
+  forest.trees_.reserve(static_cast<size_t>(config.num_trees));
+  for (int t = 0; t < config.num_trees; ++t) {
+    forest.trees_.push_back(DareTree::Build(forest.store_, all_rows, t,
+                                            config));
+  }
+  return forest;
+}
+
+Status DareForest::DeleteRows(const std::vector<RowId>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::unordered_set<RowId> seen;
+  for (RowId r : rows) {
+    if (r < 0 || r >= store_->num_rows()) {
+      return Status::IndexError("row id " + std::to_string(r) +
+                                " out of range");
+    }
+    if (!seen.insert(r).second) {
+      return Status::Invalid("duplicate row id " + std::to_string(r) +
+                             " in deletion batch");
+    }
+  }
+  for (auto& tree : trees_) {
+    tree.DeleteRows(rows, &deletion_stats_);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RowId>> DareForest::AddData(const Dataset& rows) {
+  FUME_RETURN_NOT_OK(CheckCompatible(rows));
+  for (int j = 0; j < rows.num_attributes(); ++j) {
+    if (rows.schema().attribute(j).cardinality() >
+        store_->cardinality(j)) {
+      return Status::Invalid("attribute '" + rows.schema().attribute(j).name +
+                             "' has categories unseen at training time");
+    }
+  }
+  std::vector<RowId> new_ids;
+  new_ids.reserve(static_cast<size_t>(rows.num_rows()));
+  std::vector<int32_t> codes(static_cast<size_t>(rows.num_attributes()));
+  for (int64_t r = 0; r < rows.num_rows(); ++r) {
+    for (int j = 0; j < rows.num_attributes(); ++j) {
+      codes[static_cast<size_t>(j)] = rows.Code(r, j);
+    }
+    new_ids.push_back(store_->Append(codes, rows.Label(r)));
+  }
+  for (auto& tree : trees_) {
+    tree.AddRows(new_ids, &deletion_stats_);
+  }
+  return new_ids;
+}
+
+Status DareForest::CheckCompatible(const Dataset& data) const {
+  if (!data.schema().AllCategorical()) {
+    return Status::Invalid("prediction data must be all-categorical");
+  }
+  if (data.num_attributes() != store_->num_attrs()) {
+    return Status::Invalid("prediction data has wrong attribute count");
+  }
+  return Status::OK();
+}
+
+double DareForest::PredictProb(const Dataset& data, int64_t row) const {
+  FUME_DCHECK(CheckCompatible(data).ok());
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    sum += tree.PredictProb([&](int attr) { return data.Code(row, attr); });
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+int DareForest::Predict(const Dataset& data, int64_t row) const {
+  return PredictProb(data, row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<double> DareForest::PredictProbAll(const Dataset& data) const {
+  FUME_CHECK(CheckCompatible(data).ok());
+  std::vector<double> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = PredictProb(data, r);
+  }
+  return out;
+}
+
+std::vector<int> DareForest::PredictAll(const Dataset& data) const {
+  std::vector<double> probs = PredictProbAll(data);
+  std::vector<int> out(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) out[i] = probs[i] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+double DareForest::Accuracy(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  const std::vector<int> preds = PredictAll(data);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+DareForest DareForest::Clone() const {
+  DareForest out;
+  out.store_ = store_;
+  out.config_ = config_;
+  // deletion_stats_ intentionally not copied: the counters describe work
+  // performed on this instance.
+  out.trees_.reserve(trees_.size());
+  for (const auto& tree : trees_) out.trees_.push_back(tree.Clone());
+  return out;
+}
+
+bool DareForest::StructurallyEquals(const DareForest& other) const {
+  if (trees_.size() != other.trees_.size()) return false;
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (!trees_[i].StructurallyEquals(other.trees_[i])) return false;
+  }
+  return true;
+}
+
+bool DareForest::ValidateStats() const {
+  for (const auto& tree : trees_) {
+    if (!tree.ValidateStats()) return false;
+  }
+  return true;
+}
+
+DareForest DareForest::FromParts(std::shared_ptr<TrainingStore> store,
+                                 const ForestConfig& config,
+                                 std::vector<DareTree> trees) {
+  DareForest forest;
+  forest.store_ = std::move(store);
+  forest.config_ = config;
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
+int64_t DareForest::num_nodes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+int64_t DareForest::num_training_rows() const {
+  return trees_.empty() ? 0 : trees_.front().num_training_rows();
+}
+
+}  // namespace fume

@@ -1,0 +1,91 @@
+// DareForest: ensemble of DareTrees with exact batch unlearning — the
+// removal method R used by FUME (paper §5.1).
+
+#ifndef FUME_FOREST_FOREST_H_
+#define FUME_FOREST_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/tree.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// \brief A data-removal-enabled random forest.
+///
+/// Train() is a pure function of (training data, config.seed): two forests
+/// trained on identical data with identical configs are structurally equal.
+/// DeleteRows() exactly unlearns training rows, yielding the forest Train()
+/// would produce on the reduced data. Typical FUME usage:
+///
+///   auto forest = DareForest::Train(train, config).ValueOrDie();
+///   DareForest what_if = forest.Clone();
+///   what_if.DeleteRows(subset_row_ids);   // estimate "trained without T"
+class DareForest {
+ public:
+  DareForest() = default;
+
+  /// Trains on an all-categorical dataset. Every tree sees all rows (DaRE
+  /// forests do not bootstrap — deletion must remove a row from every tree);
+  /// diversity comes from per-node random attribute subsets and random
+  /// upper levels.
+  static Result<DareForest> Train(const Dataset& train,
+                                  const ForestConfig& config);
+
+  /// Exactly unlearns training rows (ids into the training dataset given to
+  /// Train). Duplicate ids are an error.
+  Status DeleteRows(const std::vector<RowId>& rows);
+
+  /// Exactly adds new training instances: the updated forest equals Train()
+  /// on the enlarged dataset (same config/seed). `rows` must be
+  /// all-categorical with the same attribute count and cardinalities as the
+  /// training data. Returns the ids assigned to the new rows.
+  Result<std::vector<RowId>> AddData(const Dataset& rows);
+
+  /// P(label = 1): mean of per-tree leaf positive fractions.
+  double PredictProb(const Dataset& data, int64_t row) const;
+  /// Hard prediction at the 0.5 probability threshold.
+  int Predict(const Dataset& data, int64_t row) const;
+  std::vector<double> PredictProbAll(const Dataset& data) const;
+  std::vector<int> PredictAll(const Dataset& data) const;
+
+  /// Fraction of rows of `data` predicted correctly.
+  double Accuracy(const Dataset& data) const;
+
+  /// Deep copy (shares the immutable training snapshot).
+  DareForest Clone() const;
+
+  bool StructurallyEquals(const DareForest& other) const;
+  /// Revalidates every cached node statistic in every tree.
+  bool ValidateStats() const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  const DareTree& tree(int i) const { return trees_[i]; }
+  int64_t num_nodes() const;
+  /// Rows still learned (after deletions).
+  int64_t num_training_rows() const;
+  const ForestConfig& config() const { return config_; }
+  /// Work counters accumulated over every DeleteRows call on this forest.
+  const DeletionStats& deletion_stats() const { return deletion_stats_; }
+
+  const TrainingStore& store() const { return *store_; }
+
+  /// Reassembles a forest from deserialized parts (forest/serialize.cc).
+  static DareForest FromParts(std::shared_ptr<TrainingStore> store,
+                              const ForestConfig& config,
+                              std::vector<DareTree> trees);
+
+ private:
+  Status CheckCompatible(const Dataset& data) const;
+
+  std::shared_ptr<TrainingStore> store_;
+  ForestConfig config_;
+  std::vector<DareTree> trees_;
+  DeletionStats deletion_stats_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_FOREST_H_

@@ -1,0 +1,249 @@
+#include "forest/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace fume {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'U', 'M', 'E', 'D', 'A', 'R', 'E'};
+constexpr uint32_t kVersion = 1;
+
+// ---- primitive writers/readers (little-endian native assumed; the format
+// is an internal artifact, not a cross-platform interchange format).
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* v, uint64_t max_size) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  if (size > max_size) return false;  // corrupt / hostile input
+  v->resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+// Sanity bound for any vector in the file (1 billion elements).
+constexpr uint64_t kMaxVec = 1ull << 30;
+
+void WriteNode(std::ostream& out, const TreeNode* node) {
+  WritePod<uint8_t>(out, node->is_leaf() ? 1 : 0);
+  WritePod<int64_t>(out, node->count);
+  WritePod<int64_t>(out, node->pos);
+  if (node->is_leaf()) {
+    WriteVec(out, node->rows);
+    return;
+  }
+  WritePod<int32_t>(out, node->attr);
+  WritePod<int32_t>(out, node->threshold);
+  WritePod<uint8_t>(out, node->is_random ? 1 : 0);
+  WriteVec(out, node->stats.cand_attrs);
+  WritePod<uint64_t>(out, node->stats.hist_count.size());
+  for (size_t i = 0; i < node->stats.hist_count.size(); ++i) {
+    WriteVec(out, node->stats.hist_count[i]);
+    WriteVec(out, node->stats.hist_pos[i]);
+  }
+  WriteNode(out, node->left.get());
+  WriteNode(out, node->right.get());
+}
+
+Result<std::unique_ptr<TreeNode>> ReadNode(std::istream& in, int depth) {
+  if (depth > 64) return Status::IOError("forest file: tree too deep");
+  auto node = std::make_unique<TreeNode>();
+  uint8_t is_leaf = 0;
+  if (!ReadPod(in, &is_leaf) || !ReadPod(in, &node->count) ||
+      !ReadPod(in, &node->pos)) {
+    return Status::IOError("forest file: truncated node header");
+  }
+  if (is_leaf != 0) {
+    if (!ReadVec(in, &node->rows, kMaxVec)) {
+      return Status::IOError("forest file: truncated leaf rows");
+    }
+    return node;
+  }
+  uint8_t is_random = 0;
+  if (!ReadPod(in, &node->attr) || !ReadPod(in, &node->threshold) ||
+      !ReadPod(in, &is_random)) {
+    return Status::IOError("forest file: truncated split record");
+  }
+  node->is_random = is_random != 0;
+  if (!ReadVec(in, &node->stats.cand_attrs, kMaxVec)) {
+    return Status::IOError("forest file: truncated candidate attrs");
+  }
+  uint64_t num_hists = 0;
+  if (!ReadPod(in, &num_hists) || num_hists != node->stats.cand_attrs.size()) {
+    return Status::IOError("forest file: histogram count mismatch");
+  }
+  node->stats.hist_count.resize(num_hists);
+  node->stats.hist_pos.resize(num_hists);
+  for (uint64_t i = 0; i < num_hists; ++i) {
+    if (!ReadVec(in, &node->stats.hist_count[i], kMaxVec) ||
+        !ReadVec(in, &node->stats.hist_pos[i], kMaxVec)) {
+      return Status::IOError("forest file: truncated histograms");
+    }
+  }
+  node->stats.count = node->count;
+  node->stats.pos = node->pos;
+  FUME_ASSIGN_OR_RETURN(node->left, ReadNode(in, depth + 1));
+  FUME_ASSIGN_OR_RETURN(node->right, ReadNode(in, depth + 1));
+  return node;
+}
+
+}  // namespace
+
+Status SaveForest(const DareForest& forest, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(out, kVersion);
+
+  // Config block.
+  const ForestConfig& config = forest.config();
+  WritePod<int32_t>(out, config.num_trees);
+  WritePod<int32_t>(out, config.max_depth);
+  WritePod<int32_t>(out, config.random_depth);
+  WritePod<int32_t>(out, config.min_samples_split);
+  WritePod<int32_t>(out, config.min_samples_leaf);
+  WritePod<int32_t>(out, config.num_candidate_attrs);
+  WritePod<uint8_t>(out,
+                    config.threshold_mode == ThresholdMode::kExact ? 0 : 1);
+  WritePod<int32_t>(out, config.num_sampled_thresholds);
+  WritePod<uint64_t>(out, config.seed);
+
+  // Training store block.
+  const TrainingStore& store = forest.store();
+  const int p = store.num_attrs();
+  std::vector<int32_t> cards(static_cast<size_t>(p));
+  for (int j = 0; j < p; ++j) cards[static_cast<size_t>(j)] = store.cardinality(j);
+  WriteVec(out, cards);
+  WritePod<int64_t>(out, store.num_rows());
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    for (int j = 0; j < p; ++j) WritePod<int32_t>(out, store.code(r, j));
+  }
+  for (RowId r = 0; r < store.num_rows(); ++r) {
+    WritePod<uint8_t>(out, static_cast<uint8_t>(store.label(r)));
+  }
+
+  // Trees.
+  WritePod<int32_t>(out, forest.num_trees());
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    WritePod<int32_t>(out, forest.tree(t).tree_id());
+    const TreeNode* root = forest.tree(t).root();
+    WritePod<uint8_t>(out, root != nullptr ? 1 : 0);
+    if (root != nullptr) WriteNode(out, root);
+  }
+  if (!out) return Status::IOError("forest write failed");
+  return Status::OK();
+}
+
+Result<DareForest> LoadForest(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("not a FUME forest file (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::IOError("unsupported forest file version");
+  }
+
+  ForestConfig config;
+  uint8_t mode = 0;
+  if (!ReadPod(in, &config.num_trees) || !ReadPod(in, &config.max_depth) ||
+      !ReadPod(in, &config.random_depth) ||
+      !ReadPod(in, &config.min_samples_split) ||
+      !ReadPod(in, &config.min_samples_leaf) ||
+      !ReadPod(in, &config.num_candidate_attrs) || !ReadPod(in, &mode) ||
+      !ReadPod(in, &config.num_sampled_thresholds) ||
+      !ReadPod(in, &config.seed)) {
+    return Status::IOError("forest file: truncated config block");
+  }
+  config.threshold_mode =
+      mode == 0 ? ThresholdMode::kExact : ThresholdMode::kSampled;
+
+  std::vector<int32_t> cards;
+  if (!ReadVec(in, &cards, kMaxVec) || cards.empty()) {
+    return Status::IOError("forest file: bad cardinality block");
+  }
+  int64_t num_rows = 0;
+  if (!ReadPod(in, &num_rows) || num_rows < 0 ||
+      num_rows > static_cast<int64_t>(kMaxVec)) {
+    return Status::IOError("forest file: bad row count");
+  }
+  std::vector<int32_t> codes(static_cast<size_t>(num_rows) * cards.size());
+  if (!codes.empty()) {
+    in.read(reinterpret_cast<char*>(codes.data()),
+            static_cast<std::streamsize>(codes.size() * sizeof(int32_t)));
+  }
+  std::vector<uint8_t> labels(static_cast<size_t>(num_rows));
+  if (!labels.empty()) {
+    in.read(reinterpret_cast<char*>(labels.data()),
+            static_cast<std::streamsize>(labels.size()));
+  }
+  if (!in) return Status::IOError("forest file: truncated store block");
+  auto store = TrainingStore::FromParts(std::move(cards), std::move(codes),
+                                        std::move(labels));
+
+  int32_t num_trees = 0;
+  if (!ReadPod(in, &num_trees) || num_trees < 0 || num_trees > 1000000) {
+    return Status::IOError("forest file: bad tree count");
+  }
+  std::vector<DareTree> trees;
+  trees.reserve(static_cast<size_t>(num_trees));
+  for (int32_t t = 0; t < num_trees; ++t) {
+    int32_t tree_id = 0;
+    uint8_t has_root = 0;
+    if (!ReadPod(in, &tree_id) || !ReadPod(in, &has_root)) {
+      return Status::IOError("forest file: truncated tree header");
+    }
+    std::unique_ptr<TreeNode> root;
+    if (has_root != 0) {
+      FUME_ASSIGN_OR_RETURN(root, ReadNode(in, 0));
+    }
+    trees.push_back(
+        DareTree::FromParts(store, config, tree_id, std::move(root)));
+  }
+  DareForest forest =
+      DareForest::FromParts(std::move(store), config, std::move(trees));
+  if (!forest.ValidateStats()) {
+    return Status::IOError("forest file: cached statistics fail validation");
+  }
+  return forest;
+}
+
+Status SaveForestToFile(const DareForest& forest, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return SaveForest(forest, out);
+}
+
+Result<DareForest> LoadForestFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return LoadForest(in);
+}
+
+}  // namespace fume

@@ -1,0 +1,28 @@
+// Binary serialization of trained DaRE forests. The saved artifact contains
+// the training snapshot, the configuration and every node's cached
+// statistics, so a loaded forest supports further exact unlearning and
+// addition — an audit can train once and debug many times.
+//
+// Format (little-endian, version-tagged): magic "FUMEDARE", u32 version,
+// config block, training store block, then each tree pre-order.
+
+#ifndef FUME_FOREST_SERIALIZE_H_
+#define FUME_FOREST_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "forest/forest.h"
+#include "util/result.h"
+
+namespace fume {
+
+Status SaveForest(const DareForest& forest, std::ostream& out);
+Result<DareForest> LoadForest(std::istream& in);
+
+Status SaveForestToFile(const DareForest& forest, const std::string& path);
+Result<DareForest> LoadForestFromFile(const std::string& path);
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_SERIALIZE_H_

@@ -1,0 +1,256 @@
+#include "forest/split_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fume {
+
+namespace {
+
+// Domain-separation tags for keyed hashing.
+constexpr uint64_t kTagCandAttrs = 0xca0dda77ULL;
+constexpr uint64_t kTagRandomAttr = 0x4a0dda22ULL;
+constexpr uint64_t kTagRandomThresh = 0x7a3d1177ULL;
+constexpr uint64_t kTagSampledThresh = 0x5a3db3f1ULL;
+constexpr uint64_t kTagChild = 0xc411d099ULL;
+
+}  // namespace
+
+int NodeStats::CandIndex(int attr) const {
+  auto it = std::lower_bound(cand_attrs.begin(), cand_attrs.end(), attr);
+  if (it == cand_attrs.end() || *it != attr) return -1;
+  return static_cast<int>(it - cand_attrs.begin());
+}
+
+void NodeStats::ComputeFromRows(const TrainingStore& store,
+                                const std::vector<RowId>& rows,
+                                std::vector<int> cand_attrs_sorted) {
+  cand_attrs = std::move(cand_attrs_sorted);
+  count = static_cast<int64_t>(rows.size());
+  pos = 0;
+  hist_count.assign(cand_attrs.size(), {});
+  hist_pos.assign(cand_attrs.size(), {});
+  for (size_t i = 0; i < cand_attrs.size(); ++i) {
+    const int32_t card = store.cardinality(cand_attrs[i]);
+    hist_count[i].assign(static_cast<size_t>(card), 0);
+    hist_pos[i].assign(static_cast<size_t>(card), 0);
+  }
+  for (RowId r : rows) {
+    const int y = store.label(r);
+    pos += y;
+    for (size_t i = 0; i < cand_attrs.size(); ++i) {
+      const int32_t v = store.code(r, cand_attrs[i]);
+      ++hist_count[i][static_cast<size_t>(v)];
+      hist_pos[i][static_cast<size_t>(v)] += y;
+    }
+  }
+}
+
+void NodeStats::RemoveRow(const TrainingStore& store, RowId row) {
+  const int y = store.label(row);
+  --count;
+  pos -= y;
+  for (size_t i = 0; i < cand_attrs.size(); ++i) {
+    const int32_t v = store.code(row, cand_attrs[i]);
+    --hist_count[i][static_cast<size_t>(v)];
+    hist_pos[i][static_cast<size_t>(v)] -= y;
+  }
+}
+
+void NodeStats::AddRow(const TrainingStore& store, RowId row) {
+  const int y = store.label(row);
+  ++count;
+  pos += y;
+  for (size_t i = 0; i < cand_attrs.size(); ++i) {
+    const int32_t v = store.code(row, cand_attrs[i]);
+    ++hist_count[i][static_cast<size_t>(v)];
+    hist_pos[i][static_cast<size_t>(v)] += y;
+  }
+}
+
+bool NodeStats::Equals(const NodeStats& other) const {
+  return count == other.count && pos == other.pos &&
+         cand_attrs == other.cand_attrs && hist_count == other.hist_count &&
+         hist_pos == other.hist_pos;
+}
+
+std::vector<int> ChooseCandidateAttrs(uint64_t path_key, int num_attrs,
+                                      int depth, const ForestConfig& config) {
+  int want = config.num_candidate_attrs;
+  if (want <= 0) {
+    want = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(num_attrs))));
+  }
+  want = std::min(want, num_attrs);
+  std::vector<int> attrs;
+  attrs.reserve(static_cast<size_t>(want) + 1);
+  std::vector<uint8_t> taken(static_cast<size_t>(num_attrs), 0);
+  // Keyed draws until `want` distinct attributes are collected. The sequence
+  // depends only on path_key, never on the data.
+  uint64_t i = 0;
+  while (static_cast<int>(attrs.size()) < want) {
+    const int a = static_cast<int>(Hash64({path_key, kTagCandAttrs, i++}) %
+                                   static_cast<uint64_t>(num_attrs));
+    if (!taken[static_cast<size_t>(a)]) {
+      taken[static_cast<size_t>(a)] = 1;
+      attrs.push_back(a);
+    }
+  }
+  if (depth < config.random_depth) {
+    // The random-split attribute must be tracked in the histograms so the
+    // validity of the random split stays checkable during unlearning.
+    const int a = static_cast<int>(Hash64({path_key, kTagRandomAttr}) %
+                                   static_cast<uint64_t>(num_attrs));
+    if (!taken[static_cast<size_t>(a)]) attrs.push_back(a);
+  }
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+std::vector<int32_t> CandidateThresholds(uint64_t path_key, int attr,
+                                         int32_t cardinality,
+                                         const ForestConfig& config) {
+  const int32_t num_thresholds = cardinality - 1;  // thresholds 0..card-2
+  std::vector<int32_t> out;
+  if (num_thresholds <= 0) return out;
+  if (config.threshold_mode == ThresholdMode::kExact ||
+      config.num_sampled_thresholds >= num_thresholds) {
+    out.resize(static_cast<size_t>(num_thresholds));
+    for (int32_t t = 0; t < num_thresholds; ++t) out[static_cast<size_t>(t)] = t;
+    return out;
+  }
+  // Sampled mode: k' distinct keyed draws from [0, card-1).
+  std::vector<uint8_t> taken(static_cast<size_t>(num_thresholds), 0);
+  uint64_t i = 0;
+  while (static_cast<int>(out.size()) < config.num_sampled_thresholds) {
+    const int32_t t = static_cast<int32_t>(
+        Hash64({path_key, kTagSampledThresh, static_cast<uint64_t>(attr),
+                i++}) %
+        static_cast<uint64_t>(num_thresholds));
+    if (!taken[static_cast<size_t>(t)]) {
+      taken[static_cast<size_t>(t)] = 1;
+      out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double WeightedGini(int64_t left_count, int64_t left_pos, int64_t right_count,
+                    int64_t right_pos) {
+  auto gini = [](int64_t c, int64_t p) {
+    if (c == 0) return 0.0;
+    const double fp = static_cast<double>(p) / static_cast<double>(c);
+    const double fn = 1.0 - fp;
+    return 1.0 - fp * fp - fn * fn;
+  };
+  const double total = static_cast<double>(left_count + right_count);
+  if (total == 0.0) return 0.0;
+  return (static_cast<double>(left_count) * gini(left_count, left_pos) +
+          static_cast<double>(right_count) * gini(right_count, right_pos)) /
+         total;
+}
+
+namespace {
+
+// Left-side (count, pos) of splitting `cand` at threshold t, from histograms.
+struct SideCounts {
+  int64_t count = 0;
+  int64_t pos = 0;
+};
+
+// Checks whether the (attr, threshold) split is valid for this node given
+// min_samples_leaf, and returns its score through *score.
+bool ScoreSplit(const NodeStats& stats, int cand_index, int32_t threshold,
+                int min_leaf, double* score) {
+  const auto& hc = stats.hist_count[static_cast<size_t>(cand_index)];
+  const auto& hp = stats.hist_pos[static_cast<size_t>(cand_index)];
+  SideCounts left;
+  for (int32_t v = 0; v <= threshold; ++v) {
+    left.count += hc[static_cast<size_t>(v)];
+    left.pos += hp[static_cast<size_t>(v)];
+  }
+  const int64_t right_count = stats.count - left.count;
+  const int64_t right_pos = stats.pos - left.pos;
+  if (left.count < min_leaf || right_count < min_leaf) return false;
+  *score = WeightedGini(left.count, left.pos, right_count, right_pos);
+  return true;
+}
+
+}  // namespace
+
+SplitDecision DecideSplit(const NodeStats& stats, const TrainingStore& store,
+                          int depth, uint64_t path_key,
+                          const ForestConfig& config) {
+  SplitDecision leaf;  // default: leaf
+  if (stats.count < config.min_samples_split) return leaf;
+  if (stats.pos == 0 || stats.pos == stats.count) return leaf;
+  if (depth >= config.max_depth) return leaf;
+
+  const int min_leaf = std::max(1, config.min_samples_leaf);
+
+  if (depth < config.random_depth) {
+    // DaRE random node: attribute and threshold are keyed draws over the
+    // attribute's *global* bin range, hence never invalidated by deletions
+    // as long as both sides remain populated.
+    const int attr =
+        static_cast<int>(Hash64({path_key, kTagRandomAttr}) %
+                         static_cast<uint64_t>(store.num_attrs()));
+    const int32_t card = store.cardinality(attr);
+    if (card >= 2) {
+      const int32_t threshold = static_cast<int32_t>(
+          Hash64({path_key, kTagRandomThresh}) %
+          static_cast<uint64_t>(card - 1));
+      const int ci = stats.CandIndex(attr);
+      double unused;
+      if (ci >= 0 && ScoreSplit(stats, ci, threshold, min_leaf, &unused)) {
+        SplitDecision d;
+        d.is_leaf = false;
+        d.attr = attr;
+        d.threshold = threshold;
+        d.is_random = true;
+        return d;
+      }
+    }
+    // Degenerate random split: fall through to the greedy choice (still a
+    // deterministic function of the node's data).
+  }
+
+  // Greedy: Gini argmax over candidate attributes and thresholds, ties
+  // broken by ascending (attribute, threshold) via strict-improvement scan.
+  SplitDecision best = leaf;
+  double best_score = 0.0;
+  bool have_best = false;
+  for (size_t i = 0; i < stats.cand_attrs.size(); ++i) {
+    const int attr = stats.cand_attrs[i];
+    const std::vector<int32_t> thresholds =
+        CandidateThresholds(path_key, attr, store.cardinality(attr), config);
+    for (int32_t t : thresholds) {
+      double score;
+      if (!ScoreSplit(stats, static_cast<int>(i), t, min_leaf, &score)) {
+        continue;
+      }
+      if (!have_best || score < best_score - 1e-12) {
+        have_best = true;
+        best_score = score;
+        best.is_leaf = false;
+        best.attr = attr;
+        best.threshold = t;
+        best.is_random = false;
+      }
+    }
+  }
+  return best;
+}
+
+uint64_t ChildPathKey(uint64_t parent_key, int side) {
+  return Hash64({parent_key, kTagChild, static_cast<uint64_t>(side)});
+}
+
+uint64_t RootPathKey(uint64_t seed, int tree_id) {
+  return Hash64({seed, 0x9007ULL, static_cast<uint64_t>(tree_id)});
+}
+
+}  // namespace fume

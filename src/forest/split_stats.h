@@ -1,0 +1,96 @@
+// Cached per-node split statistics and the deterministic split-decision
+// function shared by tree construction and unlearning.
+//
+// The decision at a node is a *pure function* of (node data multiset, depth,
+// node path key, config). Construction computes it from raw rows; deletion
+// recomputes it from incrementally-updated histograms and rebuilds the
+// subtree only when the decision changed. This is what makes
+//   DeleteRows(Build(D), T) == Build(D \ T)
+// hold node-for-node (DESIGN.md §2).
+
+#ifndef FUME_FOREST_SPLIT_STATS_H_
+#define FUME_FOREST_SPLIT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/config.h"
+#include "forest/training_store.h"
+
+namespace fume {
+
+/// \brief Cached statistics of one decision node: label counts plus, for each
+/// candidate attribute, per-value (count, positive) histograms.
+struct NodeStats {
+  int64_t count = 0;
+  int64_t pos = 0;
+  /// Candidate attributes, ascending. Chosen by the node's path key, so the
+  /// set never changes under deletions.
+  std::vector<int> cand_attrs;
+  /// hist_count[i][v] = #instances at this node with code(cand_attrs[i])==v.
+  std::vector<std::vector<int64_t>> hist_count;
+  /// hist_pos[i][v] = #positives among those.
+  std::vector<std::vector<int64_t>> hist_pos;
+
+  /// Index of `attr` within cand_attrs, or -1.
+  int CandIndex(int attr) const;
+
+  /// Recomputes everything from raw rows (used at build / rebuild time).
+  void ComputeFromRows(const TrainingStore& store,
+                       const std::vector<RowId>& rows,
+                       std::vector<int> cand_attrs_sorted);
+
+  /// Subtracts one instance (used during unlearning).
+  void RemoveRow(const TrainingStore& store, RowId row);
+
+  /// Adds one instance (used during incremental addition).
+  void AddRow(const TrainingStore& store, RowId row);
+
+  bool Equals(const NodeStats& other) const;
+};
+
+/// What a node should be, given its data.
+struct SplitDecision {
+  bool is_leaf = true;
+  int attr = -1;
+  int32_t threshold = -1;  // left child takes code <= threshold
+  bool is_random = false;
+
+  bool SameSplit(const SplitDecision& other) const {
+    return is_leaf == other.is_leaf && attr == other.attr &&
+           threshold == other.threshold && is_random == other.is_random;
+  }
+};
+
+/// Deterministic candidate-attribute choice for the node identified by
+/// `path_key`: p~ distinct attributes (plus, at random-depth nodes, the
+/// random split attribute), sorted ascending.
+std::vector<int> ChooseCandidateAttrs(uint64_t path_key, int num_attrs,
+                                      int depth, const ForestConfig& config);
+
+/// Candidate thresholds for `attr` at this node: all inter-bin thresholds in
+/// kExact mode, or a path-keyed sample of k' in kSampled mode. Ascending.
+std::vector<int32_t> CandidateThresholds(uint64_t path_key, int attr,
+                                         int32_t cardinality,
+                                         const ForestConfig& config);
+
+/// The split-decision function. `stats` must already hold the node's
+/// histograms over ChooseCandidateAttrs(path_key, ...).
+SplitDecision DecideSplit(const NodeStats& stats, const TrainingStore& store,
+                          int depth, uint64_t path_key,
+                          const ForestConfig& config);
+
+/// Weighted Gini impurity of a binary split; lower is better.
+/// Exposed for unit tests.
+double WeightedGini(int64_t left_count, int64_t left_pos, int64_t right_count,
+                    int64_t right_pos);
+
+/// Path keys for the two children of the node with key `parent_key`.
+uint64_t ChildPathKey(uint64_t parent_key, int side);
+
+/// Path key of a tree's root.
+uint64_t RootPathKey(uint64_t seed, int tree_id);
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_SPLIT_STATS_H_

@@ -1,0 +1,60 @@
+// TrainingStore: compact row-major copy of the training data that a forest
+// (and all its clones) share. Leaf instance lists and update requests refer
+// to rows of this store by RowId.
+//
+// The store is append-only: AddData grows it with new rows (for DaRE's
+// incremental addition) but existing rows are never mutated or removed, so
+// every forest sharing the store keeps valid references — a forest simply
+// never points at rows it has not added.
+
+#ifndef FUME_FOREST_TRAINING_STORE_H_
+#define FUME_FOREST_TRAINING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/check.h"
+
+namespace fume {
+
+/// Training-set row index. Training sets are bounded well below 2^31.
+using RowId = int32_t;
+
+/// \brief Append-only snapshot of an all-categorical training set.
+class TrainingStore {
+ public:
+  /// Builds a snapshot; `data` must be all-categorical.
+  static std::shared_ptr<TrainingStore> Make(const Dataset& data);
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_attrs() const { return num_attrs_; }
+  int32_t cardinality(int attr) const { return cards_[attr]; }
+
+  int32_t code(RowId row, int attr) const {
+    return codes_[static_cast<size_t>(row) * num_attrs_ + attr];
+  }
+  int label(RowId row) const { return labels_[static_cast<size_t>(row)]; }
+
+  /// Appends one row and returns its id. Codes must respect the store's
+  /// cardinalities; label must be 0/1. Not thread-safe.
+  RowId Append(const std::vector<int32_t>& codes, int label);
+
+  /// Reassembles a store from deserialized parts (forest/serialize.cc).
+  /// `codes` is row-major with cards.size() columns.
+  static std::shared_ptr<TrainingStore> FromParts(
+      std::vector<int32_t> cards, std::vector<int32_t> codes,
+      std::vector<uint8_t> labels);
+
+ private:
+  int64_t num_rows_ = 0;
+  int num_attrs_ = 0;
+  std::vector<int32_t> cards_;
+  std::vector<int32_t> codes_;   // row-major n x p
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_TRAINING_STORE_H_

@@ -1,0 +1,361 @@
+#include "forest/tree.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fume {
+
+DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
+                         const std::vector<RowId>& rows, int tree_id,
+                         const ForestConfig& config) {
+  DareTree tree;
+  tree.store_ = std::move(store);
+  tree.config_ = config;
+  tree.tree_id_ = tree_id;
+  tree.root_ = tree.BuildNode(rows, /*depth=*/0,
+                              RootPathKey(config.seed, tree_id));
+  return tree;
+}
+
+std::unique_ptr<TreeNode> DareTree::BuildNode(const std::vector<RowId>& rows,
+                                              int depth, uint64_t path_key) {
+  auto node = std::make_unique<TreeNode>();
+  NodeStats stats;
+  stats.ComputeFromRows(
+      *store_, rows,
+      ChooseCandidateAttrs(path_key, store_->num_attrs(), depth, config_));
+  node->count = stats.count;
+  node->pos = stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(stats, *store_, depth, path_key, config_);
+  if (decision.is_leaf) {
+    node->rows = rows;
+    return node;
+  }
+
+  node->attr = decision.attr;
+  node->threshold = decision.threshold;
+  node->is_random = decision.is_random;
+  node->stats = std::move(stats);
+
+  std::vector<RowId> left_rows;
+  std::vector<RowId> right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (RowId r : rows) {
+    (store_->code(r, decision.attr) <= decision.threshold ? left_rows
+                                                          : right_rows)
+        .push_back(r);
+  }
+  node->left = BuildNode(left_rows, depth + 1, ChildPathKey(path_key, 0));
+  node->right = BuildNode(right_rows, depth + 1, ChildPathKey(path_key, 1));
+  return node;
+}
+
+void DareTree::CollectLeafRows(const TreeNode* node, std::vector<RowId>* out) {
+  if (node->is_leaf()) {
+    out->insert(out->end(), node->rows.begin(), node->rows.end());
+    return;
+  }
+  CollectLeafRows(node->left.get(), out);
+  CollectLeafRows(node->right.get(), out);
+}
+
+void DareTree::DeleteRows(const std::vector<RowId>& rows,
+                          DeletionStats* stats_out) {
+  if (rows.empty() || root_ == nullptr) return;
+  DeletionStats local;
+  DeleteFromNode(root_.get(), rows, /*depth=*/0,
+                 RootPathKey(config_.seed, tree_id_), &local);
+  if (stats_out != nullptr) stats_out->Add(local);
+}
+
+void DareTree::DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
+                              int depth, uint64_t path_key,
+                              DeletionStats* stats_out) {
+  ++stats_out->nodes_visited;
+
+  if (node->is_leaf()) {
+    // A leaf can never become an internal node under deletion (leaf
+    // conditions are monotone in shrinking data; see DESIGN.md §6.1), so
+    // only the membership list and label counts change.
+    ++stats_out->leaves_updated;
+    std::unordered_set<RowId> doomed(rows.begin(), rows.end());
+    int64_t removed_pos = 0;
+    size_t kept = 0;
+    for (size_t i = 0; i < node->rows.size(); ++i) {
+      if (doomed.count(node->rows[i]) > 0) {
+        removed_pos += store_->label(node->rows[i]);
+      } else {
+        node->rows[kept++] = node->rows[i];
+      }
+    }
+    FUME_CHECK_EQ(node->rows.size() - kept, rows.size());
+    node->rows.resize(kept);
+    node->count -= static_cast<int64_t>(rows.size());
+    node->pos -= removed_pos;
+    return;
+  }
+
+  // Internal node: decrement cached statistics, then re-evaluate the split
+  // decision from the updated statistics alone.
+  ++stats_out->nodes_updated;
+  for (RowId r : rows) node->stats.RemoveRow(*store_, r);
+  node->count = node->stats.count;
+  node->pos = node->stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(node->stats, *store_, depth, path_key, config_);
+  SplitDecision current;
+  current.is_leaf = false;
+  current.attr = node->attr;
+  current.threshold = node->threshold;
+  current.is_random = node->is_random;
+
+  if (!decision.SameSplit(current)) {
+    // The split this node would be built with has changed: retrain the
+    // subtree from its remaining instances (DaRE's retrain-as-needed step).
+    ++stats_out->subtrees_retrained;
+    std::vector<RowId> remaining;
+    CollectLeafRows(node, &remaining);
+    std::unordered_set<RowId> doomed(rows.begin(), rows.end());
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](RowId r) { return doomed.count(r); }),
+                    remaining.end());
+    stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
+    std::unique_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  // Same split: route the doomed rows to the children they live in.
+  std::vector<RowId> left_rows;
+  std::vector<RowId> right_rows;
+  for (RowId r : rows) {
+    (store_->code(r, node->attr) <= node->threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (!left_rows.empty()) {
+    DeleteFromNode(node->left.get(), left_rows, depth + 1,
+                   ChildPathKey(path_key, 0), stats_out);
+  }
+  if (!right_rows.empty()) {
+    DeleteFromNode(node->right.get(), right_rows, depth + 1,
+                   ChildPathKey(path_key, 1), stats_out);
+  }
+}
+
+void DareTree::AddRows(const std::vector<RowId>& rows,
+                       DeletionStats* stats_out) {
+  if (rows.empty()) return;
+  DeletionStats local;
+  if (root_ == nullptr) {
+    root_ = BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
+    ++local.subtrees_retrained;
+  } else {
+    AddToNode(root_.get(), rows, /*depth=*/0,
+              RootPathKey(config_.seed, tree_id_), &local);
+  }
+  if (stats_out != nullptr) stats_out->Add(local);
+}
+
+void DareTree::AddToNode(TreeNode* node, const std::vector<RowId>& rows,
+                         int depth, uint64_t path_key,
+                         DeletionStats* stats_out) {
+  ++stats_out->nodes_visited;
+
+  if (node->is_leaf()) {
+    // Unlike deletion, addition can turn a leaf into a split (count grows,
+    // purity can break). Rebuilding from the leaf's rows plus the additions
+    // recomputes the decision from scratch — cheap, the set is leaf-sized.
+    ++stats_out->leaves_updated;
+    std::vector<RowId> merged = node->rows;
+    merged.insert(merged.end(), rows.begin(), rows.end());
+    stats_out->rows_retrained += static_cast<int64_t>(merged.size());
+    std::unique_ptr<TreeNode> rebuilt = BuildNode(merged, depth, path_key);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  ++stats_out->nodes_updated;
+  for (RowId r : rows) node->stats.AddRow(*store_, r);
+  node->count = node->stats.count;
+  node->pos = node->stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(node->stats, *store_, depth, path_key, config_);
+  SplitDecision current;
+  current.is_leaf = false;
+  current.attr = node->attr;
+  current.threshold = node->threshold;
+  current.is_random = node->is_random;
+
+  if (!decision.SameSplit(current)) {
+    ++stats_out->subtrees_retrained;
+    std::vector<RowId> remaining;
+    CollectLeafRows(node, &remaining);
+    remaining.insert(remaining.end(), rows.begin(), rows.end());
+    stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
+    std::unique_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  std::vector<RowId> left_rows;
+  std::vector<RowId> right_rows;
+  for (RowId r : rows) {
+    (store_->code(r, node->attr) <= node->threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (!left_rows.empty()) {
+    AddToNode(node->left.get(), left_rows, depth + 1, ChildPathKey(path_key, 0),
+              stats_out);
+  }
+  if (!right_rows.empty()) {
+    AddToNode(node->right.get(), right_rows, depth + 1,
+              ChildPathKey(path_key, 1), stats_out);
+  }
+}
+
+namespace {
+
+std::unique_ptr<TreeNode> CloneNode(const TreeNode* node) {
+  auto out = std::make_unique<TreeNode>();
+  out->count = node->count;
+  out->pos = node->pos;
+  out->attr = node->attr;
+  out->threshold = node->threshold;
+  out->is_random = node->is_random;
+  out->stats = node->stats;
+  out->rows = node->rows;
+  if (!node->is_leaf()) {
+    out->left = CloneNode(node->left.get());
+    out->right = CloneNode(node->right.get());
+  }
+  return out;
+}
+
+bool NodesEqual(const TreeNode* a, const TreeNode* b) {
+  if (a->count != b->count || a->pos != b->pos) return false;
+  if (a->is_leaf() != b->is_leaf()) return false;
+  if (a->is_leaf()) {
+    std::vector<RowId> ra = a->rows;
+    std::vector<RowId> rb = b->rows;
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    return ra == rb;
+  }
+  if (a->attr != b->attr || a->threshold != b->threshold ||
+      a->is_random != b->is_random) {
+    return false;
+  }
+  if (!a->stats.Equals(b->stats)) return false;
+  return NodesEqual(a->left.get(), b->left.get()) &&
+         NodesEqual(a->right.get(), b->right.get());
+}
+
+// Recounts statistics from leaf membership; returns false on any mismatch.
+bool ValidateNode(const TreeNode* node, const TrainingStore& store,
+                  std::vector<RowId>* rows_out) {
+  std::vector<RowId> rows;
+  if (node->is_leaf()) {
+    rows = node->rows;
+  } else {
+    std::vector<RowId> left_rows;
+    std::vector<RowId> right_rows;
+    if (!ValidateNode(node->left.get(), store, &left_rows)) return false;
+    if (!ValidateNode(node->right.get(), store, &right_rows)) return false;
+    for (RowId r : left_rows) {
+      if (store.code(r, node->attr) > node->threshold) {
+        std::fprintf(stderr, "row %d misrouted to left child\n", r);
+        return false;
+      }
+    }
+    for (RowId r : right_rows) {
+      if (store.code(r, node->attr) <= node->threshold) {
+        std::fprintf(stderr, "row %d misrouted to right child\n", r);
+        return false;
+      }
+    }
+    rows = left_rows;
+    rows.insert(rows.end(), right_rows.begin(), right_rows.end());
+    NodeStats expect;
+    expect.ComputeFromRows(store, rows, node->stats.cand_attrs);
+    if (!expect.Equals(node->stats)) {
+      std::fprintf(stderr, "cached stats mismatch at internal node\n");
+      return false;
+    }
+  }
+  int64_t pos = 0;
+  for (RowId r : rows) pos += store.label(r);
+  if (node->count != static_cast<int64_t>(rows.size()) || node->pos != pos) {
+    std::fprintf(stderr, "count/pos mismatch: have (%lld,%lld) want (%zu,%lld)\n",
+                 static_cast<long long>(node->count),
+                 static_cast<long long>(node->pos), rows.size(),
+                 static_cast<long long>(pos));
+    return false;
+  }
+  *rows_out = std::move(rows);
+  return true;
+}
+
+int64_t CountNodes(const TreeNode* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf()) return 1;
+  return 1 + CountNodes(node->left.get()) + CountNodes(node->right.get());
+}
+
+int64_t CountLeaves(const TreeNode* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf()) return 1;
+  return CountLeaves(node->left.get()) + CountLeaves(node->right.get());
+}
+
+int Depth(const TreeNode* node) {
+  if (node == nullptr || node->is_leaf()) return 0;
+  return 1 + std::max(Depth(node->left.get()), Depth(node->right.get()));
+}
+
+}  // namespace
+
+DareTree DareTree::Clone() const {
+  DareTree out;
+  out.store_ = store_;
+  out.config_ = config_;
+  out.tree_id_ = tree_id_;
+  if (root_ != nullptr) out.root_ = CloneNode(root_.get());
+  return out;
+}
+
+bool DareTree::StructurallyEquals(const DareTree& other) const {
+  if ((root_ == nullptr) != (other.root_ == nullptr)) return false;
+  if (root_ == nullptr) return true;
+  return NodesEqual(root_.get(), other.root_.get());
+}
+
+bool DareTree::ValidateStats() const {
+  if (root_ == nullptr) return true;
+  std::vector<RowId> rows;
+  return ValidateNode(root_.get(), *store_, &rows);
+}
+
+DareTree DareTree::FromParts(std::shared_ptr<const TrainingStore> store,
+                             const ForestConfig& config, int tree_id,
+                             std::unique_ptr<TreeNode> root) {
+  DareTree tree;
+  tree.store_ = std::move(store);
+  tree.config_ = config;
+  tree.tree_id_ = tree_id;
+  tree.root_ = std::move(root);
+  return tree;
+}
+
+int64_t DareTree::num_nodes() const { return CountNodes(root_.get()); }
+int64_t DareTree::num_leaves() const { return CountLeaves(root_.get()); }
+int DareTree::depth() const { return Depth(root_.get()); }
+
+}  // namespace fume

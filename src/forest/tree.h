@@ -1,0 +1,111 @@
+// DareTree: one tree of a DaRE forest. Supports exact unlearning of row
+// batches with minimal subtree retraining.
+
+#ifndef FUME_FOREST_TREE_H_
+#define FUME_FOREST_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "forest/config.h"
+#include "forest/split_stats.h"
+#include "forest/training_store.h"
+
+namespace fume {
+
+/// \brief A decision-tree node. Internal nodes cache NodeStats; leaves hold
+/// the ids of the training rows they contain.
+struct TreeNode {
+  int64_t count = 0;
+  int64_t pos = 0;
+  // Internal-node fields.
+  int attr = -1;
+  int32_t threshold = -1;
+  bool is_random = false;
+  NodeStats stats;
+  std::unique_ptr<TreeNode> left;
+  std::unique_ptr<TreeNode> right;
+  // Leaf field.
+  std::vector<RowId> rows;
+
+  bool is_leaf() const { return left == nullptr; }
+};
+
+/// \brief One data-removal-enabled decision tree.
+///
+/// Construction is a pure function of (store contents, seed, tree_id,
+/// config); DeleteRows yields the tree that construction would have produced
+/// on the reduced data (exact unlearning; asserted structurally in tests).
+class DareTree {
+ public:
+  DareTree() = default;
+
+  /// Builds from the given training rows.
+  static DareTree Build(std::shared_ptr<const TrainingStore> store,
+                        const std::vector<RowId>& rows, int tree_id,
+                        const ForestConfig& config);
+
+  /// Exactly unlearns the given rows (must currently be in the tree; caller
+  /// ensures no duplicates). Appends work counters to *stats_out (nullable).
+  void DeleteRows(const std::vector<RowId>& rows, DeletionStats* stats_out);
+
+  /// Exactly adds rows (already present in the store, not in the tree): the
+  /// result equals Build() on the enlarged row set. Mirrors DeleteRows.
+  void AddRows(const std::vector<RowId>& rows, DeletionStats* stats_out);
+
+  /// P(label=1) for an instance supplied via an accessor: codes(attr) must
+  /// return the instance's code for `attr`.
+  template <typename CodeFn>
+  double PredictProb(CodeFn&& codes) const {
+    const TreeNode* n = root_.get();
+    if (n == nullptr || n->count == 0) return 0.5;
+    while (!n->is_leaf()) {
+      n = codes(n->attr) <= n->threshold ? n->left.get() : n->right.get();
+    }
+    if (n->count == 0) return 0.5;
+    return static_cast<double>(n->pos) / static_cast<double>(n->count);
+  }
+
+  /// Deep copy sharing the (immutable) training store.
+  DareTree Clone() const;
+
+  /// Structural equality: same shape, same splits, same cached statistics,
+  /// same leaf membership (order-insensitive).
+  bool StructurallyEquals(const DareTree& other) const;
+
+  /// Verifies every cached statistic against a recount of the instances
+  /// reaching each node; returns false (and reports via stderr) on mismatch.
+  bool ValidateStats() const;
+
+  int64_t num_nodes() const;
+  int64_t num_leaves() const;
+  int depth() const;
+  const TreeNode* root() const { return root_.get(); }
+  int tree_id() const { return tree_id_; }
+  int64_t num_training_rows() const {
+    return root_ == nullptr ? 0 : root_->count;
+  }
+
+  /// Reassembles a tree from deserialized parts (forest/serialize.cc).
+  static DareTree FromParts(std::shared_ptr<const TrainingStore> store,
+                            const ForestConfig& config, int tree_id,
+                            std::unique_ptr<TreeNode> root);
+
+ private:
+  std::unique_ptr<TreeNode> BuildNode(const std::vector<RowId>& rows,
+                                      int depth, uint64_t path_key);
+  void DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
+                      int depth, uint64_t path_key, DeletionStats* stats_out);
+  void AddToNode(TreeNode* node, const std::vector<RowId>& rows, int depth,
+                 uint64_t path_key, DeletionStats* stats_out);
+  static void CollectLeafRows(const TreeNode* node, std::vector<RowId>* out);
+
+  std::shared_ptr<const TrainingStore> store_;
+  ForestConfig config_;
+  int tree_id_ = 0;
+  std::unique_ptr<TreeNode> root_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_TREE_H_

@@ -1,0 +1,28 @@
+// Umbrella header: everything a typical FUME user needs with one include.
+//
+//   #include "fume/api.h"
+//
+// For finer-grained builds include the individual module headers instead.
+
+#ifndef FUME_FUME_API_H_
+#define FUME_FUME_API_H_
+
+#include "core/baseline.h"          // DropUnprivUnfavor baseline
+#include "core/fume.h"              // ExplainFairnessViolation / FumeConfig
+#include "core/removal_method.h"    // RemovalMethod, Unlearn/Retrain impls
+#include "core/report.h"            // PrintTopK / FormatReport
+#include "core/slice_finder.h"      // SliceFinder-style comparator
+#include "data/csv.h"               // ReadCsvFile / WriteCsvFile
+#include "data/dataset.h"           // Dataset / Schema
+#include "data/discretizer.h"       // quantile / equi-width binning
+#include "data/split.h"             // SplitTrainTest
+#include "fairness/importance.h"    // PermutationImportance
+#include "fairness/intersectional.h"  // intersectional groups
+#include "fairness/metrics.h"       // FairnessMetric / ComputeFairness
+#include "forest/forest.h"          // DareForest
+#include "forest/serialize.h"       // SaveForestToFile / LoadForestFromFile
+#include "repair/what_if.h"         // WhatIfRemove / Relabel / Duplicate
+#include "subset/predicate.h"       // Literal / Predicate
+#include "util/result.h"            // Status / Result
+
+#endif  // FUME_FUME_API_H_

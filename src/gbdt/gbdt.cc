@@ -1,0 +1,341 @@
+#include "gbdt/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "fairness/metrics.h"
+#include "util/check.h"
+
+namespace fume {
+namespace gbdt_internal {
+
+struct RegressionNode {
+  int attr = -1;
+  int32_t threshold = -1;
+  double weight = 0.0;  // leaf value (log-odds increment)
+  std::unique_ptr<RegressionNode> left, right;
+
+  bool is_leaf() const { return left == nullptr; }
+};
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+struct SplitChoice {
+  bool found = false;
+  int attr = -1;
+  int32_t threshold = -1;
+  double gain = 0.0;
+};
+
+// XGBoost-style structure score: G^2 / (H + lambda).
+double Score(double g, double h, double l2) { return g * g / (h + l2); }
+
+// Exhaustive best split over all (attribute, inter-code threshold) pairs.
+// Deterministic: strict-improvement scan in ascending (attr, threshold)
+// order — the property the cascade-retrain exactness rests on.
+SplitChoice BestSplit(const TrainingStore& store,
+                      const std::vector<RowId>& rows,
+                      const std::vector<double>& gradients,
+                      const std::vector<double>& hessians, double g_total,
+                      double h_total, const GbdtConfig& config) {
+  SplitChoice best;
+  const double parent_score = Score(g_total, h_total, config.l2);
+  for (int attr = 0; attr < store.num_attrs(); ++attr) {
+    const int32_t card = store.cardinality(attr);
+    if (card < 2) continue;
+    // Per-code aggregates, then prefix sums over thresholds.
+    std::vector<double> g_by_code(static_cast<size_t>(card), 0.0);
+    std::vector<double> h_by_code(static_cast<size_t>(card), 0.0);
+    std::vector<int64_t> n_by_code(static_cast<size_t>(card), 0);
+    for (RowId r : rows) {
+      const auto code = static_cast<size_t>(store.code(r, attr));
+      g_by_code[code] += gradients[static_cast<size_t>(r)];
+      h_by_code[code] += hessians[static_cast<size_t>(r)];
+      ++n_by_code[code];
+    }
+    double g_left = 0.0, h_left = 0.0;
+    int64_t n_left = 0;
+    for (int32_t t = 0; t < card - 1; ++t) {
+      g_left += g_by_code[static_cast<size_t>(t)];
+      h_left += h_by_code[static_cast<size_t>(t)];
+      n_left += n_by_code[static_cast<size_t>(t)];
+      const double h_right = h_total - h_left;
+      const int64_t n_right = static_cast<int64_t>(rows.size()) - n_left;
+      if (n_left < config.min_samples_leaf ||
+          n_right < config.min_samples_leaf ||
+          h_left < config.min_child_weight ||
+          h_right < config.min_child_weight) {
+        continue;
+      }
+      const double gain = Score(g_left, h_left, config.l2) +
+                          Score(g_total - g_left, h_right, config.l2) -
+                          parent_score;
+      if (!best.found || gain > best.gain + 1e-12) {
+        best.found = true;
+        best.attr = attr;
+        best.threshold = t;
+        best.gain = gain;
+      }
+    }
+  }
+  if (best.found && best.gain <= 1e-12) best.found = false;
+  return best;
+}
+
+std::unique_ptr<RegressionNode> FitNode(const TrainingStore& store,
+                                        const std::vector<RowId>& rows,
+                                        const std::vector<double>& gradients,
+                                        const std::vector<double>& hessians,
+                                        int depth, const GbdtConfig& config) {
+  auto node = std::make_unique<RegressionNode>();
+  double g_total = 0.0, h_total = 0.0;
+  for (RowId r : rows) {
+    g_total += gradients[static_cast<size_t>(r)];
+    h_total += hessians[static_cast<size_t>(r)];
+  }
+  SplitChoice split;
+  if (depth < config.max_depth &&
+      static_cast<int64_t>(rows.size()) >= 2 * config.min_samples_leaf) {
+    split = BestSplit(store, rows, gradients, hessians, g_total, h_total,
+                      config);
+  }
+  if (!split.found) {
+    node->weight = -g_total / (h_total + config.l2);
+    return node;
+  }
+  node->attr = split.attr;
+  node->threshold = split.threshold;
+  std::vector<RowId> left_rows, right_rows;
+  for (RowId r : rows) {
+    (store.code(r, split.attr) <= split.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  node->left =
+      FitNode(store, left_rows, gradients, hessians, depth + 1, config);
+  node->right =
+      FitNode(store, right_rows, gradients, hessians, depth + 1, config);
+  return node;
+}
+
+std::unique_ptr<RegressionNode> CloneNode(const RegressionNode* node) {
+  auto out = std::make_unique<RegressionNode>();
+  out->attr = node->attr;
+  out->threshold = node->threshold;
+  out->weight = node->weight;
+  if (!node->is_leaf()) {
+    out->left = CloneNode(node->left.get());
+    out->right = CloneNode(node->right.get());
+  }
+  return out;
+}
+
+int64_t CountNodes(const RegressionNode* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf()) return 1;
+  return 1 + CountNodes(node->left.get()) + CountNodes(node->right.get());
+}
+
+}  // namespace
+}  // namespace gbdt_internal
+
+using gbdt_internal::RegressionNode;
+
+GbdtTree::GbdtTree() = default;
+GbdtTree::~GbdtTree() = default;
+GbdtTree::GbdtTree(GbdtTree&&) noexcept = default;
+GbdtTree& GbdtTree::operator=(GbdtTree&&) noexcept = default;
+
+GbdtTree::GbdtTree(const GbdtTree& other) {
+  if (other.root_ != nullptr) root_ = gbdt_internal::CloneNode(other.root_.get());
+}
+
+GbdtTree& GbdtTree::operator=(const GbdtTree& other) {
+  if (this != &other) {
+    root_ = other.root_ != nullptr
+                ? gbdt_internal::CloneNode(other.root_.get())
+                : nullptr;
+  }
+  return *this;
+}
+
+GbdtTree GbdtTree::Fit(const TrainingStore& store,
+                       const std::vector<RowId>& rows,
+                       const std::vector<double>& gradients,
+                       const std::vector<double>& hessians,
+                       const GbdtConfig& config) {
+  GbdtTree tree;
+  tree.root_ = gbdt_internal::FitNode(store, rows, gradients, hessians,
+                                      /*depth=*/0, config);
+  return tree;
+}
+
+double GbdtTree::Predict(const Dataset& data, int64_t row) const {
+  const RegressionNode* n = root_.get();
+  FUME_DCHECK(n != nullptr);
+  while (!n->is_leaf()) {
+    n = data.Code(row, n->attr) <= n->threshold ? n->left.get()
+                                                : n->right.get();
+  }
+  return n->weight;
+}
+
+int64_t GbdtTree::num_nodes() const {
+  return gbdt_internal::CountNodes(root_.get());
+}
+
+Result<GbdtClassifier> GbdtClassifier::Train(const Dataset& train,
+                                             const GbdtConfig& config) {
+  if (!train.schema().AllCategorical()) {
+    return Status::Invalid("GbdtClassifier requires all-categorical data");
+  }
+  if (train.num_rows() == 0) {
+    return Status::Invalid("cannot train on an empty dataset");
+  }
+  if (config.num_rounds < 1 || config.max_depth < 1 ||
+      config.learning_rate <= 0.0 || config.l2 < 0.0) {
+    return Status::Invalid("invalid GBDT hyperparameters");
+  }
+  GbdtClassifier model;
+  model.store_ = TrainingStore::Make(train);
+  model.config_ = config;
+  model.alive_.assign(static_cast<size_t>(train.num_rows()), 1);
+  model.alive_count_ = train.num_rows();
+  model.Boost();
+  return model;
+}
+
+void GbdtClassifier::Boost() {
+  trees_.clear();
+  const int64_t n = store_->num_rows();
+  std::vector<RowId> rows;
+  int64_t positives = 0;
+  for (RowId r = 0; r < n; ++r) {
+    if (!alive_[static_cast<size_t>(r)]) continue;
+    rows.push_back(r);
+    positives += store_->label(r);
+  }
+  if (rows.empty()) {
+    base_score_ = 0.0;
+    return;
+  }
+  // Initial log-odds, clamped away from degenerate all-one / all-zero.
+  const double p0 = std::min(
+      0.99, std::max(0.01, static_cast<double>(positives) /
+                               static_cast<double>(rows.size())));
+  base_score_ = std::log(p0 / (1.0 - p0));
+
+  std::vector<double> margin(static_cast<size_t>(n), base_score_);
+  std::vector<double> gradients(static_cast<size_t>(n), 0.0);
+  std::vector<double> hessians(static_cast<size_t>(n), 0.0);
+  trees_.reserve(static_cast<size_t>(config_.num_rounds));
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    for (RowId r : rows) {
+      const double p =
+          1.0 / (1.0 + std::exp(-margin[static_cast<size_t>(r)]));
+      gradients[static_cast<size_t>(r)] = p - store_->label(r);
+      hessians[static_cast<size_t>(r)] = std::max(1e-9, p * (1.0 - p));
+    }
+    GbdtTree tree = GbdtTree::Fit(*store_, rows, gradients, hessians,
+                                  config_);
+    // Update margins through the raw tree; scale by the learning rate.
+    for (RowId r : rows) {
+      const RegressionNode* node = tree.root_.get();
+      while (!node->is_leaf()) {
+        node = store_->code(r, node->attr) <= node->threshold
+                   ? node->left.get()
+                   : node->right.get();
+      }
+      margin[static_cast<size_t>(r)] +=
+          config_.learning_rate * node->weight;
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtClassifier::PredictProb(const Dataset& data, int64_t row) const {
+  if (alive_count_ == 0) return 0.5;
+  double margin = base_score_;
+  for (const GbdtTree& tree : trees_) {
+    margin += config_.learning_rate * tree.Predict(data, row);
+  }
+  return 1.0 / (1.0 + std::exp(-margin));
+}
+
+int GbdtClassifier::Predict(const Dataset& data, int64_t row) const {
+  return PredictProb(data, row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> GbdtClassifier::PredictAll(const Dataset& data) const {
+  std::vector<int> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = Predict(data, r);
+  }
+  return out;
+}
+
+double GbdtClassifier::Accuracy(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  const std::vector<int> preds = PredictAll(data);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+Status GbdtClassifier::DeleteRows(const std::vector<RowId>& rows) {
+  std::unordered_set<RowId> seen;
+  for (RowId r : rows) {
+    if (r < 0 || r >= store_->num_rows()) {
+      return Status::IndexError("row id " + std::to_string(r) +
+                                " out of range");
+    }
+    if (!alive_[static_cast<size_t>(r)]) {
+      return Status::Invalid("row " + std::to_string(r) +
+                             " already deleted (or duplicated in batch)");
+    }
+    if (!seen.insert(r).second) {
+      return Status::Invalid("duplicate row id in deletion batch");
+    }
+  }
+  for (RowId r : rows) alive_[static_cast<size_t>(r)] = 0;
+  alive_count_ -= static_cast<int64_t>(rows.size());
+  // Boosting is sequential: every later tree depends on earlier residuals,
+  // so exact unlearning requires the cascade. Training is deterministic,
+  // hence this equals a scratch train on the surviving rows.
+  Boost();
+  return Status::OK();
+}
+
+GbdtUnlearnRemovalMethod::GbdtUnlearnRemovalMethod(
+    const GbdtClassifier* model, const Dataset* test, GroupSpec group,
+    FairnessMetric metric)
+    : model_(model), test_(test), group_(group), metric_(metric) {}
+
+ModelEval EvaluateGbdt(const GbdtClassifier& model, const Dataset& test,
+                       const GroupSpec& group, FairnessMetric metric) {
+  const std::vector<int> preds = model.PredictAll(test);
+  ModelEval eval;
+  eval.fairness = ComputeFairness(test, preds, group, metric);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test.Label(r)) ++correct;
+  }
+  eval.accuracy = test.num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(test.num_rows());
+  return eval;
+}
+
+Result<ModelEval> GbdtUnlearnRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  GbdtClassifier what_if = model_->Clone();
+  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
+  return EvaluateGbdt(what_if, *test_, group_, metric_);
+}
+
+}  // namespace fume

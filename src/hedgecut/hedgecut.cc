@@ -1,0 +1,588 @@
+#include "hedgecut/hedgecut.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fairness/metrics.h"
+#include "forest/split_stats.h"  // WeightedGini
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace hedgecut_internal {
+
+struct Candidate {
+  int attr = 0;
+  int32_t threshold = 0;
+  int64_t left_count = 0;
+  int64_t left_pos = 0;
+};
+
+struct Node {
+  int64_t count = 0;
+  int64_t pos = 0;
+  // Internal-node state. `active` indexes the winning candidate; -1 = leaf.
+  std::vector<Candidate> candidates;
+  int active = -1;
+  std::unique_ptr<Node> left, right;
+  // Maintained runner-up variant (HedgeCut's low-latency trick); -1 = none.
+  int variant = -1;
+  std::unique_ptr<Node> variant_left, variant_right;
+  // Leaf state.
+  std::vector<RowId> rows;
+
+  bool is_leaf() const { return active < 0; }
+};
+
+namespace {
+
+constexpr uint64_t kTagCandAttr = 0x4c6563ULL;
+constexpr uint64_t kTagCandThr = 0x4c6564ULL;
+constexpr uint64_t kTagChild = 0x4c6565ULL;
+
+// The candidate set is a pure function of (path key, schema, config):
+// num_candidates keyed draws, duplicates dropped.
+std::vector<Candidate> DrawCandidates(uint64_t key, const TrainingStore& store,
+                                      const HedgecutConfig& config) {
+  std::vector<Candidate> out;
+  for (int i = 0; i < config.num_candidates; ++i) {
+    const int attr = static_cast<int>(
+        Hash64({key, kTagCandAttr, static_cast<uint64_t>(i)}) %
+        static_cast<uint64_t>(store.num_attrs()));
+    const int32_t card = store.cardinality(attr);
+    if (card < 2) continue;
+    const int32_t threshold = static_cast<int32_t>(
+        Hash64({key, kTagCandThr, static_cast<uint64_t>(i)}) %
+        static_cast<uint64_t>(card - 1));
+    const bool duplicate =
+        std::any_of(out.begin(), out.end(), [&](const Candidate& c) {
+          return c.attr == attr && c.threshold == threshold;
+        });
+    if (!duplicate) out.push_back(Candidate{attr, threshold, 0, 0});
+  }
+  return out;
+}
+
+// Child key derived from the CANDIDATE identity, not from whether the
+// subtree currently serves as active or variant — this is what makes a
+// swapped-in variant identical to a scratch build (header notes).
+uint64_t ChildKeyFor(uint64_t key, const Candidate& candidate, int side) {
+  return Hash64({key, kTagChild, static_cast<uint64_t>(candidate.attr),
+                 static_cast<uint64_t>(static_cast<uint32_t>(candidate.threshold)),
+                 static_cast<uint64_t>(side)});
+}
+
+// Gini gain of a candidate at a node; negative infinity stand-in (-1) when
+// the candidate is invalid under min_samples_leaf.
+double CandidateGain(const Node& node, const Candidate& candidate,
+                     int min_leaf) {
+  const int64_t right_count = node.count - candidate.left_count;
+  const int64_t right_pos = node.pos - candidate.left_pos;
+  if (candidate.left_count < min_leaf || right_count < min_leaf) return -1.0;
+  const double parent = WeightedGini(node.count, node.pos, 0, 0);
+  const double children = WeightedGini(candidate.left_count,
+                                       candidate.left_pos, right_count,
+                                       right_pos);
+  return parent - children;
+}
+
+struct Decision {
+  bool is_leaf = true;
+  int winner = -1;
+  int runner_up = -1;
+  bool robust = true;
+};
+
+Decision Decide(const Node& node, int depth, const HedgecutConfig& config) {
+  Decision decision;
+  if (node.count < config.min_samples_split) return decision;
+  if (node.pos == 0 || node.pos == node.count) return decision;
+  if (depth >= config.max_depth) return decision;
+  const int min_leaf = std::max(1, config.min_samples_leaf);
+  double best = -1.0, second = -1.0;
+  for (size_t i = 0; i < node.candidates.size(); ++i) {
+    const double gain = CandidateGain(node, node.candidates[i], min_leaf);
+    if (gain < 0.0) continue;
+    if (decision.winner < 0 || gain > best + 1e-12) {
+      decision.runner_up = decision.winner;
+      second = best;
+      decision.winner = static_cast<int>(i);
+      best = gain;
+    } else if (decision.runner_up < 0 || gain > second + 1e-12) {
+      decision.runner_up = static_cast<int>(i);
+      second = gain;
+    }
+  }
+  if (decision.winner < 0) return decision;
+  decision.is_leaf = false;
+  decision.robust = decision.runner_up < 0 ||
+                    (best - second) >= config.robustness_margin;
+  return decision;
+}
+
+void ComputeStats(Node* node, const TrainingStore& store,
+                  const std::vector<RowId>& rows) {
+  node->count = static_cast<int64_t>(rows.size());
+  node->pos = 0;
+  for (auto& candidate : node->candidates) {
+    candidate.left_count = 0;
+    candidate.left_pos = 0;
+  }
+  for (RowId r : rows) {
+    const int y = store.label(r);
+    node->pos += y;
+    for (auto& candidate : node->candidates) {
+      if (store.code(r, candidate.attr) <= candidate.threshold) {
+        ++candidate.left_count;
+        candidate.left_pos += y;
+      }
+    }
+  }
+}
+
+std::unique_ptr<Node> BuildNode(const TrainingStore& store,
+                                const std::vector<RowId>& rows, int depth,
+                                uint64_t key, const HedgecutConfig& config,
+                                bool allow_variants = true) {
+  auto node = std::make_unique<Node>();
+  node->candidates = DrawCandidates(key, store, config);
+  ComputeStats(node.get(), store, rows);
+
+  const Decision decision = Decide(*node, depth, config);
+  if (decision.is_leaf) {
+    node->candidates.clear();
+    node->active = -1;
+    node->rows = rows;
+    return node;
+  }
+  node->active = decision.winner;
+
+  auto partition = [&](const Candidate& candidate,
+                       std::vector<RowId>* left_rows,
+                       std::vector<RowId>* right_rows) {
+    for (RowId r : rows) {
+      (store.code(r, candidate.attr) <= candidate.threshold ? *left_rows
+                                                            : *right_rows)
+          .push_back(r);
+    }
+  };
+
+  {
+    const Candidate& winner =
+        node->candidates[static_cast<size_t>(decision.winner)];
+    std::vector<RowId> left_rows, right_rows;
+    partition(winner, &left_rows, &right_rows);
+    node->left = BuildNode(store, left_rows, depth + 1,
+                           ChildKeyFor(key, winner, 0), config,
+                           allow_variants);
+    node->right = BuildNode(store, right_rows, depth + 1,
+                            ChildKeyFor(key, winner, 1), config,
+                            allow_variants);
+  }
+  if (!decision.robust && allow_variants) {
+    // Non-robust winner: maintain the runner-up's subtrees so a future flip
+    // is served instantly. Variants are kept one level deep only — a
+    // variant subtree carries no variants of its own (they are a pure
+    // cache; nesting them would grow the tree exponentially). The served
+    // (active) structure is unaffected either way.
+    node->variant = decision.runner_up;
+    const Candidate& runner =
+        node->candidates[static_cast<size_t>(decision.runner_up)];
+    std::vector<RowId> left_rows, right_rows;
+    partition(runner, &left_rows, &right_rows);
+    node->variant_left =
+        BuildNode(store, left_rows, depth + 1, ChildKeyFor(key, runner, 0),
+                  config, /*allow_variants=*/false);
+    node->variant_right =
+        BuildNode(store, right_rows, depth + 1, ChildKeyFor(key, runner, 1),
+                  config, /*allow_variants=*/false);
+  }
+  return node;
+}
+
+void CollectActiveRows(const Node* node, std::vector<RowId>* out) {
+  if (node->is_leaf()) {
+    out->insert(out->end(), node->rows.begin(), node->rows.end());
+    return;
+  }
+  CollectActiveRows(node->left.get(), out);
+  CollectActiveRows(node->right.get(), out);
+}
+
+void DeleteFromNode(Node* node, const TrainingStore& store,
+                    const std::vector<RowId>& rows, int depth, uint64_t key,
+                    const HedgecutConfig& config,
+                    HedgecutDeletionStats* stats) {
+  ++stats->nodes_visited;
+
+  if (node->is_leaf()) {
+    std::unordered_set<RowId> doomed(rows.begin(), rows.end());
+    int64_t removed_pos = 0;
+    size_t kept = 0;
+    for (size_t i = 0; i < node->rows.size(); ++i) {
+      if (doomed.count(node->rows[i]) > 0) {
+        removed_pos += store.label(node->rows[i]);
+      } else {
+        node->rows[kept++] = node->rows[i];
+      }
+    }
+    FUME_CHECK_EQ(node->rows.size() - kept, rows.size());
+    node->rows.resize(kept);
+    node->count -= static_cast<int64_t>(rows.size());
+    node->pos -= removed_pos;
+    return;
+  }
+
+  // Decrement node and per-candidate statistics.
+  for (RowId r : rows) {
+    const int y = store.label(r);
+    --node->count;
+    node->pos -= y;
+    for (auto& candidate : node->candidates) {
+      if (store.code(r, candidate.attr) <= candidate.threshold) {
+        --candidate.left_count;
+        candidate.left_pos -= y;
+      }
+    }
+  }
+
+  const Decision decision = Decide(*node, depth, config);
+  if (decision.is_leaf) {
+    // Collapse into a leaf holding the remaining rows.
+    std::vector<RowId> remaining;
+    CollectActiveRows(node, &remaining);
+    std::unordered_set<RowId> doomed(rows.begin(), rows.end());
+    remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                   [&](RowId r) { return doomed.count(r); }),
+                    remaining.end());
+    ++stats->subtree_rebuilds;
+    stats->rows_retrained += static_cast<int64_t>(remaining.size());
+    std::unique_ptr<Node> rebuilt =
+        BuildNode(store, remaining, depth, key, config);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  auto route = [&](const Candidate& candidate, Node* left, Node* right,
+                   int side_key_base) {
+    std::vector<RowId> left_rows, right_rows;
+    for (RowId r : rows) {
+      (store.code(r, candidate.attr) <= candidate.threshold ? left_rows
+                                                            : right_rows)
+          .push_back(r);
+    }
+    (void)side_key_base;
+    if (!left_rows.empty()) {
+      DeleteFromNode(left, store, left_rows, depth + 1,
+                     ChildKeyFor(key, candidate, 0), config, stats);
+    }
+    if (!right_rows.empty()) {
+      DeleteFromNode(right, store, right_rows, depth + 1,
+                     ChildKeyFor(key, candidate, 1), config, stats);
+    }
+  };
+
+  if (decision.winner == node->active) {
+    // Winner unchanged: keep serving the active pair; also keep any
+    // maintained variant up to date.
+    route(node->candidates[static_cast<size_t>(node->active)],
+          node->left.get(), node->right.get(), 0);
+    if (node->variant >= 0) {
+      route(node->candidates[static_cast<size_t>(node->variant)],
+            node->variant_left.get(), node->variant_right.get(), 2);
+    }
+    return;
+  }
+
+  if (node->variant >= 0 && decision.winner == node->variant) {
+    // The flip HedgeCut optimizes for: deletions are applied to both pairs,
+    // then the maintained variant becomes active instantly.
+    route(node->candidates[static_cast<size_t>(node->active)],
+          node->left.get(), node->right.get(), 0);
+    route(node->candidates[static_cast<size_t>(node->variant)],
+          node->variant_left.get(), node->variant_right.get(), 2);
+    std::swap(node->active, node->variant);
+    std::swap(node->left, node->variant_left);
+    std::swap(node->right, node->variant_right);
+    ++stats->variant_swaps;
+    return;
+  }
+
+  // Winner flipped to a candidate without a maintained variant: retrain the
+  // node from its remaining rows.
+  std::vector<RowId> remaining;
+  CollectActiveRows(node, &remaining);
+  std::unordered_set<RowId> doomed(rows.begin(), rows.end());
+  remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
+                                 [&](RowId r) { return doomed.count(r); }),
+                  remaining.end());
+  ++stats->subtree_rebuilds;
+  stats->rows_retrained += static_cast<int64_t>(remaining.size());
+  std::unique_ptr<Node> rebuilt =
+      BuildNode(store, remaining, depth, key, config);
+  *node = std::move(*rebuilt);
+}
+
+std::unique_ptr<Node> CloneNode(const Node* node) {
+  auto out = std::make_unique<Node>();
+  out->count = node->count;
+  out->pos = node->pos;
+  out->candidates = node->candidates;
+  out->active = node->active;
+  out->variant = node->variant;
+  out->rows = node->rows;
+  if (node->left) out->left = CloneNode(node->left.get());
+  if (node->right) out->right = CloneNode(node->right.get());
+  if (node->variant_left) out->variant_left = CloneNode(node->variant_left.get());
+  if (node->variant_right) {
+    out->variant_right = CloneNode(node->variant_right.get());
+  }
+  return out;
+}
+
+bool ActiveEquals(const Node* a, const Node* b) {
+  if (a->count != b->count || a->pos != b->pos) return false;
+  if (a->is_leaf() != b->is_leaf()) return false;
+  if (a->is_leaf()) {
+    std::vector<RowId> ra = a->rows;
+    std::vector<RowId> rb = b->rows;
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    return ra == rb;
+  }
+  const Candidate& ca = a->candidates[static_cast<size_t>(a->active)];
+  const Candidate& cb = b->candidates[static_cast<size_t>(b->active)];
+  if (ca.attr != cb.attr || ca.threshold != cb.threshold ||
+      ca.left_count != cb.left_count || ca.left_pos != cb.left_pos) {
+    return false;
+  }
+  return ActiveEquals(a->left.get(), b->left.get()) &&
+         ActiveEquals(a->right.get(), b->right.get());
+}
+
+int64_t CountActive(const Node* node) {
+  if (node == nullptr) return 0;
+  if (node->is_leaf()) return 1;
+  return 1 + CountActive(node->left.get()) + CountActive(node->right.get());
+}
+
+int64_t CountVariant(const Node* node) {
+  if (node == nullptr || node->is_leaf()) return 0;
+  int64_t total = CountVariant(node->left.get()) +
+                  CountVariant(node->right.get());
+  if (node->variant >= 0) {
+    total += CountActive(node->variant_left.get()) +
+             CountActive(node->variant_right.get());
+    total += CountVariant(node->variant_left.get()) +
+             CountVariant(node->variant_right.get());
+  }
+  return total;
+}
+
+uint64_t RootKey(uint64_t seed, int tree_id) {
+  return Hash64({seed, 0x4c65c7ULL, static_cast<uint64_t>(tree_id)});
+}
+
+}  // namespace
+}  // namespace hedgecut_internal
+
+using hedgecut_internal::Node;
+
+HedgecutTree::HedgecutTree() = default;
+HedgecutTree::~HedgecutTree() = default;
+HedgecutTree::HedgecutTree(HedgecutTree&&) noexcept = default;
+HedgecutTree& HedgecutTree::operator=(HedgecutTree&&) noexcept = default;
+
+HedgecutTree HedgecutTree::Build(std::shared_ptr<const TrainingStore> store,
+                                 const std::vector<RowId>& rows, int tree_id,
+                                 const HedgecutConfig& config) {
+  HedgecutTree tree;
+  tree.store_ = std::move(store);
+  tree.config_ = config;
+  tree.tree_id_ = tree_id;
+  tree.root_ = hedgecut_internal::BuildNode(
+      *tree.store_, rows, /*depth=*/0,
+      hedgecut_internal::RootKey(config.seed, tree_id), config);
+  return tree;
+}
+
+void HedgecutTree::DeleteRows(const std::vector<RowId>& rows,
+                              HedgecutDeletionStats* stats_out) {
+  if (rows.empty() || root_ == nullptr) return;
+  HedgecutDeletionStats local;
+  hedgecut_internal::DeleteFromNode(
+      root_.get(), *store_, rows, /*depth=*/0,
+      hedgecut_internal::RootKey(config_.seed, tree_id_), config_, &local);
+  if (stats_out != nullptr) stats_out->Add(local);
+}
+
+double HedgecutTree::PredictProb(const Dataset& data, int64_t row) const {
+  const Node* n = root_.get();
+  if (n == nullptr || n->count == 0) return 0.5;
+  while (!n->is_leaf()) {
+    const auto& candidate = n->candidates[static_cast<size_t>(n->active)];
+    n = data.Code(row, candidate.attr) <= candidate.threshold
+            ? n->left.get()
+            : n->right.get();
+  }
+  if (n->count == 0) return 0.5;
+  return static_cast<double>(n->pos) / static_cast<double>(n->count);
+}
+
+HedgecutTree HedgecutTree::Clone() const {
+  HedgecutTree out;
+  out.store_ = store_;
+  out.config_ = config_;
+  out.tree_id_ = tree_id_;
+  if (root_ != nullptr) out.root_ = hedgecut_internal::CloneNode(root_.get());
+  return out;
+}
+
+bool HedgecutTree::ActiveStructureEquals(const HedgecutTree& other) const {
+  if ((root_ == nullptr) != (other.root_ == nullptr)) return false;
+  if (root_ == nullptr) return true;
+  return hedgecut_internal::ActiveEquals(root_.get(), other.root_.get());
+}
+
+int64_t HedgecutTree::num_nodes() const {
+  return hedgecut_internal::CountActive(root_.get());
+}
+
+int64_t HedgecutTree::num_variant_nodes() const {
+  return hedgecut_internal::CountVariant(root_.get());
+}
+
+Result<HedgecutForest> HedgecutForest::Train(const Dataset& train,
+                                             const HedgecutConfig& config) {
+  if (!train.schema().AllCategorical()) {
+    return Status::Invalid(
+        "HedgecutForest requires an all-categorical dataset");
+  }
+  if (train.num_rows() == 0) {
+    return Status::Invalid("cannot train on an empty dataset");
+  }
+  if (config.num_trees < 1 || config.max_depth < 1 ||
+      config.num_candidates < 1) {
+    return Status::Invalid(
+        "num_trees, max_depth and num_candidates must be positive");
+  }
+  if (config.robustness_margin < 0.0) {
+    return Status::Invalid("robustness_margin must be non-negative");
+  }
+  HedgecutForest forest;
+  forest.config_ = config;
+  forest.store_ = TrainingStore::Make(train);
+  std::vector<RowId> all_rows(static_cast<size_t>(train.num_rows()));
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    all_rows[static_cast<size_t>(r)] = static_cast<RowId>(r);
+  }
+  forest.trees_.reserve(static_cast<size_t>(config.num_trees));
+  for (int t = 0; t < config.num_trees; ++t) {
+    forest.trees_.push_back(
+        HedgecutTree::Build(forest.store_, all_rows, t, config));
+  }
+  return forest;
+}
+
+Status HedgecutForest::DeleteRows(const std::vector<RowId>& rows) {
+  if (rows.empty()) return Status::OK();
+  std::unordered_set<RowId> seen;
+  for (RowId r : rows) {
+    if (r < 0 || r >= store_->num_rows()) {
+      return Status::IndexError("row id " + std::to_string(r) +
+                                " out of range");
+    }
+    if (!seen.insert(r).second) {
+      return Status::Invalid("duplicate row id in deletion batch");
+    }
+  }
+  for (auto& tree : trees_) tree.DeleteRows(rows, &deletion_stats_);
+  return Status::OK();
+}
+
+double HedgecutForest::PredictProb(const Dataset& data, int64_t row) const {
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.PredictProb(data, row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+int HedgecutForest::Predict(const Dataset& data, int64_t row) const {
+  return PredictProb(data, row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> HedgecutForest::PredictAll(const Dataset& data) const {
+  std::vector<int> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = Predict(data, r);
+  }
+  return out;
+}
+
+double HedgecutForest::Accuracy(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  const std::vector<int> preds = PredictAll(data);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+HedgecutForest HedgecutForest::Clone() const {
+  HedgecutForest out;
+  out.store_ = store_;
+  out.config_ = config_;
+  out.trees_.reserve(trees_.size());
+  for (const auto& tree : trees_) out.trees_.push_back(tree.Clone());
+  return out;
+}
+
+bool HedgecutForest::ActiveStructureEquals(const HedgecutForest& other) const {
+  if (trees_.size() != other.trees_.size()) return false;
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    if (!trees_[i].ActiveStructureEquals(other.trees_[i])) return false;
+  }
+  return true;
+}
+
+int64_t HedgecutForest::num_nodes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+int64_t HedgecutForest::num_variant_nodes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.num_variant_nodes();
+  return total;
+}
+
+HedgecutUnlearnRemovalMethod::HedgecutUnlearnRemovalMethod(
+    const HedgecutForest* model, const Dataset* test, GroupSpec group,
+    FairnessMetric metric)
+    : model_(model), test_(test), group_(group), metric_(metric) {}
+
+ModelEval EvaluateHedgecut(const HedgecutForest& model, const Dataset& test,
+                           const GroupSpec& group, FairnessMetric metric) {
+  const std::vector<int> preds = model.PredictAll(test);
+  ModelEval eval;
+  eval.fairness = ComputeFairness(test, preds, group, metric);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test.Label(r)) ++correct;
+  }
+  eval.accuracy = test.num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(test.num_rows());
+  return eval;
+}
+
+Result<ModelEval> HedgecutUnlearnRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  HedgecutForest what_if = model_->Clone();
+  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
+  return EvaluateHedgecut(what_if, *test_, group_, metric_);
+}
+
+}  // namespace fume

@@ -1,0 +1,128 @@
+#include "knn/knn.h"
+
+#include <algorithm>
+
+#include "fairness/metrics.h"
+
+namespace fume {
+
+Result<KnnClassifier> KnnClassifier::Train(const Dataset& train,
+                                           const KnnConfig& config) {
+  if (!train.schema().AllCategorical()) {
+    return Status::Invalid("KnnClassifier requires all-categorical data");
+  }
+  if (train.num_rows() == 0) {
+    return Status::Invalid("cannot train on an empty dataset");
+  }
+  if (config.num_neighbors < 1) {
+    return Status::Invalid("num_neighbors must be >= 1");
+  }
+  KnnClassifier model;
+  model.store_ = TrainingStore::Make(train);
+  model.config_ = config;
+  model.alive_.assign(static_cast<size_t>(train.num_rows()), 1);
+  model.alive_count_ = train.num_rows();
+  return model;
+}
+
+double KnnClassifier::PredictProb(const Dataset& data, int64_t row) const {
+  if (alive_count_ == 0) return 0.5;
+  const int p = store_->num_attrs();
+  const int k = std::min<int>(config_.num_neighbors,
+                              static_cast<int>(alive_count_));
+  // Bounded selection: keep the k best (distance, row id) pairs. Scanning
+  // rows in ascending id order makes the tie-break "smaller id wins"
+  // automatic with a strict comparison against the current worst.
+  std::vector<std::pair<int, RowId>> best;  // max-heap by (distance, id)
+  best.reserve(static_cast<size_t>(k) + 1);
+  for (RowId r = 0; r < store_->num_rows(); ++r) {
+    if (!alive_[static_cast<size_t>(r)]) continue;
+    int dist = 0;
+    for (int j = 0; j < p; ++j) {
+      dist += store_->code(r, j) != data.Code(row, j) ? 1 : 0;
+    }
+    const std::pair<int, RowId> entry{dist, r};
+    if (static_cast<int>(best.size()) < k) {
+      best.push_back(entry);
+      std::push_heap(best.begin(), best.end());
+    } else if (entry < best.front()) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = entry;
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+  int64_t positives = 0;
+  for (const auto& [dist, r] : best) positives += store_->label(r);
+  return static_cast<double>(positives) / static_cast<double>(best.size());
+}
+
+int KnnClassifier::Predict(const Dataset& data, int64_t row) const {
+  return PredictProb(data, row) >= 0.5 ? 1 : 0;
+}
+
+std::vector<int> KnnClassifier::PredictAll(const Dataset& data) const {
+  std::vector<int> out(static_cast<size_t>(data.num_rows()));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    out[static_cast<size_t>(r)] = Predict(data, r);
+  }
+  return out;
+}
+
+double KnnClassifier::Accuracy(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  const std::vector<int> preds = PredictAll(data);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == data.Label(r)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.num_rows());
+}
+
+Status KnnClassifier::DeleteRows(const std::vector<RowId>& rows) {
+  for (RowId r : rows) {
+    if (r < 0 || r >= store_->num_rows()) {
+      return Status::IndexError("row id " + std::to_string(r) +
+                                " out of range");
+    }
+    if (!alive_[static_cast<size_t>(r)]) {
+      return Status::Invalid("row " + std::to_string(r) +
+                             " already deleted (or duplicated in batch)");
+    }
+  }
+  for (RowId r : rows) alive_[static_cast<size_t>(r)] = 0;
+  alive_count_ -= static_cast<int64_t>(rows.size());
+  return Status::OK();
+}
+
+KnnClassifier KnnClassifier::Clone() const { return *this; }
+
+KnnUnlearnRemovalMethod::KnnUnlearnRemovalMethod(const KnnClassifier* model,
+                                                 const Dataset* test,
+                                                 GroupSpec group,
+                                                 FairnessMetric metric)
+    : model_(model), test_(test), group_(group), metric_(metric) {}
+
+ModelEval EvaluateKnn(const KnnClassifier& model, const Dataset& test,
+                      const GroupSpec& group, FairnessMetric metric) {
+  const std::vector<int> preds = model.PredictAll(test);
+  ModelEval eval;
+  eval.fairness = ComputeFairness(test, preds, group, metric);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test.Label(r)) ++correct;
+  }
+  eval.accuracy = test.num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(test.num_rows());
+  return eval;
+}
+
+Result<ModelEval> KnnUnlearnRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  KnnClassifier what_if = model_->Clone();
+  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
+  return EvaluateKnn(what_if, *test_, group_, metric_);
+}
+
+}  // namespace fume

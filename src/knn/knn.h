@@ -1,0 +1,83 @@
+// KnnClassifier: a second non-parametric model family with exact unlearning,
+// demonstrating the paper's §5 claim that FUME extends beyond random forests
+// by swapping the removal method. Deleting a training instance from a k-NN
+// model is trivially exact — the instance simply stops being a neighbour —
+// so the unlearned model IS the retrained model.
+
+#ifndef FUME_KNN_KNN_H_
+#define FUME_KNN_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/removal_method.h"
+#include "data/dataset.h"
+#include "fairness/confusion.h"
+#include "forest/training_store.h"
+#include "util/result.h"
+
+namespace fume {
+
+struct KnnConfig {
+  /// Number of neighbours considered per prediction.
+  int num_neighbors = 5;
+};
+
+/// \brief k-nearest-neighbour binary classifier over all-categorical data
+/// with Hamming distance. Supports exact deletion (mask out the rows) and
+/// cheap cloning (clones share the immutable training snapshot).
+class KnnClassifier {
+ public:
+  KnnClassifier() = default;
+
+  static Result<KnnClassifier> Train(const Dataset& train,
+                                     const KnnConfig& config);
+
+  /// P(label=1) = positive fraction among the k nearest alive training
+  /// rows. Ties at the k-th distance break deterministically by row id.
+  double PredictProb(const Dataset& data, int64_t row) const;
+  int Predict(const Dataset& data, int64_t row) const;
+  std::vector<int> PredictAll(const Dataset& data) const;
+  double Accuracy(const Dataset& data) const;
+
+  /// Exact unlearning: the rows stop participating in every future
+  /// prediction, which is precisely what retraining on the reduced data
+  /// yields. Duplicate or already-deleted ids are an error.
+  Status DeleteRows(const std::vector<RowId>& rows);
+
+  KnnClassifier Clone() const;
+
+  int64_t num_alive_rows() const { return alive_count_; }
+
+ private:
+  std::shared_ptr<const TrainingStore> store_;
+  KnnConfig config_;
+  std::vector<uint8_t> alive_;
+  int64_t alive_count_ = 0;
+};
+
+/// \brief RemovalMethod adapter so FUME can explain k-NN fairness violations
+/// (plug into the generic ExplainWithRemoval overload).
+class KnnUnlearnRemovalMethod : public RemovalMethod {
+ public:
+  /// Pointers must outlive this object.
+  KnnUnlearnRemovalMethod(const KnnClassifier* model, const Dataset* test,
+                          GroupSpec group, FairnessMetric metric);
+
+  Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override;
+  const char* name() const override { return "knn-unlearn"; }
+
+ private:
+  const KnnClassifier* model_;
+  const Dataset* test_;
+  GroupSpec group_;
+  FairnessMetric metric_;
+};
+
+/// Evaluates a trained k-NN model on test data (fairness + accuracy).
+ModelEval EvaluateKnn(const KnnClassifier& model, const Dataset& test,
+                      const GroupSpec& group, FairnessMetric metric);
+
+}  // namespace fume
+
+#endif  // FUME_KNN_KNN_H_

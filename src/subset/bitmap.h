@@ -1,0 +1,85 @@
+// Fixed-size row bitmap used for predicate evaluation. Lattice children are
+// intersections of their parents' bitmaps, so support computation is a few
+// AND+popcount passes rather than a rescan of the data.
+
+#ifndef FUME_SUBSET_BITMAP_H_
+#define FUME_SUBSET_BITMAP_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fume {
+
+/// \brief Dense bitset over row indices [0, size).
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(int64_t size)
+      : size_(size), words_(static_cast<size_t>((size + 63) / 64), 0) {}
+
+  int64_t size() const { return size_; }
+
+  void Set(int64_t i) {
+    FUME_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i >> 6)] |= uint64_t{1} << (i & 63);
+  }
+
+  bool Get(int64_t i) const {
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  int64_t Count() const {
+    int64_t c = 0;
+    for (uint64_t w : words_) c += std::popcount(w);
+    return c;
+  }
+
+  /// this &= other (sizes must match).
+  void IntersectWith(const Bitmap& other) {
+    FUME_DCHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this |= other.
+  void UnionWith(const Bitmap& other) {
+    FUME_DCHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  static Bitmap Intersect(const Bitmap& a, const Bitmap& b) {
+    Bitmap out = a;
+    out.IntersectWith(b);
+    return out;
+  }
+
+  /// Indices of set bits, ascending.
+  std::vector<int32_t> ToRows() const {
+    std::vector<int32_t> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        out.push_back(static_cast<int32_t>((w << 6) + b));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  int64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_SUBSET_BITMAP_H_

@@ -1,0 +1,87 @@
+// The hierarchically ordered lattice of predicate subsets (paper §4),
+// borrowed from apriori candidate generation: level l nodes carry l literals
+// and are produced by joining two level-(l-1) nodes that share l-2 literals.
+
+#ifndef FUME_SUBSET_LATTICE_H_
+#define FUME_SUBSET_LATTICE_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "subset/posting_index.h"
+#include "subset/predicate.h"
+
+namespace fume {
+
+/// \brief One lattice node: a predicate plus its matched training rows and
+/// search bookkeeping filled in by FUME.
+struct LatticeNode {
+  Predicate predicate;
+  Bitmap rows;          // matching training rows
+  double support = 0.0; // |rows| / |D|
+  int level = 1;        // number of literals
+
+  /// Bias attribution (positive = removing the subset reduces bias; the
+  /// paper's "parity reduction" as a fraction). NaN until estimated —
+  /// nodes kept for expansion only (support > tau_max) are never estimated.
+  double attribution = std::numeric_limits<double>::quiet_NaN();
+  /// Best parent attribution, for pruning Rule 4. NaN at level 1.
+  double parent_attribution = std::numeric_limits<double>::quiet_NaN();
+
+  bool attribution_known() const { return attribution == attribution; }
+};
+
+struct LatticeOptions {
+  /// Generate equality literals for every (attribute, value) pair at level 1
+  /// (the paper's construction over discretized data).
+  bool equality_literals = true;
+  /// Additionally generate range literals (<= v and >= v) for attributes
+  /// whose code order is meaningful (discretized numerics). Off by default
+  /// to mirror the paper's experiments.
+  bool range_literals = false;
+  /// Attributes excluded from literals (e.g. the sensitive attribute when
+  /// the practitioner wants explanations not phrased in terms of it).
+  std::vector<int> excluded_attrs;
+};
+
+/// \brief Generates lattice levels over one training set.
+class Lattice {
+ public:
+  Lattice(const Dataset& train, LatticeOptions options);
+
+  /// Level-1 nodes: one per literal, with bitmaps from the posting index.
+  std::vector<LatticeNode> MakeLevel1() const;
+
+  /// Apriori join of level-(l-1) nodes into level-l candidates: two nodes
+  /// sharing their first l-2 literals merge; contradictory results (Rule 1)
+  /// are dropped. `parents` must be sorted by predicate (the join relies on
+  /// the canonical order); MergeLevel sorts a copy if needed.
+  ///
+  /// Each candidate's rows = intersection of its parents' bitmaps and
+  /// parent_attribution = max of the parents' known attributions.
+  /// *pairs_considered (nullable) counts the join pairs examined before
+  /// Rule 1 — the "possible subsets" column of the paper's Table 9.
+  std::vector<LatticeNode> MergeLevel(std::vector<LatticeNode> parents,
+                                      int64_t* pairs_considered) const;
+
+  /// Number of syntactically possible subsets at level 1 (= sum of literal
+  /// counts); reported by Table 9.
+  int64_t NumPossibleLevel1() const;
+
+  const PostingIndex& index() const { return index_; }
+  const Schema& schema() const { return *schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+ private:
+  std::vector<Literal> MakeLiterals() const;
+
+  const Schema* schema_;
+  int64_t num_rows_;
+  LatticeOptions options_;
+  PostingIndex index_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_SUBSET_LATTICE_H_

@@ -1,0 +1,60 @@
+#include "subset/literal.h"
+
+#include "util/check.h"
+
+namespace fume {
+
+const char* LiteralOpSymbol(LiteralOp op) {
+  switch (op) {
+    case LiteralOp::kEq:
+      return "=";
+    case LiteralOp::kNe:
+      return "!=";
+    case LiteralOp::kLt:
+      return "<";
+    case LiteralOp::kLe:
+      return "<=";
+    case LiteralOp::kGe:
+      return ">=";
+    case LiteralOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool Literal::Matches(int32_t code) const {
+  switch (op) {
+    case LiteralOp::kEq:
+      return code == value;
+    case LiteralOp::kNe:
+      return code != value;
+    case LiteralOp::kLt:
+      return code < value;
+    case LiteralOp::kLe:
+      return code <= value;
+    case LiteralOp::kGe:
+      return code >= value;
+    case LiteralOp::kGt:
+      return code > value;
+  }
+  return false;
+}
+
+uint64_t Literal::AllowedMask(int32_t cardinality) const {
+  FUME_CHECK(cardinality >= 1 && cardinality <= 64);
+  uint64_t mask = 0;
+  for (int32_t c = 0; c < cardinality; ++c) {
+    if (Matches(c)) mask |= uint64_t{1} << c;
+  }
+  return mask;
+}
+
+std::string Literal::ToString(const Schema& schema) const {
+  const Attribute& a = schema.attribute(attr);
+  std::string v = (value >= 0 && value < a.cardinality())
+                      ? a.categories[static_cast<size_t>(value)]
+                      : std::to_string(value);
+  return a.name + " " + LiteralOpSymbol(op) + " " + v;
+}
+
+}  // namespace fume

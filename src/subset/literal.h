@@ -1,0 +1,56 @@
+// Literal: one (attribute op value) comparison over category codes.
+// Predicates (predicate.h) are conjunctions of literals (paper §2.1).
+
+#ifndef FUME_SUBSET_LITERAL_H_
+#define FUME_SUBSET_LITERAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/schema.h"
+
+namespace fume {
+
+/// Comparison operator of a literal: X op v over the attribute's code order
+/// (bin order for discretized attributes).
+enum class LiteralOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGe,
+  kGt,
+};
+
+const char* LiteralOpSymbol(LiteralOp op);
+
+/// \brief One comparison (attr op value). Value is a category code.
+struct Literal {
+  int attr = 0;
+  LiteralOp op = LiteralOp::kEq;
+  int32_t value = 0;
+
+  bool Matches(int32_t code) const;
+
+  /// Bitmask (over codes 0..cardinality-1, cardinality <= 64) of codes the
+  /// literal admits. Used for Rule 1 satisfiability checks.
+  uint64_t AllowedMask(int32_t cardinality) const;
+
+  /// "Gender = Male" (needs the schema for names).
+  std::string ToString(const Schema& schema) const;
+
+  /// Total order (attr, op, value): the canonical literal order inside
+  /// predicates and the apriori join order.
+  friend bool operator<(const Literal& a, const Literal& b) {
+    if (a.attr != b.attr) return a.attr < b.attr;
+    if (a.op != b.op) return static_cast<int>(a.op) < static_cast<int>(b.op);
+    return a.value < b.value;
+  }
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.attr == b.attr && a.op == b.op && a.value == b.value;
+  }
+};
+
+}  // namespace fume
+
+#endif  // FUME_SUBSET_LITERAL_H_

@@ -1,0 +1,70 @@
+#include "subset/posting_index.h"
+
+#include "util/check.h"
+
+namespace fume {
+
+PostingIndex PostingIndex::Build(const Dataset& data) {
+  FUME_CHECK(data.schema().AllCategorical());
+  PostingIndex index;
+  index.num_rows_ = data.num_rows();
+  const int p = data.num_attributes();
+  index.cards_.resize(static_cast<size_t>(p));
+  index.maps_.resize(static_cast<size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    const int32_t card = data.schema().attribute(j).cardinality();
+    index.cards_[static_cast<size_t>(j)] = card;
+    index.maps_[static_cast<size_t>(j)].assign(static_cast<size_t>(card),
+                                               Bitmap(data.num_rows()));
+    const auto& codes = data.codes(j);
+    for (int64_t r = 0; r < data.num_rows(); ++r) {
+      index.maps_[static_cast<size_t>(j)]
+                 [static_cast<size_t>(codes[static_cast<size_t>(r)])]
+                     .Set(r);
+    }
+  }
+  return index;
+}
+
+const Bitmap& PostingIndex::EqualityBitmap(int attr, int32_t value) const {
+  return maps_[static_cast<size_t>(attr)][static_cast<size_t>(value)];
+}
+
+Bitmap PostingIndex::Match(const Literal& literal) const {
+  const int32_t card = cards_[static_cast<size_t>(literal.attr)];
+  Bitmap out(num_rows_);
+  for (int32_t c = 0; c < card; ++c) {
+    if (literal.Matches(c)) {
+      out.UnionWith(maps_[static_cast<size_t>(literal.attr)]
+                         [static_cast<size_t>(c)]);
+    }
+  }
+  return out;
+}
+
+Bitmap PostingIndex::Match(const Predicate& predicate) const {
+  Bitmap out(num_rows_);
+  if (predicate.empty()) {
+    for (int64_t r = 0; r < num_rows_; ++r) out.Set(r);
+    return out;
+  }
+  bool first = true;
+  for (const Literal& lit : predicate.literals()) {
+    const Bitmap m = Match(lit);
+    if (first) {
+      out = m;
+      first = false;
+    } else {
+      out.IntersectWith(m);
+    }
+  }
+  return out;
+}
+
+double PostingIndex::Support(const Predicate& predicate) const {
+  if (num_rows_ == 0) return 0.0;
+  return static_cast<double>(Match(predicate).Count()) /
+         static_cast<double>(num_rows_);
+}
+
+}  // namespace fume

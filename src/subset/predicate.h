@@ -1,0 +1,67 @@
+// Predicate: a conjunction of literals describing a coherent training-data
+// subset, e.g. (Age > 45) AND (Gender = Female)  (paper §2.1).
+
+#ifndef FUME_SUBSET_PREDICATE_H_
+#define FUME_SUBSET_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "subset/bitmap.h"
+#include "subset/literal.h"
+#include "util/result.h"
+
+namespace fume {
+
+/// \brief Conjunction of literals, kept sorted in canonical literal order.
+class Predicate {
+ public:
+  Predicate() = default;
+  explicit Predicate(std::vector<Literal> literals);
+
+  /// Single-literal convenience.
+  static Predicate Of(Literal literal);
+
+  /// This predicate with one more literal (canonically re-sorted).
+  Predicate With(Literal literal) const;
+
+  int num_literals() const { return static_cast<int>(literals_.size()); }
+  const std::vector<Literal>& literals() const { return literals_; }
+  bool empty() const { return literals_.empty(); }
+
+  bool MatchesRow(const Dataset& data, int64_t row) const;
+
+  /// Bitmap of matching rows.
+  Bitmap Match(const Dataset& data) const;
+
+  /// Matching row ids (ascending).
+  std::vector<int32_t> MatchingRows(const Dataset& data) const;
+
+  /// Fraction of `data` rows matched (the paper's sup(T)).
+  double Support(const Dataset& data) const;
+
+  /// Rule 1: false when some attribute's admitted code set is empty — e.g.
+  /// (Age < 50) AND (Age > 70) — so the subset can never contain data.
+  bool IsSatisfiable(const Schema& schema) const;
+
+  /// True when `other`'s literal set contains this predicate's literals.
+  bool IsSubsetOf(const Predicate& other) const;
+
+  /// "(Gender = Male) AND (Housing = Rent)".
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.literals_ == b.literals_;
+  }
+  friend bool operator<(const Predicate& a, const Predicate& b) {
+    return a.literals_ < b.literals_;
+  }
+
+ private:
+  std::vector<Literal> literals_;  // sorted, deduplicated
+};
+
+}  // namespace fume
+
+#endif  // FUME_SUBSET_PREDICATE_H_

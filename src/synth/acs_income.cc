@@ -1,0 +1,92 @@
+// Synthetic ACS Income, California PUMS (Table 2 row 4): 139,833 rows, 10
+// attributes, sensitive = sex (Female = protected, 48.55%), base rates
+// 43.53% / 31.06%. The paper's finding here is a *negative shape*: in a
+// dataset this large, no small (5-15% support) subset explains much of the
+// bias — reductions top out around 12-27% — while > 30%-support subsets
+// reach ~70%. We reproduce that by diffusing the group gap over many weak
+// cohorts instead of planting a few strong ones.
+
+#include "synth/datasets.h"
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+namespace {
+
+SynthModel AcsModel() {
+  SynthModel m;
+  m.name = "acs-income";
+  m.sensitive_attr = "Sex";
+  m.privileged_category = "Male";
+  m.protected_fraction = 0.4855;
+  m.priv_base = 0.4353;
+  m.prot_base = 0.3106;
+  m.label_noise = 0.02;
+
+  auto add = [&m](const std::string& name, std::vector<std::string> cats,
+                  std::vector<double> priv_w,
+                  std::vector<double> prot_w = {}) {
+    AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(priv_w);
+    a.prot_weights = std::move(prot_w);
+    m.attrs.push_back(std::move(a));
+  };
+
+  add("Age", {"Young", "Middle-aged", "Senior", "Elderly"},
+      {0.27, 0.40, 0.23, 0.10});
+  add("WorkClass",
+      {"Private", "Self-employed", "Local government", "State government",
+       "Federal government"},
+      {0.71, 0.12, 0.09, 0.05, 0.03});
+  add("School",
+      {"No diploma", "HS diploma", ">= 1 college credit but no degree",
+       "Associate", "Bachelors", "Graduate"},
+      {0.12, 0.22, 0.24, 0.09, 0.22, 0.11});
+  add("Marital", {"Married", "Never married", "Divorced", "Widowed"},
+      {0.52, 0.33, 0.12, 0.03});
+  add("OccupationGroup",
+      {"Management", "Professional", "Service", "Sales", "Production",
+       "Other"},
+      {0.17, 0.22, 0.17, 0.10, 0.23, 0.11},
+      {0.15, 0.27, 0.23, 0.13, 0.09, 0.13});
+  add("Race", {"White", "Asian", "Black", "Other"}, {0.58, 0.16, 0.06, 0.20});
+  add("Sex", {"Female", "Male"}, {0.5, 0.5});  // sensitive
+  add("HoursWorked", {"Part-time", "Full-time", "Overtime"},
+      {0.17, 0.60, 0.23}, {0.28, 0.58, 0.14});
+  add("PlaceOfBirth", {"California", "Other US", "Foreign"},
+      {0.52, 0.21, 0.27});
+  add("Relationship", {"Householder", "Spouse", "Child", "Other"},
+      {0.42, 0.22, 0.21, 0.15});
+
+  // Many weak cohorts: each explains only a sliver of the gap (the paper's
+  // Table 6 subsets achieve 12-27%).
+  m.cohorts = {
+      {{{"HoursWorked", "Overtime"}, {"WorkClass", "Private"}}, -0.10, +0.06},
+      {{{"Age", "Senior"}}, -0.07, +0.04},
+      {{{"Age", "Middle-aged"},
+        {"School", ">= 1 college credit but no degree"}},
+       -0.08, +0.04},
+      {{{"HoursWorked", "Part-time"}}, -0.06, +0.03},
+      {{{"WorkClass", "Local government"}}, -0.08, +0.04},
+      {{{"OccupationGroup", "Sales"}}, -0.05, +0.03},
+      {{{"Marital", "Married"}}, -0.04, +0.03},
+      {{{"OccupationGroup", "Service"}}, -0.05, +0.02},
+      {{{"School", "Bachelors"}}, -0.05, +0.03},
+      {{{"PlaceOfBirth", "Foreign"}}, -0.04, +0.02},
+  };
+  return m;
+}
+
+}  // namespace
+
+Result<DatasetBundle> MakeAcsIncome(const SynthOptions& options) {
+  const int64_t n = options.num_rows > 0 ? options.num_rows : 139833;
+  return GenerateFromModel(AcsModel(), n, Hash64({options.seed, 0xac5ULL}));
+}
+
+}  // namespace synth
+}  // namespace fume

@@ -1,0 +1,83 @@
+// Synthetic Adult Census Income (Table 2 row 2): 45,222 rows, 10
+// attributes, sensitive = sex (Female = protected, 32.5%), base rates
+// 31.24% / 11.35%. Cohorts mirror Table 4 (AS1-AS5).
+
+#include "synth/datasets.h"
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+namespace {
+
+SynthModel AdultModel() {
+  SynthModel m;
+  m.name = "adult-income";
+  m.sensitive_attr = "Sex";
+  m.privileged_category = "Male";
+  m.protected_fraction = 0.325;
+  m.priv_base = 0.3124;
+  m.prot_base = 0.1135;
+  m.label_noise = 0.02;
+
+  auto add = [&m](const std::string& name, std::vector<std::string> cats,
+                  std::vector<double> priv_w,
+                  std::vector<double> prot_w = {}) {
+    AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(priv_w);
+    a.prot_weights = std::move(prot_w);
+    m.attrs.push_back(std::move(a));
+  };
+
+  add("Age", {"Young", "Middle-aged", "Senior", "Elderly"},
+      {0.30, 0.42, 0.20, 0.08});
+  add("Workclass",
+      {"Private", "Self employed no income", "Self employed incorporated",
+       "Government", "Other"},
+      {0.69, 0.08, 0.04, 0.14, 0.05}, {0.75, 0.04, 0.02, 0.15, 0.04});
+  add("Education",
+      {"HS or less", "Some college", "Bachelors", "Masters", "Doctorate"},
+      {0.45, 0.28, 0.17, 0.08, 0.02});
+  add("MaritalStatus", {"Married", "Never married", "Divorced", "Widowed"},
+      {0.58, 0.26, 0.13, 0.03}, {0.32, 0.35, 0.24, 0.09});
+  add("Occupation",
+      {"Professional", "Clerical administration", "Sales", "Service",
+       "Manual", "Other"},
+      {0.22, 0.08, 0.11, 0.12, 0.38, 0.09},
+      {0.22, 0.28, 0.12, 0.23, 0.10, 0.05});
+  add("Relationship", {"Husband", "Wife", "Own child", "Unmarried", "Other"},
+      {0.57, 0.00999, 0.13, 0.18, 0.11},
+      {0.001, 0.33, 0.14, 0.36, 0.169});
+  add("Race", {"White", "Black", "Asian", "Other"},
+      {0.86, 0.08, 0.04, 0.02});
+  add("Sex", {"Female", "Male"}, {0.5, 0.5});  // sensitive
+  add("HoursPerWeek", {"Part-time", "Full-time", "Overtime"},
+      {0.14, 0.58, 0.28}, {0.30, 0.57, 0.13});
+  add("NativeRegion", {"North America", "Latin America", "Asia", "Europe"},
+      {0.90, 0.05, 0.03, 0.02});
+
+  m.cohorts = {
+      // AS1: a privileged-favored cohort — removing it narrows the gap.
+      {{{"Sex", "Male"}, {"Education", "Bachelors"}}, 0.0, +0.30},
+      // AS2-AS5: cohorts where protected members fare worse.
+      {{{"Occupation", "Sales"}, {"Age", "Middle-aged"}}, -0.22, +0.06},
+      {{{"Occupation", "Clerical administration"}}, -0.16, +0.05},
+      {{{"Age", "Middle-aged"}, {"Workclass", "Self employed no income"}},
+       -0.22, +0.06},
+      {{{"Relationship", "Unmarried"}}, -0.14, +0.05},
+  };
+  return m;
+}
+
+}  // namespace
+
+Result<DatasetBundle> MakeAdult(const SynthOptions& options) {
+  const int64_t n = options.num_rows > 0 ? options.num_rows : 45222;
+  return GenerateFromModel(AdultModel(), n, Hash64({options.seed, 0xad17ULL}));
+}
+
+}  // namespace synth
+}  // namespace fume

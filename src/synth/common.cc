@@ -1,0 +1,165 @@
+#include "synth/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+std::vector<double> RoughUniform(int n, uint64_t key) {
+  std::vector<double> w(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Weights in [0.2, 1.8]: spread wide enough that some categories are
+    // rare (so realistic low-support subsets exist) without any being
+    // vanishingly so.
+    const double u = static_cast<double>(
+                         Hash64({key, static_cast<uint64_t>(i)}) >> 11) *
+                     0x1.0p-53;
+    w[static_cast<size_t>(i)] = 0.2 + 1.6 * u;
+  }
+  return w;
+}
+
+namespace {
+
+struct ResolvedCohort {
+  std::vector<std::pair<int, int32_t>> conditions;  // attr index, code
+  double protected_delta;
+  double privileged_delta;
+};
+
+double Clamp01(double p) { return std::min(0.97, std::max(0.03, p)); }
+
+}  // namespace
+
+Result<DatasetBundle> GenerateFromModel(const SynthModel& model,
+                                        int64_t num_rows, uint64_t seed) {
+  if (num_rows <= 0) return Status::Invalid("num_rows must be positive");
+  // Build the schema and locate the sensitive attribute.
+  Schema schema;
+  int sensitive_attr = -1;
+  for (size_t j = 0; j < model.attrs.size(); ++j) {
+    const AttrSpec& a = model.attrs[j];
+    FUME_RETURN_NOT_OK(schema.AddCategorical(a.name, a.categories));
+    if (a.name == model.sensitive_attr) sensitive_attr = static_cast<int>(j);
+  }
+  if (sensitive_attr < 0) {
+    return Status::Invalid("sensitive attribute '" + model.sensitive_attr +
+                           "' not in attrs");
+  }
+  const Attribute& sens = schema.attribute(sensitive_attr);
+  if (sens.cardinality() != 2) {
+    return Status::Invalid("sensitive attribute must be binary");
+  }
+  const int priv_code = sens.FindCategory(model.privileged_category);
+  if (priv_code < 0) {
+    return Status::Invalid("privileged category '" +
+                           model.privileged_category + "' not found");
+  }
+
+  // Resolve cohort conditions to (attr, code).
+  std::vector<ResolvedCohort> cohorts;
+  for (const CohortEffect& c : model.cohorts) {
+    ResolvedCohort rc;
+    rc.protected_delta = c.protected_delta;
+    rc.privileged_delta = c.privileged_delta;
+    for (const auto& [attr_name, cat_name] : c.conditions) {
+      FUME_ASSIGN_OR_RETURN(int attr, schema.FindAttribute(attr_name));
+      const int code = schema.attribute(attr).FindCategory(cat_name);
+      if (code < 0) {
+        return Status::Invalid("cohort category '" + cat_name +
+                               "' not found in attribute '" + attr_name + "'");
+      }
+      rc.conditions.emplace_back(attr, code);
+    }
+    cohorts.push_back(std::move(rc));
+  }
+
+  // --- Pass 1: sample features and the pre-calibration label propensity.
+  const int p = static_cast<int>(model.attrs.size());
+  std::vector<int32_t> codes(static_cast<size_t>(num_rows) *
+                             static_cast<size_t>(p));
+  std::vector<uint8_t> is_priv(static_cast<size_t>(num_rows));
+  std::vector<double> cohort_shift(static_cast<size_t>(num_rows), 0.0);
+  Rng feature_rng(Hash64({seed, 0xfea7ULL}));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const bool priv = !feature_rng.NextBernoulli(model.protected_fraction);
+    is_priv[static_cast<size_t>(r)] = priv ? 1 : 0;
+    for (int j = 0; j < p; ++j) {
+      int32_t code;
+      if (j == sensitive_attr) {
+        code = priv ? priv_code : 1 - priv_code;
+      } else {
+        const AttrSpec& a = model.attrs[static_cast<size_t>(j)];
+        const std::vector<double>& weights =
+            (!priv && !a.prot_weights.empty()) ? a.prot_weights
+                                               : a.priv_weights;
+        code = static_cast<int32_t>(feature_rng.NextWeighted(weights));
+      }
+      codes[static_cast<size_t>(r) * p + j] = code;
+    }
+    for (const ResolvedCohort& c : cohorts) {
+      bool match = true;
+      for (const auto& [attr, code] : c.conditions) {
+        if (codes[static_cast<size_t>(r) * p + attr] != code) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        cohort_shift[static_cast<size_t>(r)] +=
+            priv ? c.privileged_delta : c.protected_delta;
+      }
+    }
+  }
+
+  // --- Calibration: fixed-point iteration on per-group intercepts so the
+  // *expected generated* base rates (including probability clamping and
+  // label noise) match the targets. A single linear correction is not
+  // enough because strong cohort shifts saturate the clamp.
+  const double target[2] = {model.prot_base, model.priv_base};
+  double intercept[2] = {model.prot_base, model.priv_base};
+  for (int iteration = 0; iteration < 12; ++iteration) {
+    double mean[2] = {0.0, 0.0};
+    int64_t group_n[2] = {0, 0};
+    for (int64_t r = 0; r < num_rows; ++r) {
+      const int g = is_priv[static_cast<size_t>(r)];
+      const double q =
+          Clamp01(intercept[g] + cohort_shift[static_cast<size_t>(r)]);
+      mean[g] += q * (1.0 - 2.0 * model.label_noise) + model.label_noise;
+      ++group_n[g];
+    }
+    for (int g = 0; g < 2; ++g) {
+      if (group_n[g] == 0) continue;
+      mean[g] /= static_cast<double>(group_n[g]);
+      intercept[g] += target[g] - mean[g];
+    }
+  }
+
+  // --- Pass 2: draw labels.
+  Dataset data(schema);
+  Rng label_rng(Hash64({seed, 0x1abe1ULL}));
+  std::vector<int32_t> row(static_cast<size_t>(p));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    for (int j = 0; j < p; ++j) {
+      row[static_cast<size_t>(j)] = codes[static_cast<size_t>(r) * p + j];
+    }
+    const int g = is_priv[static_cast<size_t>(r)];
+    double prob = Clamp01(intercept[g] + cohort_shift[static_cast<size_t>(r)]);
+    int label = label_rng.NextBernoulli(prob) ? 1 : 0;
+    if (label_rng.NextBernoulli(model.label_noise)) label = 1 - label;
+    FUME_RETURN_NOT_OK(data.AppendRow(row, label));
+  }
+
+  DatasetBundle bundle;
+  bundle.name = model.name;
+  bundle.data = std::move(data);
+  bundle.group.sensitive_attr = sensitive_attr;
+  bundle.group.privileged_code = priv_code;
+  return bundle;
+}
+
+}  // namespace synth
+}  // namespace fume

@@ -1,0 +1,84 @@
+// Shared machinery for the synthetic dataset generators that stand in for
+// the paper's five real-world datasets (see DESIGN.md §3 for the
+// substitution rationale). A SynthModel specifies group-conditional feature
+// distributions, per-group label base rates calibrated to the paper's
+// Table 2, and planted "biased cohorts" — predicate-shaped subpopulations
+// whose members receive shifted outcomes, i.e. exactly the kind of subset
+// FUME is supposed to surface.
+
+#ifndef FUME_SYNTH_COMMON_H_
+#define FUME_SYNTH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fairness/confusion.h"
+#include "util/result.h"
+
+namespace fume {
+namespace synth {
+
+/// One attribute: categories plus (optionally group-dependent) sampling
+/// weights. Empty prot_weights means "same distribution as privileged".
+struct AttrSpec {
+  std::string name;
+  std::vector<std::string> categories;
+  std::vector<double> priv_weights;
+  std::vector<double> prot_weights;
+};
+
+/// A planted biased cohort: members matching all conditions get their
+/// P(label=1) shifted, by group. Negative protected_delta plants the classic
+/// "unprivileged members of this cohort receive worse outcomes" pattern.
+struct CohortEffect {
+  std::vector<std::pair<std::string, std::string>> conditions;
+  double protected_delta = 0.0;
+  double privileged_delta = 0.0;
+};
+
+/// Full specification of one synthetic dataset.
+struct SynthModel {
+  std::string name;
+  /// Sensitive attribute; must appear in `attrs` with exactly two
+  /// categories. Its distribution comes from protected_fraction, not from
+  /// weights.
+  std::string sensitive_attr;
+  std::string privileged_category;
+  double protected_fraction = 0.5;
+  /// Target P(label=1) per group (Table 2 base rates). A calibration pass
+  /// nudges the per-group intercepts so the generated data hits these.
+  double priv_base = 0.5;
+  double prot_base = 0.5;
+  std::vector<AttrSpec> attrs;
+  std::vector<CohortEffect> cohorts;
+  /// Independent label flip probability.
+  double label_noise = 0.02;
+};
+
+/// A generated dataset plus the group specification FUME needs.
+struct DatasetBundle {
+  std::string name;
+  Dataset data;
+  GroupSpec group;
+};
+
+/// Options common to all named generators.
+struct SynthOptions {
+  /// 0 = the generator's paper-matching default size.
+  int64_t num_rows = 0;
+  uint64_t seed = 1;
+};
+
+/// Samples `num_rows` rows from the model. Deterministic in (model, seed).
+Result<DatasetBundle> GenerateFromModel(const SynthModel& model,
+                                        int64_t num_rows, uint64_t seed);
+
+/// Uniform-ish weights helper: `n` categories with mild keyed variation so
+/// distributions are not degenerate-uniform.
+std::vector<double> RoughUniform(int n, uint64_t key);
+
+}  // namespace synth
+}  // namespace fume
+
+#endif  // FUME_SYNTH_COMMON_H_

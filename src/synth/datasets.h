@@ -1,0 +1,54 @@
+// The five synthetic stand-ins for the paper's evaluation datasets,
+// calibrated to Table 2 (size, #features, protected fraction, per-group base
+// rates), each with planted biased cohorts mirroring the paper's findings.
+// Plus: a fully-controlled planted-bias dataset for tests/examples and a
+// parametric generator for the scaling study (Figure 5).
+
+#ifndef FUME_SYNTH_DATASETS_H_
+#define FUME_SYNTH_DATASETS_H_
+
+#include "synth/common.h"
+
+namespace fume {
+namespace synth {
+
+/// German Credit: 1,000 x 21, sensitive = age (Young = protected).
+Result<DatasetBundle> MakeGermanCredit(const SynthOptions& options);
+
+/// Adult Census Income: 45,222 x 10, sensitive = sex (Female = protected).
+Result<DatasetBundle> MakeAdult(const SynthOptions& options);
+
+/// Stop-Question-Frisk: 72,546 x 16, sensitive = race; plants the sex-race
+/// proxy correlation behind the paper's SS1 finding.
+Result<DatasetBundle> MakeSqf(const SynthOptions& options);
+
+/// ACS Income (CA): 139,833 x 10, sensitive = sex; bias diffused over many
+/// weak cohorts (the paper's negative-shape result at 5-15% support).
+Result<DatasetBundle> MakeAcsIncome(const SynthOptions& options);
+
+/// MEPS Panel 19: 11,081 x 42, sensitive = race; outcome strongly driven by
+/// a cancer-diagnosis flag concentrated in the protected group.
+Result<DatasetBundle> MakeMeps(const SynthOptions& options);
+
+/// Small, fully controlled dataset with ONE strongly biased planted cohort
+/// (attrs "A".."E"; cohort A=a1 AND B=b2). Tests assert FUME ranks it #1.
+struct PlantedOptions {
+  int64_t num_rows = 2000;
+  uint64_t seed = 7;
+  /// How much worse the protected members of the planted cohort fare.
+  double planted_penalty = 0.45;
+};
+Result<DatasetBundle> MakePlantedBias(const PlantedOptions& options);
+
+/// The planted cohort of MakePlantedBias as (attr, code) conditions.
+std::vector<std::pair<int, int32_t>> PlantedCohortConditions();
+
+/// Parametric generator for the Figure 5 scaling study: `num_attrs`
+/// attributes with `values_per_attr` distinct values each.
+Result<DatasetBundle> MakeParametric(int64_t num_rows, int num_attrs,
+                                     int values_per_attr, uint64_t seed);
+
+}  // namespace synth
+}  // namespace fume
+
+#endif  // FUME_SYNTH_DATASETS_H_

@@ -1,0 +1,103 @@
+// Synthetic German Credit (Table 2 row 1): 1,000 rows, 21 attributes,
+// sensitive attribute age (Young < 45 = protected, 41.1% of data), base
+// rates 74.19% (privileged) / 63.99% (protected). The five planted cohorts
+// mirror the patterns of the paper's Table 3 (GS1-GS5).
+
+#include "synth/datasets.h"
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+namespace {
+
+SynthModel GermanModel() {
+  SynthModel m;
+  m.name = "german-credit";
+  m.sensitive_attr = "Age";
+  m.privileged_category = "Senior";  // >= 45
+  m.protected_fraction = 0.411;
+  m.priv_base = 0.7419;
+  m.prot_base = 0.6399;
+  m.label_noise = 0.02;
+
+  auto add = [&m](const std::string& name, std::vector<std::string> cats,
+                  std::vector<double> weights) {
+    AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(weights);
+    m.attrs.push_back(std::move(a));
+  };
+
+  add("StatusChecking",
+      {"< 0 DM", "0 <= ... < 200 DM", ">= 200 DM", "No checking account"},
+      {0.27, 0.27, 0.06, 0.40});
+  add("Duration", {"Short", "Medium", "Long", "Very long"},
+      {0.30, 0.35, 0.25, 0.10});
+  add("CreditHistory",
+      {"No credits", "All paid", "Existing paid", "Delay", "Critical"},
+      {0.04, 0.05, 0.53, 0.09, 0.29});
+  add("Purpose",
+      {"New car", "Used car", "Furniture", "Radio/TV", "Education", "Other"},
+      {0.23, 0.10, 0.18, 0.28, 0.06, 0.15});
+  add("CreditAmount", {"Low", "Medium", "High", "Very high"},
+      {0.30, 0.35, 0.22, 0.13});
+  add("Savings",
+      {"< 100 DM", "100 <= ... < 500 DM", "500 <= ... < 1000 DM", ">= 1000 DM",
+       "Unknown"},
+      {0.60, 0.17, 0.06, 0.05, 0.12});
+  add("EmploymentSince",
+      {"Unemployed", "< 1 year", "1-4 years", "4-7 years", ">= 7 years"},
+      {0.06, 0.17, 0.34, 0.17, 0.26});
+  add("InstallmentRate", {"1", "2", "3", "4"}, {0.14, 0.23, 0.16, 0.47});
+  add("StatusSex",
+      {"Male divorced/separated", "Female divorced/separated/married",
+       "Male single", "Male married/widowed"},
+      {0.05, 0.31, 0.55, 0.09});
+  add("Debtors", {"None", "Co-applicant", "Guarantor"}, {0.91, 0.04, 0.05});
+  add("ResidenceSince", {"1", "2", "3", "4"}, {0.13, 0.31, 0.15, 0.41});
+  add("Property", {"Real estate", "Savings agreement", "Car",
+                   "Unknown / no property"},
+      {0.28, 0.23, 0.33, 0.16});
+  add("Age", {"Young", "Senior"}, {0.5, 0.5});  // sensitive; weights unused
+  add("InstallmentPlans", {"Bank", "Stores", "None"}, {0.14, 0.05, 0.81});
+  add("Housing", {"Rent", "Own", "For free"}, {0.18, 0.71, 0.11});
+  add("ExistingCredits", {"1", "2", "3+"}, {0.63, 0.33, 0.04});
+  add("Job", {"Unemployed non-resident", "Unskilled resident",
+              "Skilled employee / official", "Management / self-employed"},
+      {0.02, 0.20, 0.63, 0.15});
+  add("NumPeopleLiable", {"Low", "High"}, {0.80, 0.20});
+  add("Telephone", {"None", "Registered"}, {0.60, 0.40});
+  add("ForeignWorker", {"Yes", "No"}, {0.96, 0.04});
+  add("Gender", {"Male", "Female"}, {0.69, 0.31});
+
+  // Planted cohorts mirroring Table 3 (GS1-GS5). Protected members of each
+  // cohort receive markedly worse outcomes.
+  m.cohorts = {
+      {{{"StatusChecking", "< 0 DM"}, {"NumPeopleLiable", "High"}},
+       /*protected_delta=*/-0.45, /*privileged_delta=*/+0.05},
+      {{{"Savings", "100 <= ... < 500 DM"},
+        {"Job", "Skilled employee / official"}},
+       -0.35, +0.05},
+      {{{"InstallmentPlans", "Bank"}, {"Debtors", "None"}}, -0.30, +0.04},
+      {{{"StatusChecking", "No checking account"},
+        {"Property", "Unknown / no property"}},
+       -0.35, +0.04},
+      {{{"Housing", "Rent"},
+        {"StatusSex", "Female divorced/separated/married"}},
+       -0.35, +0.05},
+  };
+  return m;
+}
+
+}  // namespace
+
+Result<DatasetBundle> MakeGermanCredit(const SynthOptions& options) {
+  const int64_t n = options.num_rows > 0 ? options.num_rows : 1000;
+  return GenerateFromModel(GermanModel(), n, Hash64({options.seed, 0x6e72ULL}));
+}
+
+}  // namespace synth
+}  // namespace fume

@@ -1,0 +1,52 @@
+// Fully-controlled planted-bias dataset: five generic attributes, one known
+// biased cohort (A = a1 AND B = b2). Used by tests (FUME must rank the
+// planted cohort first) and the quickstart example.
+
+#include "synth/datasets.h"
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+std::vector<std::pair<int, int32_t>> PlantedCohortConditions() {
+  // Attribute order below: Group(0), A(1), B(2), C(3), D(4), E(5).
+  return {{1, 1}, {2, 2}};  // A = a1, B = b2
+}
+
+Result<DatasetBundle> MakePlantedBias(const PlantedOptions& options) {
+  SynthModel m;
+  m.name = "planted-bias";
+  m.sensitive_attr = "Group";
+  m.privileged_category = "Privileged";
+  m.protected_fraction = 0.4;
+  // Small global gap; the planted cohort carries most of the disparity so
+  // tests can assert it is recovered as the #1 explanation.
+  m.priv_base = 0.62;
+  m.prot_base = 0.58;
+  m.label_noise = 0.01;
+
+  auto add = [&m](const std::string& name, std::vector<std::string> cats,
+                  std::vector<double> weights) {
+    AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(weights);
+    m.attrs.push_back(std::move(a));
+  };
+  add("Group", {"Protected", "Privileged"}, {0.5, 0.5});  // sensitive
+  add("A", {"a0", "a1", "a2"}, {0.45, 0.33, 0.22});
+  add("B", {"b0", "b1", "b2"}, {0.40, 0.33, 0.27});
+  add("C", {"c0", "c1"}, {0.5, 0.5});
+  add("D", {"d0", "d1", "d2", "d3"}, {0.25, 0.25, 0.25, 0.25});
+  add("E", {"e0", "e1"}, {0.6, 0.4});
+
+  m.cohorts = {
+      {{{"A", "a1"}, {"B", "b2"}}, -options.planted_penalty, +0.15},
+  };
+  return GenerateFromModel(m, options.num_rows,
+                           Hash64({options.seed, 0x9127ULL}));
+}
+
+}  // namespace synth
+}  // namespace fume

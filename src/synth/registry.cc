@@ -1,0 +1,27 @@
+#include "synth/registry.h"
+
+namespace fume {
+namespace synth {
+
+const std::vector<RegisteredDataset>& AllDatasets() {
+  static const std::vector<RegisteredDataset>* kDatasets = [] {
+    auto* v = new std::vector<RegisteredDataset>();
+    v->push_back({"german-credit", 1000, 21, "GS", MakeGermanCredit});
+    v->push_back({"adult-income", 45222, 10, "AS", MakeAdult});
+    v->push_back({"sqf", 72546, 16, "SS", MakeSqf});
+    v->push_back({"acs-income", 139833, 10, "AC", MakeAcsIncome});
+    v->push_back({"meps", 11081, 42, "ME", MakeMeps});
+    return v;
+  }();
+  return *kDatasets;
+}
+
+Result<RegisteredDataset> FindDataset(const std::string& name) {
+  for (const RegisteredDataset& d : AllDatasets()) {
+    if (d.name == name) return d;
+  }
+  return Status::KeyError("no registered dataset named '" + name + "'");
+}
+
+}  // namespace synth
+}  // namespace fume

@@ -1,0 +1,36 @@
+// Registry of the five paper datasets by name, so benches and examples can
+// iterate "all evaluation datasets" uniformly.
+
+#ifndef FUME_SYNTH_REGISTRY_H_
+#define FUME_SYNTH_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "synth/datasets.h"
+
+namespace fume {
+namespace synth {
+
+struct RegisteredDataset {
+  std::string name;
+  /// Paper's dataset size (Table 2).
+  int64_t paper_rows = 0;
+  int paper_features = 0;
+  /// Table-row index prefix used in the paper's result tables ("GS", ...).
+  std::string index_prefix;
+  std::function<Result<DatasetBundle>(const SynthOptions&)> make;
+};
+
+/// All five evaluation datasets, in the paper's Table 2 order.
+const std::vector<RegisteredDataset>& AllDatasets();
+
+/// Lookup by name ("german-credit", "adult-income", "sqf", "acs-income",
+/// "meps").
+Result<RegisteredDataset> FindDataset(const std::string& name);
+
+}  // namespace synth
+}  // namespace fume
+
+#endif  // FUME_SYNTH_REGISTRY_H_

@@ -1,0 +1,84 @@
+// Synthetic Stop-Question-Frisk (Table 2 row 3): 72,546 rows, 16
+// attributes, sensitive = race (Non-white = protected, 35.94%), base rates
+// 38.32% / 30.16%. Plants the sex-race proxy correlation behind the paper's
+// headline SS1 finding (removing Sex=Female rows removes ~all bias), plus
+// the weight/build cohorts of SS2-SS5.
+
+#include "synth/datasets.h"
+
+#include "util/rng.h"
+
+namespace fume {
+namespace synth {
+
+namespace {
+
+SynthModel SqfModel() {
+  SynthModel m;
+  m.name = "sqf";
+  m.sensitive_attr = "Race";
+  m.privileged_category = "White";
+  m.protected_fraction = 0.3594;
+  m.priv_base = 0.3832;
+  m.prot_base = 0.3016;
+  m.label_noise = 0.02;
+
+  auto add = [&m](const std::string& name, std::vector<std::string> cats,
+                  std::vector<double> priv_w,
+                  std::vector<double> prot_w = {}) {
+    AttrSpec a;
+    a.name = name;
+    a.categories = std::move(cats);
+    a.priv_weights = std::move(priv_w);
+    a.prot_weights = std::move(prot_w);
+    m.attrs.push_back(std::move(a));
+  };
+
+  add("Race", {"Non-white", "White"}, {0.5, 0.5});  // sensitive
+  // Proxy correlation: females are rare overall (~6.5%) and far more common
+  // in the protected group — so Sex carries most of the race signal.
+  add("Sex", {"Male", "Female"}, {0.972, 0.028}, {0.875, 0.125});
+  add("AgeGroup", {"Teen", "Young adult", "Adult", "Senior"},
+      {0.23, 0.41, 0.29, 0.07});
+  add("Weight", {"Light", "Medium", "Heavy"}, {0.22, 0.55, 0.23});
+  add("Build", {"Thin", "Medium", "Heavy"}, {0.31, 0.49, 0.20});
+  add("Height", {"Short", "Average", "Tall"}, {0.23, 0.55, 0.22});
+  add("InsideOutside", {"Inside", "Outside"}, {0.22, 0.78});
+  add("TimeOfDay", {"Morning", "Afternoon", "Evening", "Night"},
+      {0.12, 0.27, 0.33, 0.28});
+  add("PrecinctRegion",
+      {"Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island"},
+      {0.22, 0.32, 0.21, 0.20, 0.05});
+  add("CasingVictim", {"False", "True"}, {0.72, 0.28});
+  add("DrugTransaction", {"False", "True"}, {0.84, 0.16});
+  add("Lookout", {"False", "True"}, {0.77, 0.23});
+  add("FitsDescription", {"False", "True"}, {0.73, 0.27});
+  add("FurtiveMovements", {"False", "True"}, {0.48, 0.52});
+  add("SuspiciousBulge", {"False", "True"}, {0.89, 0.11});
+  add("PriorStops", {"None", "Few", "Many"}, {0.58, 0.30, 0.12});
+
+  m.cohorts = {
+      // SS1 driver: the race gap is concentrated in the (rare,
+      // protected-skewed) female rows — protected females fare drastically
+      // worse, privileged females drastically better. The calibration pass
+      // then pulls the male subpopulations toward race parity, so a model
+      // retrained without Sex=Female rows shows almost no group disparity.
+      {{{"Sex", "Female"}}, -0.45, +0.50},
+      // SS2-SS5 mirrors.
+      {{{"Weight", "Light"}, {"CasingVictim", "False"}}, -0.20, +0.06},
+      {{{"Build", "Heavy"}, {"FitsDescription", "False"}}, -0.18, +0.06},
+      {{{"Lookout", "False"}, {"DrugTransaction", "True"}}, -0.20, +0.06},
+      {{{"Weight", "Light"}}, -0.06, +0.02},
+  };
+  return m;
+}
+
+}  // namespace
+
+Result<DatasetBundle> MakeSqf(const SynthOptions& options) {
+  const int64_t n = options.num_rows > 0 ? options.num_rows : 72546;
+  return GenerateFromModel(SqfModel(), n, Hash64({options.seed, 0x5cfULL}));
+}
+
+}  // namespace synth
+}  // namespace fume

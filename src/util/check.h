@@ -1,0 +1,46 @@
+// Internal invariant checks. FUME_CHECK* abort on violation in all build
+// types (invariant breakage in an unlearning structure must never be
+// silently ignored); FUME_DCHECK* compile out in NDEBUG hot paths.
+
+#ifndef FUME_UTIL_CHECK_H_
+#define FUME_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FUME_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "FUME_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define FUME_CHECK_OP(op, a, b)                                              \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      std::fprintf(stderr, "FUME_CHECK failed at %s:%d: %s %s %s\n",         \
+                   __FILE__, __LINE__, #a, #op, #b);                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define FUME_CHECK_EQ(a, b) FUME_CHECK_OP(==, a, b)
+#define FUME_CHECK_NE(a, b) FUME_CHECK_OP(!=, a, b)
+#define FUME_CHECK_LT(a, b) FUME_CHECK_OP(<, a, b)
+#define FUME_CHECK_LE(a, b) FUME_CHECK_OP(<=, a, b)
+#define FUME_CHECK_GT(a, b) FUME_CHECK_OP(>, a, b)
+#define FUME_CHECK_GE(a, b) FUME_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define FUME_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#define FUME_DCHECK_EQ(a, b) FUME_DCHECK((a) == (b))
+#else
+#define FUME_DCHECK(cond) FUME_CHECK(cond)
+#define FUME_DCHECK_EQ(a, b) FUME_CHECK_EQ(a, b)
+#endif
+
+#endif  // FUME_UTIL_CHECK_H_

@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status, in the style of arrow::Result. A fallible
+// function returning a value declares Result<T>; callers unwrap with
+// FUME_ASSIGN_OR_RETURN or ValueOrDie().
+
+#ifndef FUME_UTIL_RESULT_H_
+#define FUME_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace fume {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from non-OK status (failure). An OK status is a programming
+  /// error and is converted to an Internal error.
+  Result(Status st) : repr_(std::move(st)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& ValueOrDie() const& {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::get<Status>(repr_).Abort("Result::ValueOrDie");
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace fume
+
+#define FUME_RESULT_CONCAT_(a, b) a##b
+#define FUME_RESULT_CONCAT(a, b) FUME_RESULT_CONCAT_(a, b)
+
+/// FUME_ASSIGN_OR_RETURN(auto x, Expr()): assigns the value on success,
+/// propagates the Status on failure.
+#define FUME_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  FUME_ASSIGN_OR_RETURN_IMPL(                                          \
+      FUME_RESULT_CONCAT(_fume_result_, __LINE__), lhs, rexpr)
+
+#define FUME_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // FUME_UTIL_RESULT_H_

@@ -1,0 +1,64 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fume {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kIndexError:
+      return "Index error";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg)
+    : state_(std::make_unique<State>(State{code, std::move(msg)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ ? state_->msg : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(state_->code);
+  out += ": ";
+  out += state_->msg;
+  return out;
+}
+
+void Status::Abort(const char* context) const {
+  if (ok()) return;
+  if (context != nullptr) {
+    std::fprintf(stderr, "Aborting (%s): %s\n", context, ToString().c_str());
+  } else {
+    std::fprintf(stderr, "Aborting: %s\n", ToString().c_str());
+  }
+  std::abort();
+}
+
+}  // namespace fume

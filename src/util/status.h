@@ -1,0 +1,107 @@
+// Status: lightweight error propagation in the style of arrow::Status /
+// rocksdb::Status. Core library paths do not throw; fallible operations return
+// Status (or Result<T>, see result.h) and callers propagate with
+// FUME_RETURN_NOT_OK.
+
+#ifndef FUME_UTIL_STATUS_H_
+#define FUME_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace fume {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,        // lookup of a name/id that does not exist
+  kIndexError = 3,      // out-of-range row/column index
+  kIOError = 4,         // file read/write failure
+  kNotImplemented = 5,
+  kInternal = 6,        // broken internal invariant
+};
+
+/// Returns a human-readable name ("Invalid argument", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: either OK or a (code, message) pair.
+///
+/// OK carries no allocation; error states allocate a small state block. The
+/// class is cheaply movable and copyable (copy duplicates the state block).
+class Status {
+ public:
+  Status() noexcept = default;  // OK
+  Status(StatusCode code, std::string msg);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers mirroring the StatusCode enumerators.
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status IndexError(std::string msg) {
+    return Status(StatusCode::kIndexError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsKeyError() const { return code() == StatusCode::kKeyError; }
+  bool IsIndexError() const { return code() == StatusCode::kIndexError; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use at call sites
+  /// where failure is a programming error (e.g. examples, benches).
+  void Abort(const char* context = nullptr) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+}  // namespace fume
+
+/// Propagates a non-OK Status to the caller.
+#define FUME_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::fume::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Aborts on a non-OK Status (for main()s and tests).
+#define FUME_ABORT_NOT_OK(expr)                  \
+  do {                                           \
+    ::fume::Status _st = (expr);                 \
+    if (!_st.ok()) _st.Abort(#expr);             \
+  } while (false)
+
+#endif  // FUME_UTIL_STATUS_H_

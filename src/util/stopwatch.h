@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the runtime benchmarks (Table 8, Figure 5).
+
+#ifndef FUME_UTIL_STOPWATCH_H_
+#define FUME_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace fume {
+
+/// Monotonic wall-clock timer; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_UTIL_STOPWATCH_H_

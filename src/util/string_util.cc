@@ -1,0 +1,74 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fume {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt(std::string_view s, int* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace fume

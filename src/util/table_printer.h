@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harness to render the paper's
+// tables (Table 2-9) with aligned columns.
+
+#ifndef FUME_UTIL_TABLE_PRINTER_H_
+#define FUME_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fume {
+
+/// \brief Collects rows of string cells and prints them with column-aligned
+/// ASCII borders, e.g.
+///
+///   | Index | Patterns        | Support | Parity Reduction |
+///   |-------|-----------------|---------|------------------|
+///   | GS1   | (Savings = Low) |  5.00%  | 97.79%           |
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to the stream. Rows shorter than the header are padded.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,194 @@
+// Tests for attribution math and the two removal methods — in particular
+// that DaRE unlearning and same-seed scratch retraining agree EXACTLY on the
+// counterfactual fairness (the property FUME's efficiency rests on).
+
+#include <gtest/gtest.h>
+
+#include "core/attribution.h"
+#include "core/baseline.h"
+#include "core/removal_method.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+struct Fixture {
+  Dataset train;
+  Dataset test;
+  GroupSpec group;
+  DareForest model;
+};
+
+ForestConfig TestForestConfig() {
+  ForestConfig config;
+  config.num_trees = 5;
+  config.max_depth = 6;
+  config.random_depth = 2;
+  config.seed = 23;
+  return config;
+}
+
+Fixture MakeFixture(uint64_t seed = 1) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 1500;
+  opts.seed = seed;
+  auto bundle = synth::MakePlantedBias(opts);
+  EXPECT_TRUE(bundle.ok()) << bundle.status().ToString();
+  // Deterministic 70/30 split.
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t r = 0; r < bundle->data.num_rows(); ++r) {
+    (r % 10 < 7 ? train_rows : test_rows).push_back(r);
+  }
+  Fixture f{bundle->data.Select(train_rows), bundle->data.Select(test_rows),
+            bundle->group, DareForest()};
+  auto model = DareForest::Train(f.train, TestForestConfig());
+  EXPECT_TRUE(model.ok());
+  f.model = std::move(*model);
+  return f;
+}
+
+TEST(ComputePhiTest, Definition23) {
+  // |F| goes 0.2 -> 0.1: phi = (0.1-0.2)/0.2 = -0.5 (bias halved).
+  EXPECT_DOUBLE_EQ(ComputePhi(-0.2, -0.1), -0.5);
+  EXPECT_DOUBLE_EQ(ComputePhi(-0.2, 0.1), -0.5);   // magnitude-based
+  EXPECT_DOUBLE_EQ(ComputePhi(0.2, -0.3), 0.5);    // bias worsened
+  EXPECT_DOUBLE_EQ(ComputePhi(-0.2, 0.0), -1.0);   // fully removed
+}
+
+TEST(RemovalMethodsTest, UnlearnEqualsSameSeedRetrainExactly) {
+  Fixture f = MakeFixture();
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  RetrainRemovalMethod retrain(&f.train, &f.test, TestForestConfig(), f.group,
+                               FairnessMetric::kStatisticalParity);
+  Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<RowId> rows;
+    for (int64_t r = 0; r < f.train.num_rows(); ++r) {
+      if (rng.NextBernoulli(0.08)) rows.push_back(static_cast<RowId>(r));
+    }
+    auto a = unlearn.EvaluateWithout(rows);
+    auto b = retrain.EvaluateWithout(rows);
+    ASSERT_TRUE(a.ok() && b.ok());
+    // DaRE deletion is exact and our construction is deterministic, so the
+    // two counterfactual models are identical — not merely close.
+    EXPECT_DOUBLE_EQ(a->fairness, b->fairness);
+    EXPECT_DOUBLE_EQ(a->accuracy, b->accuracy);
+  }
+}
+
+TEST(RemovalMethodsTest, DifferentSeedRetrainIsCloseButNotIdentical) {
+  Fixture f = MakeFixture();
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  ForestConfig other = TestForestConfig();
+  other.seed = 991;  // fresh randomness, the paper's Figure 3 setting
+  RetrainRemovalMethod retrain(&f.train, &f.test, other, f.group,
+                               FairnessMetric::kStatisticalParity);
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < 100; ++r) rows.push_back(r);
+  auto a = unlearn.EvaluateWithout(rows);
+  auto b = retrain.EvaluateWithout(rows);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->fairness, b->fairness, 0.12);
+}
+
+TEST(RemovalMethodsTest, EmptyRemovalLeavesModelUnchanged) {
+  Fixture f = MakeFixture();
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  auto eval = unlearn.EvaluateWithout({});
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->fairness,
+                   ComputeFairness(f.model, f.test, f.group,
+                                   FairnessMetric::kStatisticalParity));
+  EXPECT_DOUBLE_EQ(eval->accuracy, f.model.Accuracy(f.test));
+}
+
+TEST(EstimateAttributionTest, PlantedCohortHasPositiveAttribution) {
+  Fixture f = MakeFixture();
+  const double original = ComputeFairness(
+      f.model, f.test, f.group, FairnessMetric::kStatisticalParity);
+  ASSERT_LT(original, -0.01);  // planted violation exists
+
+  // The planted cohort (A = a1 AND B = b2).
+  Predicate planted;
+  for (const auto& [attr, code] : synth::PlantedCohortConditions()) {
+    planted = planted.With(Literal{attr, LiteralOp::kEq, code});
+  }
+  std::vector<int32_t> matched = planted.MatchingRows(f.train);
+  std::vector<RowId> rows(matched.begin(), matched.end());
+  ASSERT_GT(rows.size(), 20u);
+
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  auto subset = EstimateAttribution(&unlearn, planted, rows,
+                                    f.train.num_rows(), original);
+  ASSERT_TRUE(subset.ok());
+  EXPECT_GT(subset->attribution, 0.3);  // removes a large chunk of the bias
+  EXPECT_DOUBLE_EQ(subset->phi, -subset->attribution);
+  EXPECT_NEAR(subset->support,
+              static_cast<double>(rows.size()) /
+                  static_cast<double>(f.train.num_rows()),
+              1e-12);
+}
+
+TEST(EstimateAttributionTest, RandomSubsetHasSmallAttribution) {
+  Fixture f = MakeFixture();
+  const double original = ComputeFairness(
+      f.model, f.test, f.group, FairnessMetric::kStatisticalParity);
+  Rng rng(5);
+  std::vector<RowId> rows;
+  for (int64_t r = 0; r < f.train.num_rows(); ++r) {
+    if (rng.NextBernoulli(0.05)) rows.push_back(static_cast<RowId>(r));
+  }
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  auto subset = EstimateAttribution(&unlearn, Predicate(), rows,
+                                    f.train.num_rows(), original);
+  ASSERT_TRUE(subset.ok());
+  // A random 5% slice does not carry the planted signal.
+  EXPECT_LT(std::abs(subset->attribution), 0.35);
+}
+
+TEST(EstimateAttributionTest, RejectsZeroBias) {
+  Fixture f = MakeFixture();
+  UnlearnRemovalMethod unlearn(&f.model, &f.test, f.group,
+                               FairnessMetric::kStatisticalParity);
+  EXPECT_FALSE(
+      EstimateAttribution(&unlearn, Predicate(), {0, 1}, 100, 0.0).ok());
+}
+
+TEST(BaselineTest, DropUnprivUnfavorReducesBias) {
+  Fixture f = MakeFixture();
+  auto baseline =
+      RunDropUnprivUnfavor(f.train, f.test, TestForestConfig(), f.group,
+                           FairnessMetric::kStatisticalParity);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_GT(baseline->removed_rows, 0);
+  EXPECT_LT(baseline->removed_fraction, 1.0);
+  // Removing all unfavorable outcomes of the unprivileged group pushes its
+  // positive rate up, so the disparity magnitude must shrink (or flip).
+  EXPECT_GT(baseline->new_fairness, baseline->original_fairness);
+  EXPECT_GT(baseline->parity_reduction, 0.0);
+}
+
+TEST(BaselineTest, RemovedFractionMatchesData) {
+  Fixture f = MakeFixture();
+  int64_t expect = 0;
+  for (int64_t r = 0; r < f.train.num_rows(); ++r) {
+    if (f.train.Code(r, f.group.sensitive_attr) != f.group.privileged_code &&
+        f.train.Label(r) == 0) {
+      ++expect;
+    }
+  }
+  auto baseline =
+      RunDropUnprivUnfavor(f.train, f.test, TestForestConfig(), f.group,
+                           FairnessMetric::kStatisticalParity);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(baseline->removed_rows, expect);
+}
+
+}  // namespace
+}  // namespace fume

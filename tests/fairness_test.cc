@@ -1,0 +1,231 @@
+// Tests for src/fairness: confusion counts, the three group metrics against
+// hand-computed values, and permutation importance.
+
+#include <gtest/gtest.h>
+
+#include "fairness/confusion.h"
+#include "fairness/importance.h"
+#include "fairness/metrics.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+Dataset GroupedDataset() {
+  // Attribute 0 = sensitive (0 protected, 1 privileged), attribute 1 = x.
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("S", {"prot", "priv"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("x", {"0", "1"}).ok());
+  Dataset data(schema);
+  // Privileged: 4 rows, labels 1,1,0,0. Protected: 4 rows, labels 1,0,0,0.
+  EXPECT_TRUE(data.AppendRow({1, 0}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({1, 1}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({1, 0}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({1, 1}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({0, 0}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({0, 1}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({0, 0}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({0, 1}, 0).ok());
+  return data;
+}
+
+const GroupSpec kGroup{/*sensitive_attr=*/0, /*privileged_code=*/1};
+
+TEST(ConfusionTest, CountsAndRates) {
+  Confusion c;
+  c.Add(1, 1);  // tp
+  c.Add(1, 1);  // tp
+  c.Add(1, 0);  // fn
+  c.Add(0, 1);  // fp
+  c.Add(0, 0);  // tn
+  EXPECT_EQ(c.tp, 2);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.total(), 5);
+  EXPECT_DOUBLE_EQ(c.PositiveRate(), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(c.Tpr(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(c.Ppv(), 2.0 / 3.0);
+}
+
+TEST(ConfusionTest, EmptyGroupRatesAreZero) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.PositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Ppv(), 0.0);
+}
+
+TEST(GroupConfusionTest, SplitsByGroup) {
+  Dataset data = GroupedDataset();
+  // Predict 1 for privileged rows 0,1 and protected row 4; else 0.
+  std::vector<int> preds = {1, 1, 0, 0, 1, 0, 0, 0};
+  GroupConfusion gc = ComputeGroupConfusion(data, preds, kGroup);
+  EXPECT_EQ(gc.privileged.total(), 4);
+  EXPECT_EQ(gc.unprivileged.total(), 4);
+  EXPECT_EQ(gc.privileged.tp, 2);
+  EXPECT_EQ(gc.unprivileged.tp, 1);
+}
+
+TEST(MetricsTest, StatisticalParityHandComputed) {
+  Dataset data = GroupedDataset();
+  // Privileged positive-prediction rate 3/4, protected 1/4 -> F = -0.5.
+  std::vector<int> preds = {1, 1, 1, 0, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, preds, kGroup,
+                                   FairnessMetric::kStatisticalParity),
+                   0.25 - 0.75);
+}
+
+TEST(MetricsTest, EqualizedOddsHandComputed) {
+  Dataset data = GroupedDataset();
+  std::vector<int> preds = {1, 1, 1, 0, 1, 0, 0, 0};
+  // Privileged: TPR = 2/2 = 1, FPR = 1/2. Protected: TPR = 1/1, FPR = 0/3.
+  const double expect = 0.5 * ((1.0 - 1.0) + (0.0 - 0.5));
+  EXPECT_DOUBLE_EQ(
+      ComputeFairness(data, preds, kGroup, FairnessMetric::kEqualizedOdds),
+      expect);
+}
+
+TEST(MetricsTest, PredictiveParityHandComputed) {
+  Dataset data = GroupedDataset();
+  std::vector<int> preds = {1, 1, 1, 0, 1, 1, 0, 0};
+  // Privileged PPV = 2/3; protected PPV = 1/2.
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, preds, kGroup,
+                                   FairnessMetric::kPredictiveParity),
+                   0.5 - 2.0 / 3.0);
+}
+
+TEST(MetricsTest, EqualOpportunityHandComputed) {
+  Dataset data = GroupedDataset();
+  std::vector<int> preds = {1, 1, 1, 0, 1, 0, 0, 0};
+  // Privileged TPR = 2/2; protected TPR = 1/1.
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, preds, kGroup,
+                                   FairnessMetric::kEqualOpportunity),
+                   0.0);
+  std::vector<int> preds2 = {1, 0, 1, 0, 0, 0, 0, 0};
+  // Privileged TPR = 1/2; protected TPR = 0/1.
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, preds2, kGroup,
+                                   FairnessMetric::kEqualOpportunity),
+                   -0.5);
+}
+
+TEST(MetricsTest, DisparateImpactHandComputed) {
+  Dataset data = GroupedDataset();
+  std::vector<int> preds = {1, 1, 1, 0, 1, 0, 0, 0};
+  // Rates: protected 1/4, privileged 3/4 -> ratio 1/3 -> F = -2/3.
+  EXPECT_NEAR(ComputeFairness(data, preds, kGroup,
+                              FairnessMetric::kDisparateImpact),
+              1.0 / 3.0 - 1.0, 1e-12);
+  // Privileged rate zero -> defined as 0.
+  std::vector<int> none = {0, 0, 0, 0, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, none, kGroup,
+                                   FairnessMetric::kDisparateImpact),
+                   0.0);
+}
+
+TEST(MetricsTest, NewMetricNamesAreStable) {
+  EXPECT_STREQ(FairnessMetricName(FairnessMetric::kEqualOpportunity),
+               "equal opportunity");
+  EXPECT_STREQ(FairnessMetricName(FairnessMetric::kDisparateImpact),
+               "disparate impact");
+}
+
+TEST(MetricsTest, PerfectParityIsZero) {
+  Dataset data = GroupedDataset();
+  std::vector<int> preds = {1, 0, 1, 0, 1, 0, 1, 0};  // 1/2 rate both groups
+  EXPECT_DOUBLE_EQ(ComputeFairness(data, preds, kGroup,
+                                   FairnessMetric::kStatisticalParity),
+                   0.0);
+}
+
+TEST(MetricsTest, NamesAreStable) {
+  EXPECT_STREQ(FairnessMetricName(FairnessMetric::kStatisticalParity),
+               "statistical parity");
+  EXPECT_STREQ(FairnessMetricName(FairnessMetric::kEqualizedOdds),
+               "equalized odds");
+  EXPECT_STREQ(FairnessMetricName(FairnessMetric::kPredictiveParity),
+               "predictive parity");
+}
+
+// A forest trained on group-correlated data should show negative parity, and
+// Summarize() must agree with the individual metric calls.
+TEST(MetricsTest, SummarizeAgreesWithPieces) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("S", {"prot", "priv"}).ok());
+  ASSERT_TRUE(schema.AddCategorical("x", {"a", "b", "c"}).ok());
+  Dataset data(schema);
+  Rng rng(42);
+  for (int i = 0; i < 600; ++i) {
+    const int s = rng.NextBernoulli(0.5) ? 1 : 0;
+    const int x = rng.NextInt(0, 2);
+    const double p = (s == 1 ? 0.75 : 0.35) + 0.05 * x;
+    ASSERT_TRUE(data.AppendRow({s, x}, rng.NextBernoulli(p) ? 1 : 0).ok());
+  }
+  ForestConfig config;
+  config.num_trees = 5;
+  config.max_depth = 4;
+  config.seed = 9;
+  auto forest = DareForest::Train(data, config);
+  ASSERT_TRUE(forest.ok());
+  FairnessSummary summary = Summarize(*forest, data, kGroup);
+  EXPECT_DOUBLE_EQ(summary.statistical_parity,
+                   ComputeFairness(*forest, data, kGroup,
+                                   FairnessMetric::kStatisticalParity));
+  EXPECT_DOUBLE_EQ(summary.accuracy, forest->Accuracy(data));
+  EXPECT_LT(summary.statistical_parity, 0.0);  // biased against protected
+}
+
+TEST(ImportanceTest, InformativeFeatureRanksAboveNoise) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("signal", {"0", "1"}).ok());
+  ASSERT_TRUE(schema.AddCategorical("noise", {"0", "1"}).ok());
+  Dataset data(schema);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const int s = rng.NextInt(0, 1);
+    const int nz = rng.NextInt(0, 1);
+    const int label = rng.NextBernoulli(s == 1 ? 0.9 : 0.1) ? 1 : 0;
+    ASSERT_TRUE(data.AppendRow({s, nz}, label).ok());
+  }
+  ForestConfig config;
+  config.num_trees = 5;
+  config.max_depth = 4;
+  config.num_candidate_attrs = 2;
+  config.random_depth = 0;
+  auto forest = DareForest::Train(data, config);
+  ASSERT_TRUE(forest.ok());
+  auto ranking = PermutationImportance(*forest, data, ImportanceOptions{});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].name, "signal");
+  EXPECT_GT(ranking[0].importance, ranking[1].importance);
+  EXPECT_GT(ranking[0].importance, 0.2);
+  EXPECT_NEAR(ranking[1].importance, 0.0, 0.05);
+}
+
+TEST(ImportanceTest, ShiftComputation) {
+  std::vector<FeatureImportance> before = {{0, "a", 0.4}, {1, "b", 0.1}};
+  std::vector<FeatureImportance> after = {{0, "a", 0.2}, {1, "b", 0.2}};
+  EXPECT_NEAR(ImportanceShift(before, after, 0), -0.5, 1e-9);
+  EXPECT_NEAR(ImportanceShift(before, after, 1), 1.0, 1e-9);
+  EXPECT_NEAR(ImportanceShift(before, after, 7), 0.0, 1e-9);
+}
+
+TEST(ImportanceTest, DeterministicBySeed) {
+  Dataset data = GroupedDataset();
+  ForestConfig config;
+  config.num_trees = 3;
+  config.max_depth = 3;
+  auto forest = DareForest::Train(data, config);
+  ASSERT_TRUE(forest.ok());
+  auto a = PermutationImportance(*forest, data, ImportanceOptions{});
+  auto b = PermutationImportance(*forest, data, ImportanceOptions{});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].importance, b[i].importance);
+    EXPECT_EQ(a[i].attr, b[i].attr);
+  }
+}
+
+}  // namespace
+}  // namespace fume

@@ -1,0 +1,157 @@
+// Tests for the GBDT classifier: learning, determinism, cascade-retrain
+// exactness, and FUME over a boosted model (the model-agnostic route).
+
+#include <gtest/gtest.h>
+
+#include "core/fume.h"
+#include "gbdt/gbdt.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+Dataset XorishData(int64_t n, uint64_t seed) {
+  // Label depends on an interaction (x0 high AND x1 low) — a pattern depth-1
+  // stumps cannot fit but boosted depth-3 trees can.
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("x0", {"a", "b", "c", "d"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("x1", {"p", "q", "r"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("x2", {"u", "v"}).ok());
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    const int x0 = rng.NextInt(0, 3);
+    const int x1 = rng.NextInt(0, 2);
+    const int x2 = rng.NextInt(0, 1);
+    const bool core = x0 >= 2 && x1 <= 0;
+    const double p = core ? 0.9 : 0.15;
+    EXPECT_TRUE(
+        data.AppendRow({x0, x1, x2}, rng.NextBernoulli(p) ? 1 : 0).ok());
+  }
+  return data;
+}
+
+GbdtConfig TestConfig() {
+  GbdtConfig config;
+  config.num_rounds = 30;
+  config.max_depth = 3;
+  config.learning_rate = 0.2;
+  return config;
+}
+
+TEST(GbdtTest, ValidatesInput) {
+  Dataset data = XorishData(50, 1);
+  GbdtConfig config = TestConfig();
+  config.num_rounds = 0;
+  EXPECT_FALSE(GbdtClassifier::Train(data, config).ok());
+  config = TestConfig();
+  config.learning_rate = 0.0;
+  EXPECT_FALSE(GbdtClassifier::Train(data, config).ok());
+  Schema numeric_schema;
+  ASSERT_TRUE(numeric_schema.AddNumeric("n").ok());
+  Dataset numeric(numeric_schema);
+  ASSERT_TRUE(numeric.AppendRowMixed({0}, {1.0}, 0).ok());
+  EXPECT_FALSE(GbdtClassifier::Train(numeric, TestConfig()).ok());
+}
+
+TEST(GbdtTest, LearnsTheInteraction) {
+  Dataset train = XorishData(1200, 2);
+  Dataset test = XorishData(500, 3);
+  auto model = GbdtClassifier::Train(train, TestConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->Accuracy(test), 0.8);
+  // Probabilities are calibrated-ish: core cells high, others low.
+  Dataset probe = XorishData(50, 4);
+  for (int64_t r = 0; r < probe.num_rows(); ++r) {
+    const double p = model->PredictProb(probe, r);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(GbdtTest, TrainingIsDeterministic) {
+  Dataset train = XorishData(400, 5);
+  auto a = GbdtClassifier::Train(train, TestConfig());
+  auto b = GbdtClassifier::Train(train, TestConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    ASSERT_DOUBLE_EQ(a->PredictProb(train, r), b->PredictProb(train, r));
+  }
+}
+
+TEST(GbdtTest, CascadeDeleteEqualsScratchTrain) {
+  Dataset train = XorishData(500, 6);
+  auto model = GbdtClassifier::Train(train, TestConfig());
+  ASSERT_TRUE(model.ok());
+
+  Rng rng(7);
+  std::vector<RowId> doomed;
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    if (rng.NextBernoulli(0.15)) doomed.push_back(static_cast<RowId>(r));
+  }
+  GbdtClassifier unlearned = model->Clone();
+  ASSERT_TRUE(unlearned.DeleteRows(doomed).ok());
+
+  std::vector<int64_t> doomed64(doomed.begin(), doomed.end());
+  auto scratch =
+      GbdtClassifier::Train(train.DropRows(doomed64), TestConfig());
+  ASSERT_TRUE(scratch.ok());
+  for (int64_t r = 0; r < train.num_rows(); ++r) {
+    ASSERT_DOUBLE_EQ(unlearned.PredictProb(train, r),
+                     scratch->PredictProb(train, r));
+  }
+}
+
+TEST(GbdtTest, DeleteValidation) {
+  Dataset train = XorishData(100, 8);
+  auto model = GbdtClassifier::Train(train, TestConfig());
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->DeleteRows({999}).IsIndexError());
+  EXPECT_TRUE(model->DeleteRows({4, 4}).IsInvalid());
+  ASSERT_TRUE(model->DeleteRows({4}).ok());
+  EXPECT_TRUE(model->DeleteRows({4}).IsInvalid());  // double delete
+  EXPECT_EQ(model->num_alive_rows(), 99);
+}
+
+TEST(GbdtTest, FumeExplainsAGbdtViolation) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 1200;
+  opts.seed = 3;
+  auto bundle = synth::MakePlantedBias(opts);
+  ASSERT_TRUE(bundle.ok());
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t r = 0; r < bundle->data.num_rows(); ++r) {
+    (r % 10 < 7 ? train_rows : test_rows).push_back(r);
+  }
+  const Dataset train = bundle->data.Select(train_rows);
+  const Dataset test = bundle->data.Select(test_rows);
+
+  GbdtConfig model_config = TestConfig();
+  model_config.num_rounds = 25;
+  auto model = GbdtClassifier::Train(train, model_config);
+  ASSERT_TRUE(model.ok());
+
+  FumeConfig config;
+  config.top_k = 3;
+  config.support_min = 0.02;
+  config.support_max = 0.25;
+  config.group = bundle->group;
+  config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+  const ModelEval original =
+      EvaluateGbdt(*model, test, config.group, config.metric);
+  if (std::abs(original.fairness) < 0.01) {
+    GTEST_SKIP() << "model happens to be fair on this draw";
+  }
+  GbdtUnlearnRemovalMethod removal(&*model, &test, config.group,
+                                   config.metric);
+  auto result = ExplainWithRemoval(original, train, config, &removal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const auto& s : result->top_k) {
+    EXPECT_GT(s.attribution, 0.0);
+    EXPECT_LT(std::abs(s.new_fairness), std::abs(original.fairness));
+  }
+}
+
+}  // namespace
+}  // namespace fume

@@ -1,0 +1,117 @@
+// Tests for intersectional group derivation and an end-to-end FUME audit of
+// an intersectional violation.
+
+#include <gtest/gtest.h>
+
+#include "core/fume.h"
+#include "fairness/intersectional.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+Dataset TwoSensitiveData(int64_t n, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("race", {"white", "nonwhite"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("gender", {"male", "female"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("job", {"a", "b", "c"}).ok());
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    const int race = rng.NextInt(0, 1);
+    const int gender = rng.NextInt(0, 1);
+    const int job = rng.NextInt(0, 2);
+    // Bias concentrated at the nonwhite-female intersection.
+    double p = 0.55;
+    if (race == 1 && gender == 1) p = 0.25;
+    EXPECT_TRUE(
+        data.AppendRow({race, gender, job}, rng.NextBernoulli(p) ? 1 : 0)
+            .ok());
+  }
+  return data;
+}
+
+TEST(IntersectionalTest, DerivedAttributeIsTheCrossProduct) {
+  Dataset data = TwoSensitiveData(200, 1);
+  auto derived = WithIntersectionalAttribute(data, 0, 1, "race_x_gender");
+  ASSERT_TRUE(derived.ok()) << derived.status().ToString();
+  const Dataset& extended = derived->data;
+  EXPECT_EQ(extended.num_attributes(), 4);
+  EXPECT_EQ(derived->derived_attr, 3);
+  const Attribute& attr = extended.schema().attribute(3);
+  EXPECT_EQ(attr.cardinality(), 4);
+  EXPECT_EQ(attr.categories[0], "white|male");
+  EXPECT_EQ(attr.categories[3], "nonwhite|female");
+  for (int64_t r = 0; r < extended.num_rows(); ++r) {
+    EXPECT_EQ(extended.Code(r, 3),
+              extended.Code(r, 0) * 2 + extended.Code(r, 1));
+    EXPECT_EQ(extended.Label(r), data.Label(r));
+  }
+}
+
+TEST(IntersectionalTest, GroupSpecTargetsOneCombination) {
+  Dataset data = TwoSensitiveData(200, 2);
+  auto derived = WithIntersectionalAttribute(data, 0, 1, "rg");
+  ASSERT_TRUE(derived.ok());
+  auto group = IntersectionalGroup(*derived, "white", "male");
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group->sensitive_attr, 3);
+  EXPECT_EQ(group->privileged_code, 0);
+  EXPECT_TRUE(
+      IntersectionalGroup(*derived, "white", "zzz").status().IsKeyError());
+}
+
+TEST(IntersectionalTest, Validation) {
+  Dataset data = TwoSensitiveData(50, 3);
+  EXPECT_FALSE(WithIntersectionalAttribute(data, 0, 0, "x").ok());
+  EXPECT_FALSE(WithIntersectionalAttribute(data, 0, 9, "x").ok());
+  EXPECT_FALSE(WithIntersectionalAttribute(data, 0, 1, "race").ok());
+}
+
+TEST(IntersectionalTest, FumeAuditsTheIntersection) {
+  Dataset data = TwoSensitiveData(2000, 4);
+  auto derived = WithIntersectionalAttribute(data, 0, 1, "race_x_gender");
+  ASSERT_TRUE(derived.ok());
+  // Privileged = white males; protected = every other intersection. The
+  // planted bias hits nonwhite females, so a violation must appear.
+  auto group = IntersectionalGroup(*derived, "white", "male");
+  ASSERT_TRUE(group.ok());
+
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t r = 0; r < derived->data.num_rows(); ++r) {
+    (r % 10 < 7 ? train_rows : test_rows).push_back(r);
+  }
+  const Dataset train = derived->data.Select(train_rows);
+  const Dataset test = derived->data.Select(test_rows);
+  ForestConfig forest_config;
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 6;
+  forest_config.seed = 7;
+  auto model = DareForest::Train(train, forest_config);
+  ASSERT_TRUE(model.ok());
+  const double violation = ComputeFairness(
+      *model, test, *group, FairnessMetric::kStatisticalParity);
+  ASSERT_LT(violation, -0.01);
+
+  FumeConfig config;
+  config.top_k = 3;
+  config.support_min = 0.05;
+  config.support_max = 0.30;
+  config.group = *group;
+  // Search the base attributes only (exclude the derived one and its
+  // constituents' trivial self-explanations).
+  config.lattice.excluded_attrs = {derived->derived_attr};
+  auto result = ExplainFairnessViolation(*model, train, test, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->top_k.empty());
+  // The top subset should involve race and/or gender (the bias source).
+  bool mentions_sensitive = false;
+  for (const Literal& lit : result->top_k[0].predicate.literals()) {
+    if (lit.attr == 0 || lit.attr == 1) mentions_sensitive = true;
+  }
+  EXPECT_TRUE(mentions_sensitive);
+}
+
+}  // namespace
+}  // namespace fume

@@ -1,0 +1,156 @@
+// Tests for the k-NN model family: prediction semantics, trivially-exact
+// unlearning, and FUME running end-to-end over a k-NN model through the
+// generic ExplainWithRemoval entry point (paper §5 extensibility).
+
+#include <gtest/gtest.h>
+
+#include "core/fume.h"
+#include "knn/knn.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+Dataset SmallKnnData() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("x", {"0", "1", "2"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("y", {"a", "b"}).ok());
+  Dataset data(schema);
+  // Cluster 1 (x=0): positive; cluster 2 (x=2): negative.
+  EXPECT_TRUE(data.AppendRow({0, 0}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({0, 1}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({0, 0}, 1).ok());
+  EXPECT_TRUE(data.AppendRow({2, 0}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({2, 1}, 0).ok());
+  EXPECT_TRUE(data.AppendRow({2, 0}, 0).ok());
+  return data;
+}
+
+TEST(KnnTest, TrainValidatesInput) {
+  Dataset data = SmallKnnData();
+  KnnConfig config;
+  config.num_neighbors = 0;
+  EXPECT_FALSE(KnnClassifier::Train(data, config).ok());
+  Schema numeric_schema;
+  ASSERT_TRUE(numeric_schema.AddNumeric("n").ok());
+  Dataset numeric(numeric_schema);
+  ASSERT_TRUE(numeric.AppendRowMixed({0}, {1.0}, 0).ok());
+  EXPECT_FALSE(KnnClassifier::Train(numeric, KnnConfig{}).ok());
+}
+
+TEST(KnnTest, NearestClusterWins) {
+  Dataset data = SmallKnnData();
+  KnnConfig config;
+  config.num_neighbors = 3;
+  auto model = KnnClassifier::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  // Query each training row: its own cluster dominates.
+  EXPECT_EQ(model->Predict(data, 0), 1);
+  EXPECT_EQ(model->Predict(data, 4), 0);
+  EXPECT_DOUBLE_EQ(model->PredictProb(data, 0), 1.0);
+  // Query {2,0}: rows 3 and 5 are at distance 0; rows 0, 2 and 4 tie at
+  // distance 1 and the smallest id (row 0, positive) takes the third slot.
+  EXPECT_DOUBLE_EQ(model->PredictProb(data, 3), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(model->Accuracy(data), 1.0);
+}
+
+TEST(KnnTest, KLargerThanDataIsClamped) {
+  Dataset data = SmallKnnData();
+  KnnConfig config;
+  config.num_neighbors = 50;
+  auto model = KnnClassifier::Train(data, config);
+  ASSERT_TRUE(model.ok());
+  // All six rows vote: 3 positive / 6.
+  EXPECT_DOUBLE_EQ(model->PredictProb(data, 0), 0.5);
+}
+
+TEST(KnnTest, DeletionIsExactlyRetraining) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 400;
+  auto bundle = synth::MakePlantedBias(opts);
+  ASSERT_TRUE(bundle.ok());
+  const Dataset& data = bundle->data;
+  KnnConfig config;
+  config.num_neighbors = 7;
+  auto model = KnnClassifier::Train(data, config);
+  ASSERT_TRUE(model.ok());
+
+  Rng rng(3);
+  std::vector<RowId> doomed;
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    if (rng.NextBernoulli(0.2)) doomed.push_back(static_cast<RowId>(r));
+  }
+  KnnClassifier unlearned = model->Clone();
+  ASSERT_TRUE(unlearned.DeleteRows(doomed).ok());
+
+  std::vector<int64_t> doomed64(doomed.begin(), doomed.end());
+  auto retrained = KnnClassifier::Train(data.DropRows(doomed64), config);
+  ASSERT_TRUE(retrained.ok());
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
+    ASSERT_DOUBLE_EQ(unlearned.PredictProb(data, r),
+                     retrained->PredictProb(data, r));
+  }
+}
+
+TEST(KnnTest, DeleteValidation) {
+  Dataset data = SmallKnnData();
+  auto model = KnnClassifier::Train(data, KnnConfig{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(model->DeleteRows({99}).IsIndexError());
+  ASSERT_TRUE(model->DeleteRows({1}).ok());
+  EXPECT_TRUE(model->DeleteRows({1}).IsInvalid());  // double delete
+  EXPECT_EQ(model->num_alive_rows(), 5);
+}
+
+TEST(KnnTest, EmptyModelPredictsHalf) {
+  Dataset data = SmallKnnData();
+  auto model = KnnClassifier::Train(data, KnnConfig{});
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->DeleteRows({0, 1, 2, 3, 4, 5}).ok());
+  EXPECT_DOUBLE_EQ(model->PredictProb(data, 0), 0.5);
+}
+
+TEST(KnnTest, FumeExplainsAKnnViolation) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 1200;
+  opts.seed = 3;  // a draw where the k-NN model shows a clear violation
+  auto bundle = synth::MakePlantedBias(opts);
+  ASSERT_TRUE(bundle.ok());
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t r = 0; r < bundle->data.num_rows(); ++r) {
+    (r % 10 < 7 ? train_rows : test_rows).push_back(r);
+  }
+  const Dataset train = bundle->data.Select(train_rows);
+  const Dataset test = bundle->data.Select(test_rows);
+
+  KnnConfig knn_config;
+  knn_config.num_neighbors = 9;
+  auto model = KnnClassifier::Train(train, knn_config);
+  ASSERT_TRUE(model.ok());
+
+  FumeConfig config;
+  config.top_k = 5;
+  config.support_min = 0.02;
+  config.support_max = 0.25;
+  config.max_literals = 2;
+  config.group = bundle->group;
+  config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+
+  const ModelEval original =
+      EvaluateKnn(*model, test, config.group, config.metric);
+  if (std::abs(original.fairness) < 0.01) {
+    GTEST_SKIP() << "k-NN model happens to be fair on this draw";
+  }
+  KnnUnlearnRemovalMethod removal(&*model, &test, config.group, config.metric);
+  auto result = ExplainWithRemoval(original, train, config, &removal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->top_k.empty());
+  for (const auto& s : result->top_k) {
+    EXPECT_GT(s.attribution, 0.0);
+    EXPECT_LE(s.predicate.num_literals(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace fume

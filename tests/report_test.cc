@@ -1,0 +1,108 @@
+// Tests for report rendering: top-k tables, exploration stats, violation
+// summaries and baseline lines — plus the umbrella header compiling.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fume/api.h"
+
+namespace fume {
+namespace {
+
+Schema SimpleSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("color", {"red", "blue"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("size", {"S", "L"}).ok());
+  return schema;
+}
+
+FumeResult FakeResult() {
+  FumeResult result;
+  result.original_fairness = -0.12;
+  result.original_accuracy = 0.81;
+  AttributableSubset s;
+  s.predicate = Predicate({Literal{0, LiteralOp::kEq, 1},
+                           Literal{1, LiteralOp::kEq, 0}});
+  s.support = 0.071;
+  s.num_rows = 71;
+  s.attribution = 0.435;
+  s.phi = -0.435;
+  s.new_fairness = -0.0678;
+  s.new_accuracy = 0.79;
+  result.top_k.push_back(s);
+  result.all_candidates.push_back(s);
+  LevelStats level;
+  level.level = 1;
+  level.possible = 40;
+  level.explored = 10;
+  result.stats.levels.push_back(level);
+  result.stats.attribution_evaluations = 10;
+  result.stats.total_seconds = 0.5;
+  return result;
+}
+
+TEST(ReportTest, TopKTableContents) {
+  std::ostringstream os;
+  PrintTopK(FakeResult(), SimpleSchema(), "ZZ", os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ZZ1"), std::string::npos);
+  EXPECT_NE(out.find("(color = blue) AND (size = S)"), std::string::npos);
+  EXPECT_NE(out.find("7.10%"), std::string::npos);   // support
+  EXPECT_NE(out.find("43.50%"), std::string::npos);  // reduction
+}
+
+TEST(ReportTest, EmptyTopKPrintsPlaceholder) {
+  FumeResult result = FakeResult();
+  result.top_k.clear();
+  std::ostringstream os;
+  PrintTopK(result, SimpleSchema(), "X", os);
+  EXPECT_NE(os.str().find("no attributable subsets"), std::string::npos);
+}
+
+TEST(ReportTest, ExplorationStatsPercentages) {
+  std::ostringstream os;
+  PrintExplorationStats(FakeResult().stats, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("75.00"), std::string::npos);  // 1 - 10/40
+  EXPECT_NE(out.find("attribution evaluations: 10"), std::string::npos);
+}
+
+TEST(ReportTest, ViolationSummaryDirection) {
+  std::ostringstream os;
+  PrintViolationSummary(FakeResult(), FairnessMetric::kStatisticalParity, os);
+  EXPECT_NE(os.str().find("biased against the protected group"),
+            std::string::npos);
+  FumeResult flipped = FakeResult();
+  flipped.original_fairness = 0.2;
+  std::ostringstream os2;
+  PrintViolationSummary(flipped, FairnessMetric::kStatisticalParity, os2);
+  EXPECT_NE(os2.str().find("biased against the privileged group"),
+            std::string::npos);
+}
+
+TEST(ReportTest, BaselineLine) {
+  BaselineResult baseline;
+  baseline.removed_fraction = 0.1475;
+  baseline.removed_rows = 147;
+  baseline.parity_reduction = 0.855;
+  baseline.original_accuracy = 0.8;
+  baseline.new_accuracy = 0.78;
+  std::ostringstream os;
+  PrintBaseline(baseline, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("14.75%"), std::string::npos);
+  EXPECT_NE(out.find("85.50%"), std::string::npos);
+  EXPECT_NE(out.find("147 rows"), std::string::npos);
+}
+
+TEST(ReportTest, FormatReportBundlesEverything) {
+  const std::string report = FormatReport(
+      FakeResult(), SimpleSchema(), FairnessMetric::kPredictiveParity, "Q");
+  EXPECT_NE(report.find("predictive parity"), std::string::npos);
+  EXPECT_NE(report.find("Q1"), std::string::npos);
+  EXPECT_NE(report.find("Possible subsets"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fume

@@ -1,0 +1,111 @@
+// Tests for forest serialization: byte-exact model round trips, continued
+// unlearning after load, and corrupt-input rejection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "forest/serialize.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+DareForest TrainedForest(uint64_t seed, ThresholdMode mode) {
+  auto bundle = synth::MakeParametric(500, 6, 4, seed);
+  EXPECT_TRUE(bundle.ok());
+  ForestConfig config;
+  config.num_trees = 4;
+  config.max_depth = 7;
+  config.random_depth = 2;
+  config.threshold_mode = mode;
+  config.seed = seed + 1;
+  auto forest = DareForest::Train(bundle->data, config);
+  EXPECT_TRUE(forest.ok());
+  return std::move(*forest);
+}
+
+TEST(SerializeTest, RoundTripIsStructurallyIdentical) {
+  DareForest forest = TrainedForest(1, ThresholdMode::kExact);
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_EQ(loaded->num_nodes(), forest.num_nodes());
+  EXPECT_EQ(loaded->config().seed, forest.config().seed);
+}
+
+TEST(SerializeTest, SampledModeRoundTrips) {
+  DareForest forest = TrainedForest(2, ThresholdMode::kSampled);
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_EQ(loaded->config().threshold_mode, ThresholdMode::kSampled);
+}
+
+TEST(SerializeTest, LoadedForestStillUnlearnsExactly) {
+  DareForest forest = TrainedForest(3, ThresholdMode::kExact);
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok());
+
+  std::vector<RowId> doomed = {3, 50, 77, 123, 400, 499};
+  ASSERT_TRUE(forest.DeleteRows(doomed).ok());
+  ASSERT_TRUE(loaded->DeleteRows(doomed).ok());
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_TRUE(loaded->ValidateStats());
+}
+
+TEST(SerializeTest, DeleteBeforeSaveIsPreserved) {
+  DareForest forest = TrainedForest(4, ThresholdMode::kExact);
+  ASSERT_TRUE(forest.DeleteRows({1, 2, 3, 100}).ok());
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_EQ(loaded->num_training_rows(), 496);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  DareForest forest = TrainedForest(5, ThresholdMode::kExact);
+  const std::string path = "/tmp/fume_forest_test.bin";
+  ASSERT_TRUE(SaveForestToFile(forest, path).ok());
+  auto loaded = LoadForestFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_FALSE(LoadForestFromFile("/tmp/does-not-exist.bin").ok());
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  {
+    std::istringstream in(std::string("NOTAFORE"), std::ios::binary);
+    EXPECT_TRUE(LoadForest(in).status().IsIOError());
+  }
+  {
+    std::istringstream in(std::string(""), std::ios::binary);
+    EXPECT_TRUE(LoadForest(in).status().IsIOError());
+  }
+  // Truncation anywhere in the stream must fail cleanly, never crash.
+  DareForest forest = TrainedForest(6, ThresholdMode::kExact);
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  const std::string blob = out.str();
+  for (size_t cut : {size_t{9}, size_t{40}, blob.size() / 2,
+                     blob.size() - 3}) {
+    std::istringstream in(blob.substr(0, cut), std::ios::binary);
+    EXPECT_FALSE(LoadForest(in).ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace fume

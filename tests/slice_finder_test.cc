@@ -1,0 +1,94 @@
+// Tests for the SliceFinder-style comparator.
+
+#include <gtest/gtest.h>
+
+#include "core/slice_finder.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+// Data where the model is deliberately bad on one known slice: (A = a2)
+// rows get adversarial labels the forest cannot fit at shallow depth.
+Dataset SlicedData(int64_t n, uint64_t seed) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddCategorical("A", {"a0", "a1", "a2"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("B", {"b0", "b1"}).ok());
+  EXPECT_TRUE(schema.AddCategorical("C", {"c0", "c1", "c2"}).ok());
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    const int a = rng.NextWeighted({0.55, 0.35, 0.10});
+    const int b = rng.NextInt(0, 1);
+    const int c = rng.NextInt(0, 2);
+    double p = b == 0 ? 0.85 : 0.15;
+    if (a == 2) p = 0.5;  // pure noise inside the slice -> high error
+    EXPECT_TRUE(
+        data.AppendRow({a, b, c}, rng.NextBernoulli(p) ? 1 : 0).ok());
+  }
+  return data;
+}
+
+TEST(SliceFinderTest, FindsTheNoisySlice) {
+  Dataset data = SlicedData(3000, 5);
+  ForestConfig forest_config;
+  forest_config.num_trees = 5;
+  forest_config.max_depth = 5;
+  forest_config.random_depth = 0;
+  forest_config.num_candidate_attrs = 3;
+  auto model = DareForest::Train(data, forest_config);
+  ASSERT_TRUE(model.ok());
+
+  SliceFinderConfig config;
+  config.top_k = 3;
+  config.support_min = 0.05;
+  config.support_max = 0.20;
+  config.max_literals = 1;
+  auto slices = FindProblematicSlices(*model, data, config);
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  ASSERT_FALSE(slices->empty());
+  EXPECT_EQ((*slices)[0].predicate.ToString(data.schema()), "(A = a2)");
+  EXPECT_GT((*slices)[0].effect_size, 0.15);
+  EXPECT_GT((*slices)[0].slice_error, (*slices)[0].overall_error);
+}
+
+TEST(SliceFinderTest, RespectsSupportAndRanking) {
+  Dataset data = SlicedData(2000, 6);
+  auto model = DareForest::Train(data, ForestConfig{});
+  ASSERT_TRUE(model.ok());
+  SliceFinderConfig config;
+  config.top_k = 10;
+  config.support_min = 0.05;
+  config.support_max = 0.30;
+  config.max_literals = 2;
+  auto slices = FindProblematicSlices(*model, data, config);
+  ASSERT_TRUE(slices.ok());
+  for (size_t i = 0; i < slices->size(); ++i) {
+    const Slice& s = (*slices)[i];
+    EXPECT_GE(s.support, config.support_min);
+    EXPECT_LE(s.support, config.support_max);
+    EXPECT_LE(s.predicate.num_literals(), 2);
+    if (i > 0) {
+      EXPECT_GE((*slices)[i - 1].effect_size, s.effect_size);
+    }
+    // Error rates are consistent: a recount of the slice must agree.
+    const auto rows = s.predicate.MatchingRows(data);
+    EXPECT_EQ(static_cast<int64_t>(rows.size()), s.num_rows);
+  }
+}
+
+TEST(SliceFinderTest, ValidatesConfig) {
+  Dataset data = SlicedData(100, 7);
+  auto model = DareForest::Train(data, ForestConfig{});
+  ASSERT_TRUE(model.ok());
+  SliceFinderConfig config;
+  config.top_k = 0;
+  EXPECT_FALSE(FindProblematicSlices(*model, data, config).ok());
+  config.top_k = 5;
+  config.max_literals = 0;
+  EXPECT_FALSE(FindProblematicSlices(*model, data, config).ok());
+}
+
+}  // namespace
+}  // namespace fume

@@ -1,0 +1,336 @@
+// fume_cli: command-line fairness audit tool.
+//
+//   # audit a built-in synthetic dataset
+//   fume_cli --dataset german-credit --metric statistical-parity
+//
+//   # audit your own CSV (numeric columns are quantile-binned)
+//   fume_cli --csv data.csv --label outcome --sensitive gender \
+//            --privileged male --support-min 0.05 --support-max 0.15
+//
+// Run with --help for the full flag list.
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/baseline.h"
+#include "core/fume.h"
+#include "core/report.h"
+#include "core/slice_finder.h"
+#include "data/csv.h"
+#include "data/discretizer.h"
+#include "data/split.h"
+#include "forest/serialize.h"
+#include "synth/registry.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace fume;
+
+struct CliOptions {
+  // Data source (exactly one of dataset / csv).
+  std::string dataset;
+  std::string csv;
+  std::string label = "label";
+  std::string sensitive;
+  std::string privileged;
+  int64_t rows = 0;
+  uint64_t seed = 4;
+  int bins = 4;
+  // Model.
+  int trees = 10;
+  int depth = 8;
+  int random_depth = 2;
+  uint64_t model_seed = 31;
+  std::string save_model;
+  // Search.
+  FairnessMetric metric = FairnessMetric::kStatisticalParity;
+  int top_k = 5;
+  double support_min = 0.05;
+  double support_max = 0.15;
+  int literals = 2;
+  int threads = 1;
+  double overlap = 1.0;
+  bool exclude_sensitive = false;
+  bool run_baseline = false;
+  bool run_slicefinder = false;
+  double test_fraction = 0.3;
+};
+
+void PrintUsage() {
+  std::cout << R"(fume_cli — explain a group-fairness violation of a random forest
+
+Data source (pick one):
+  --dataset NAME        built-in synthetic dataset: german-credit,
+                        adult-income, sqf, acs-income, meps
+  --csv FILE            load a CSV (numeric columns quantile-binned)
+      --label COL       binary label column (default: label)
+      --sensitive COL   sensitive attribute column (required with --csv)
+      --privileged VAL  category treated as the privileged group (required)
+      --bins N          bins per numeric column (default 4)
+  --rows N              override dataset size (synthetic only)
+  --seed N              data seed (default 4)
+
+Model:
+  --trees N             forest size (default 10)
+  --depth N             max tree depth (default 8)
+  --random-depth N      DaRE random upper levels (default 2)
+  --model-seed N        forest seed (default 31)
+  --save-model FILE     save the trained forest (binary, reloadable)
+
+Search:
+  --metric M            statistical-parity | equalized-odds |
+                        predictive-parity | equal-opportunity |
+                        disparate-impact (default statistical-parity)
+  --k N                 top-k subsets (default 5)
+  --support-min F       Rule 2 lower bound (default 0.05)
+  --support-max F       Rule 2 upper bound (default 0.15)
+  --literals N          Rule 3 max literals (default 2)
+  --threads N           parallel attribution workers (default 1)
+  --overlap F           max Jaccard overlap between reported subsets
+                        (default 1.0 = no filter)
+  --exclude-sensitive   do not phrase subsets in terms of the sensitive attr
+  --baseline            also run the DropUnprivUnfavor baseline
+  --slicefinder         also run the SliceFinder-style comparator
+  --test-fraction F     test split fraction (default 0.3)
+)";
+}
+
+std::optional<FairnessMetric> ParseMetric(const std::string& name) {
+  if (name == "statistical-parity") return FairnessMetric::kStatisticalParity;
+  if (name == "equalized-odds") return FairnessMetric::kEqualizedOdds;
+  if (name == "predictive-parity") return FairnessMetric::kPredictiveParity;
+  if (name == "equal-opportunity") return FairnessMetric::kEqualOpportunity;
+  if (name == "disparate-impact") return FairnessMetric::kDisparateImpact;
+  return std::nullopt;
+}
+
+// Returns false (after printing an error) on malformed flags.
+bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* v = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      *want_help = true;
+      return true;
+    } else if (flag == "--exclude-sensitive") {
+      opts->exclude_sensitive = true;
+    } else if (flag == "--baseline") {
+      opts->run_baseline = true;
+    } else if (flag == "--slicefinder") {
+      opts->run_slicefinder = true;
+    } else if (flag == "--dataset") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->dataset = v;
+    } else if (flag == "--csv") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->csv = v;
+    } else if (flag == "--label") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->label = v;
+    } else if (flag == "--sensitive") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->sensitive = v;
+    } else if (flag == "--privileged") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->privileged = v;
+    } else if (flag == "--save-model") {
+      if ((v = need_value(i)) == nullptr) return false;
+      opts->save_model = v;
+    } else if (flag == "--metric") {
+      if ((v = need_value(i)) == nullptr) return false;
+      auto metric = ParseMetric(v);
+      if (!metric) {
+        std::cerr << "unknown metric '" << v << "'\n";
+        return false;
+      }
+      opts->metric = *metric;
+    } else {
+      if ((v = need_value(i)) == nullptr) return false;
+      int iv = 0;
+      double dv = 0.0;
+      const bool is_int = ParseInt(v, &iv);
+      const bool is_double = ParseDouble(v, &dv);
+      if (flag == "--rows" && is_int) opts->rows = iv;
+      else if (flag == "--seed" && is_int) opts->seed = static_cast<uint64_t>(iv);
+      else if (flag == "--bins" && is_int) opts->bins = iv;
+      else if (flag == "--trees" && is_int) opts->trees = iv;
+      else if (flag == "--depth" && is_int) opts->depth = iv;
+      else if (flag == "--random-depth" && is_int) opts->random_depth = iv;
+      else if (flag == "--model-seed" && is_int) opts->model_seed = static_cast<uint64_t>(iv);
+      else if (flag == "--k" && is_int) opts->top_k = iv;
+      else if (flag == "--literals" && is_int) opts->literals = iv;
+      else if (flag == "--threads" && is_int) opts->threads = iv;
+      else if (flag == "--support-min" && is_double) opts->support_min = dv;
+      else if (flag == "--support-max" && is_double) opts->support_max = dv;
+      else if (flag == "--overlap" && is_double) opts->overlap = dv;
+      else if (flag == "--test-fraction" && is_double) opts->test_fraction = dv;
+      else {
+        std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<synth::DatasetBundle> LoadData(const CliOptions& opts) {
+  if (!opts.dataset.empty()) {
+    FUME_ASSIGN_OR_RETURN(synth::RegisteredDataset registered,
+                          synth::FindDataset(opts.dataset));
+    synth::SynthOptions synth_opts;
+    synth_opts.num_rows = opts.rows;
+    synth_opts.seed = opts.seed;
+    return registered.make(synth_opts);
+  }
+  if (opts.csv.empty()) {
+    return Status::Invalid("pass --dataset NAME or --csv FILE (see --help)");
+  }
+  if (opts.sensitive.empty() || opts.privileged.empty()) {
+    return Status::Invalid("--csv requires --sensitive and --privileged");
+  }
+  CsvReadOptions read_opts;
+  read_opts.label_column = opts.label;
+  FUME_ASSIGN_OR_RETURN(Dataset raw, ReadCsvFile(opts.csv, read_opts));
+  DiscretizerOptions disc_opts;
+  disc_opts.num_bins = opts.bins;
+  FUME_ASSIGN_OR_RETURN(Discretizer disc, Discretizer::Fit(raw, disc_opts));
+  FUME_ASSIGN_OR_RETURN(Dataset data, disc.Transform(raw));
+  synth::DatasetBundle bundle;
+  bundle.name = opts.csv;
+  FUME_ASSIGN_OR_RETURN(int sensitive_attr,
+                        data.schema().FindAttribute(opts.sensitive));
+  const int priv_code =
+      data.schema().attribute(sensitive_attr).FindCategory(opts.privileged);
+  if (priv_code < 0) {
+    return Status::Invalid("privileged value '" + opts.privileged +
+                           "' not found in column '" + opts.sensitive + "'");
+  }
+  bundle.group = GroupSpec{sensitive_attr, priv_code};
+  bundle.data = std::move(data);
+  return bundle;
+}
+
+int Run(const CliOptions& opts) {
+  auto bundle = LoadData(opts);
+  if (!bundle.ok()) {
+    std::cerr << bundle.status().ToString() << "\n";
+    return 1;
+  }
+
+  SplitOptions split_opts;
+  split_opts.test_fraction = opts.test_fraction;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+
+  ForestConfig forest_config;
+  forest_config.num_trees = opts.trees;
+  forest_config.max_depth = opts.depth;
+  forest_config.random_depth = opts.random_depth;
+  forest_config.seed = opts.model_seed;
+  auto model = DareForest::Train(split->train, forest_config);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "dataset: " << bundle->name << " (" << bundle->data.num_rows()
+            << " rows, " << bundle->data.num_attributes()
+            << " attributes), sensitive attribute: "
+            << bundle->data.schema().attribute(bundle->group.sensitive_attr).name
+            << "\nmodel: " << opts.trees << " trees, depth " << opts.depth
+            << ", accuracy " << FormatPercent(model->Accuracy(split->test))
+            << " on " << split->test.num_rows() << " test rows\n\n";
+
+  if (!opts.save_model.empty()) {
+    Status st = SaveForestToFile(*model, opts.save_model);
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "model saved to " << opts.save_model << "\n\n";
+  }
+
+  FumeConfig config;
+  config.top_k = opts.top_k;
+  config.support_min = opts.support_min;
+  config.support_max = opts.support_max;
+  config.max_literals = opts.literals;
+  config.metric = opts.metric;
+  config.group = bundle->group;
+  config.num_threads = opts.threads;
+  config.max_row_overlap = opts.overlap;
+  if (opts.exclude_sensitive) {
+    config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+  }
+  auto result =
+      ExplainFairnessViolation(*model, split->train, split->test, config);
+  if (!result.ok()) {
+    std::cout << result.status().ToString() << "\n";
+    return result.status().IsInvalid() ? 0 : 1;  // "no violation" is fine
+  }
+  PrintViolationSummary(*result, config.metric, std::cout);
+  PrintTopK(*result, split->train.schema(), "S", std::cout);
+  std::cout << "\n";
+  PrintExplorationStats(result->stats, std::cout);
+
+  if (opts.run_baseline) {
+    std::cout << "\n";
+    auto baseline = RunDropUnprivUnfavor(split->train, split->test,
+                                         forest_config, bundle->group,
+                                         config.metric);
+    if (baseline.ok()) {
+      PrintBaseline(*baseline, std::cout);
+    } else {
+      std::cout << baseline.status().ToString() << "\n";
+    }
+  }
+  if (opts.run_slicefinder) {
+    SliceFinderConfig slice_config;
+    slice_config.top_k = opts.top_k;
+    slice_config.support_min = opts.support_min;
+    slice_config.support_max = opts.support_max;
+    slice_config.max_literals = opts.literals;
+    auto slices = FindProblematicSlices(*model, split->train, slice_config);
+    if (slices.ok()) {
+      std::cout << "\nSliceFinder-style worst-accuracy slices (for "
+                   "contrast):\n";
+      TablePrinter table({"#", "Slice", "Support", "Error-rate gap"});
+      int index = 1;
+      for (const Slice& slice : *slices) {
+        table.AddRow({std::to_string(index++),
+                      slice.predicate.ToString(split->train.schema()),
+                      FormatPercent(slice.support),
+                      FormatPercent(slice.effect_size)});
+      }
+      table.Print(std::cout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  bool want_help = false;
+  if (!ParseArgs(argc, argv, &opts, &want_help)) return 2;
+  if (want_help || argc == 1) {
+    PrintUsage();
+    return 0;
+  }
+  return Run(opts);
+}
