@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dare"
+  "../bench/bench_ablation_dare.pdb"
+  "CMakeFiles/bench_ablation_dare.dir/bench_ablation_dare.cc.o"
+  "CMakeFiles/bench_ablation_dare.dir/bench_ablation_dare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_substrates"
+  "../bench/bench_ablation_substrates.pdb"
+  "CMakeFiles/bench_ablation_substrates.dir/bench_ablation_substrates.cc.o"
+  "CMakeFiles/bench_ablation_substrates.dir/bench_ablation_substrates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

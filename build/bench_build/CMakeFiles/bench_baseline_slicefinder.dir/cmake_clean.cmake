@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_slicefinder"
+  "../bench/bench_baseline_slicefinder.pdb"
+  "CMakeFiles/bench_baseline_slicefinder.dir/bench_baseline_slicefinder.cc.o"
+  "CMakeFiles/bench_baseline_slicefinder.dir/bench_baseline_slicefinder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_slicefinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

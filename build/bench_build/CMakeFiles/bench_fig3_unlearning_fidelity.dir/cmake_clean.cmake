@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_unlearning_fidelity"
+  "../bench/bench_fig3_unlearning_fidelity.pdb"
+  "CMakeFiles/bench_fig3_unlearning_fidelity.dir/bench_fig3_unlearning_fidelity.cc.o"
+  "CMakeFiles/bench_fig3_unlearning_fidelity.dir/bench_fig3_unlearning_fidelity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unlearning_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_german"
+  "../bench/bench_table3_german.pdb"
+  "CMakeFiles/bench_table3_german.dir/bench_table3_german.cc.o"
+  "CMakeFiles/bench_table3_german.dir/bench_table3_german.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_german.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

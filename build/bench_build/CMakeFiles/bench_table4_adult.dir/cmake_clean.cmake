@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_adult"
+  "../bench/bench_table4_adult.pdb"
+  "CMakeFiles/bench_table4_adult.dir/bench_table4_adult.cc.o"
+  "CMakeFiles/bench_table4_adult.dir/bench_table4_adult.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_adult.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

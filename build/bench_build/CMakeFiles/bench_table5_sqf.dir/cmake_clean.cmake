@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_sqf"
+  "../bench/bench_table5_sqf.pdb"
+  "CMakeFiles/bench_table5_sqf.dir/bench_table5_sqf.cc.o"
+  "CMakeFiles/bench_table5_sqf.dir/bench_table5_sqf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_sqf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_acs"
+  "../bench/bench_table6_acs.pdb"
+  "CMakeFiles/bench_table6_acs.dir/bench_table6_acs.cc.o"
+  "CMakeFiles/bench_table6_acs.dir/bench_table6_acs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_acs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

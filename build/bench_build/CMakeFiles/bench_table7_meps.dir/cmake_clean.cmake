@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_meps"
+  "../bench/bench_table7_meps.pdb"
+  "CMakeFiles/bench_table7_meps.dir/bench_table7_meps.cc.o"
+  "CMakeFiles/bench_table7_meps.dir/bench_table7_meps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_meps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

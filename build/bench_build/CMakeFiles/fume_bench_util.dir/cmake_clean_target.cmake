@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libfume_bench_util.a"
+)

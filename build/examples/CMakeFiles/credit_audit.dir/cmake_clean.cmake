@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_audit.dir/credit_audit.cc.o"
+  "CMakeFiles/credit_audit.dir/credit_audit.cc.o.d"
+  "credit_audit"
+  "credit_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

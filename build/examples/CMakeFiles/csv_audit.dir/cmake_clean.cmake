@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_audit.dir/csv_audit.cc.o"
+  "CMakeFiles/csv_audit.dir/csv_audit.cc.o.d"
+  "csv_audit"
+  "csv_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensibility_demo.dir/extensibility_demo.cc.o"
+  "CMakeFiles/extensibility_demo.dir/extensibility_demo.cc.o.d"
+  "extensibility_demo"
+  "extensibility_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensibility_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policing_audit.dir/policing_audit.cc.o"
+  "CMakeFiles/policing_audit.dir/policing_audit.cc.o.d"
+  "policing_audit"
+  "policing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

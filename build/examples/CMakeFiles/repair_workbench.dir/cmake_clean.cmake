@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_workbench.dir/repair_workbench.cc.o"
+  "CMakeFiles/repair_workbench.dir/repair_workbench.cc.o.d"
+  "repair_workbench"
+  "repair_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

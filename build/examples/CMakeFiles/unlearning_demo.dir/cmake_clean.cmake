@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unlearning_demo.dir/unlearning_demo.cc.o"
+  "CMakeFiles/unlearning_demo.dir/unlearning_demo.cc.o.d"
+  "unlearning_demo"
+  "unlearning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unlearning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribution.cc" "src/CMakeFiles/fume_core.dir/core/attribution.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/attribution.cc.o.d"
+  "/root/repo/src/core/baseline.cc" "src/CMakeFiles/fume_core.dir/core/baseline.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/baseline.cc.o.d"
+  "/root/repo/src/core/fume.cc" "src/CMakeFiles/fume_core.dir/core/fume.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/fume.cc.o.d"
+  "/root/repo/src/core/removal_method.cc" "src/CMakeFiles/fume_core.dir/core/removal_method.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/removal_method.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/fume_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/slice_finder.cc" "src/CMakeFiles/fume_core.dir/core/slice_finder.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/core/slice_finder.cc.o.d"
+  "/root/repo/src/repair/what_if.cc" "src/CMakeFiles/fume_core.dir/repair/what_if.cc.o" "gcc" "src/CMakeFiles/fume_core.dir/repair/what_if.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fume_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_subset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

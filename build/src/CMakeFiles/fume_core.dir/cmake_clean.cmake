@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_core.dir/core/attribution.cc.o"
+  "CMakeFiles/fume_core.dir/core/attribution.cc.o.d"
+  "CMakeFiles/fume_core.dir/core/baseline.cc.o"
+  "CMakeFiles/fume_core.dir/core/baseline.cc.o.d"
+  "CMakeFiles/fume_core.dir/core/fume.cc.o"
+  "CMakeFiles/fume_core.dir/core/fume.cc.o.d"
+  "CMakeFiles/fume_core.dir/core/removal_method.cc.o"
+  "CMakeFiles/fume_core.dir/core/removal_method.cc.o.d"
+  "CMakeFiles/fume_core.dir/core/report.cc.o"
+  "CMakeFiles/fume_core.dir/core/report.cc.o.d"
+  "CMakeFiles/fume_core.dir/core/slice_finder.cc.o"
+  "CMakeFiles/fume_core.dir/core/slice_finder.cc.o.d"
+  "CMakeFiles/fume_core.dir/repair/what_if.cc.o"
+  "CMakeFiles/fume_core.dir/repair/what_if.cc.o.d"
+  "libfume_core.a"
+  "libfume_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

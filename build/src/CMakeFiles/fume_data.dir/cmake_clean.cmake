@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_data.dir/data/csv.cc.o"
+  "CMakeFiles/fume_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/fume_data.dir/data/dataset.cc.o"
+  "CMakeFiles/fume_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/fume_data.dir/data/discretizer.cc.o"
+  "CMakeFiles/fume_data.dir/data/discretizer.cc.o.d"
+  "CMakeFiles/fume_data.dir/data/schema.cc.o"
+  "CMakeFiles/fume_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/fume_data.dir/data/split.cc.o"
+  "CMakeFiles/fume_data.dir/data/split.cc.o.d"
+  "libfume_data.a"
+  "libfume_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairness/confusion.cc" "src/CMakeFiles/fume_fairness.dir/fairness/confusion.cc.o" "gcc" "src/CMakeFiles/fume_fairness.dir/fairness/confusion.cc.o.d"
+  "/root/repo/src/fairness/importance.cc" "src/CMakeFiles/fume_fairness.dir/fairness/importance.cc.o" "gcc" "src/CMakeFiles/fume_fairness.dir/fairness/importance.cc.o.d"
+  "/root/repo/src/fairness/intersectional.cc" "src/CMakeFiles/fume_fairness.dir/fairness/intersectional.cc.o" "gcc" "src/CMakeFiles/fume_fairness.dir/fairness/intersectional.cc.o.d"
+  "/root/repo/src/fairness/metrics.cc" "src/CMakeFiles/fume_fairness.dir/fairness/metrics.cc.o" "gcc" "src/CMakeFiles/fume_fairness.dir/fairness/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fume_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

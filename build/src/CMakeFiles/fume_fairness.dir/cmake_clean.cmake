@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_fairness.dir/fairness/confusion.cc.o"
+  "CMakeFiles/fume_fairness.dir/fairness/confusion.cc.o.d"
+  "CMakeFiles/fume_fairness.dir/fairness/importance.cc.o"
+  "CMakeFiles/fume_fairness.dir/fairness/importance.cc.o.d"
+  "CMakeFiles/fume_fairness.dir/fairness/intersectional.cc.o"
+  "CMakeFiles/fume_fairness.dir/fairness/intersectional.cc.o.d"
+  "CMakeFiles/fume_fairness.dir/fairness/metrics.cc.o"
+  "CMakeFiles/fume_fairness.dir/fairness/metrics.cc.o.d"
+  "libfume_fairness.a"
+  "libfume_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

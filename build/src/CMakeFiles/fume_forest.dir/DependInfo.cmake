@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/forest.cc" "src/CMakeFiles/fume_forest.dir/forest/forest.cc.o" "gcc" "src/CMakeFiles/fume_forest.dir/forest/forest.cc.o.d"
+  "/root/repo/src/forest/serialize.cc" "src/CMakeFiles/fume_forest.dir/forest/serialize.cc.o" "gcc" "src/CMakeFiles/fume_forest.dir/forest/serialize.cc.o.d"
+  "/root/repo/src/forest/split_stats.cc" "src/CMakeFiles/fume_forest.dir/forest/split_stats.cc.o" "gcc" "src/CMakeFiles/fume_forest.dir/forest/split_stats.cc.o.d"
+  "/root/repo/src/forest/tree.cc" "src/CMakeFiles/fume_forest.dir/forest/tree.cc.o" "gcc" "src/CMakeFiles/fume_forest.dir/forest/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fume_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_forest.dir/forest/forest.cc.o"
+  "CMakeFiles/fume_forest.dir/forest/forest.cc.o.d"
+  "CMakeFiles/fume_forest.dir/forest/serialize.cc.o"
+  "CMakeFiles/fume_forest.dir/forest/serialize.cc.o.d"
+  "CMakeFiles/fume_forest.dir/forest/split_stats.cc.o"
+  "CMakeFiles/fume_forest.dir/forest/split_stats.cc.o.d"
+  "CMakeFiles/fume_forest.dir/forest/tree.cc.o"
+  "CMakeFiles/fume_forest.dir/forest/tree.cc.o.d"
+  "libfume_forest.a"
+  "libfume_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

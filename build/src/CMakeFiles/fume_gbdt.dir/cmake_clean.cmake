@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_gbdt.dir/gbdt/gbdt.cc.o"
+  "CMakeFiles/fume_gbdt.dir/gbdt/gbdt.cc.o.d"
+  "libfume_gbdt.a"
+  "libfume_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_hedgecut.dir/hedgecut/hedgecut.cc.o"
+  "CMakeFiles/fume_hedgecut.dir/hedgecut/hedgecut.cc.o.d"
+  "libfume_hedgecut.a"
+  "libfume_hedgecut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_hedgecut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

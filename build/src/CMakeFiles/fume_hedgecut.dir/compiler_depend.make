@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fume_hedgecut.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_knn.dir/knn/knn.cc.o"
+  "CMakeFiles/fume_knn.dir/knn/knn.cc.o.d"
+  "libfume_knn.a"
+  "libfume_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

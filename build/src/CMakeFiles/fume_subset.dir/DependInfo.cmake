@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/subset/lattice.cc" "src/CMakeFiles/fume_subset.dir/subset/lattice.cc.o" "gcc" "src/CMakeFiles/fume_subset.dir/subset/lattice.cc.o.d"
+  "/root/repo/src/subset/literal.cc" "src/CMakeFiles/fume_subset.dir/subset/literal.cc.o" "gcc" "src/CMakeFiles/fume_subset.dir/subset/literal.cc.o.d"
+  "/root/repo/src/subset/posting_index.cc" "src/CMakeFiles/fume_subset.dir/subset/posting_index.cc.o" "gcc" "src/CMakeFiles/fume_subset.dir/subset/posting_index.cc.o.d"
+  "/root/repo/src/subset/predicate.cc" "src/CMakeFiles/fume_subset.dir/subset/predicate.cc.o" "gcc" "src/CMakeFiles/fume_subset.dir/subset/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fume_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

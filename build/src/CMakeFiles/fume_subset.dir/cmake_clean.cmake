@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_subset.dir/subset/lattice.cc.o"
+  "CMakeFiles/fume_subset.dir/subset/lattice.cc.o.d"
+  "CMakeFiles/fume_subset.dir/subset/literal.cc.o"
+  "CMakeFiles/fume_subset.dir/subset/literal.cc.o.d"
+  "CMakeFiles/fume_subset.dir/subset/posting_index.cc.o"
+  "CMakeFiles/fume_subset.dir/subset/posting_index.cc.o.d"
+  "CMakeFiles/fume_subset.dir/subset/predicate.cc.o"
+  "CMakeFiles/fume_subset.dir/subset/predicate.cc.o.d"
+  "libfume_subset.a"
+  "libfume_subset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_subset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

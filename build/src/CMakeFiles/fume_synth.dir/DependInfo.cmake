@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/acs_income.cc" "src/CMakeFiles/fume_synth.dir/synth/acs_income.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/acs_income.cc.o.d"
+  "/root/repo/src/synth/adult.cc" "src/CMakeFiles/fume_synth.dir/synth/adult.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/adult.cc.o.d"
+  "/root/repo/src/synth/common.cc" "src/CMakeFiles/fume_synth.dir/synth/common.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/common.cc.o.d"
+  "/root/repo/src/synth/german.cc" "src/CMakeFiles/fume_synth.dir/synth/german.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/german.cc.o.d"
+  "/root/repo/src/synth/meps.cc" "src/CMakeFiles/fume_synth.dir/synth/meps.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/meps.cc.o.d"
+  "/root/repo/src/synth/parametric.cc" "src/CMakeFiles/fume_synth.dir/synth/parametric.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/parametric.cc.o.d"
+  "/root/repo/src/synth/planted.cc" "src/CMakeFiles/fume_synth.dir/synth/planted.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/planted.cc.o.d"
+  "/root/repo/src/synth/registry.cc" "src/CMakeFiles/fume_synth.dir/synth/registry.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/registry.cc.o.d"
+  "/root/repo/src/synth/sqf.cc" "src/CMakeFiles/fume_synth.dir/synth/sqf.cc.o" "gcc" "src/CMakeFiles/fume_synth.dir/synth/sqf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fume_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_fairness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fume_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

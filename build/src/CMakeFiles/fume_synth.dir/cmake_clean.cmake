@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_synth.dir/synth/acs_income.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/acs_income.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/adult.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/adult.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/common.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/common.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/german.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/german.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/meps.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/meps.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/parametric.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/parametric.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/planted.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/planted.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/registry.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/registry.cc.o.d"
+  "CMakeFiles/fume_synth.dir/synth/sqf.cc.o"
+  "CMakeFiles/fume_synth.dir/synth/sqf.cc.o.d"
+  "libfume_synth.a"
+  "libfume_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_util.dir/util/rng.cc.o"
+  "CMakeFiles/fume_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/fume_util.dir/util/status.cc.o"
+  "CMakeFiles/fume_util.dir/util/status.cc.o.d"
+  "CMakeFiles/fume_util.dir/util/string_util.cc.o"
+  "CMakeFiles/fume_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/fume_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/fume_util.dir/util/table_printer.cc.o.d"
+  "libfume_util.a"
+  "libfume_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfume_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_unlearn_test.dir/forest_unlearn_test.cc.o"
+  "CMakeFiles/forest_unlearn_test.dir/forest_unlearn_test.cc.o.d"
+  "forest_unlearn_test"
+  "forest_unlearn_test.pdb"
+  "forest_unlearn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_unlearn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_algorithm_test.dir/fume_algorithm_test.cc.o"
+  "CMakeFiles/fume_algorithm_test.dir/fume_algorithm_test.cc.o.d"
+  "fume_algorithm_test"
+  "fume_algorithm_test.pdb"
+  "fume_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgecut_test.dir/hedgecut_test.cc.o"
+  "CMakeFiles/hedgecut_test.dir/hedgecut_test.cc.o.d"
+  "hedgecut_test"
+  "hedgecut_test.pdb"
+  "hedgecut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgecut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

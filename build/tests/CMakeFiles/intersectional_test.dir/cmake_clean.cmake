@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersectional_test.dir/intersectional_test.cc.o"
+  "CMakeFiles/intersectional_test.dir/intersectional_test.cc.o.d"
+  "intersectional_test"
+  "intersectional_test.pdb"
+  "intersectional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_finder_test.dir/slice_finder_test.cc.o"
+  "CMakeFiles/slice_finder_test.dir/slice_finder_test.cc.o.d"
+  "slice_finder_test"
+  "slice_finder_test.pdb"
+  "slice_finder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_finder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

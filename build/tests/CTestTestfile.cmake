@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_split_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/forest_unlearn_test[1]_include.cmake")
+include("/root/repo/build/tests/fairness_test[1]_include.cmake")
+include("/root/repo/build/tests/subset_test[1]_include.cmake")
+include("/root/repo/build/tests/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/attribution_test[1]_include.cmake")
+include("/root/repo/build/tests/fume_algorithm_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/knn_test[1]_include.cmake")
+include("/root/repo/build/tests/slice_finder_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/what_if_test[1]_include.cmake")
+include("/root/repo/build/tests/hedgecut_test[1]_include.cmake")
+include("/root/repo/build/tests/intersectional_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/gbdt_test[1]_include.cmake")

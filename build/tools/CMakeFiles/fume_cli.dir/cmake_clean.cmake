@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fume_cli.dir/fume_cli.cc.o"
+  "CMakeFiles/fume_cli.dir/fume_cli.cc.o.d"
+  "fume_cli"
+  "fume_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fume_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
