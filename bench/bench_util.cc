@@ -6,6 +6,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/metrics.h"
+
 namespace fume {
 namespace bench {
 
@@ -131,6 +133,7 @@ int RunTopKBench(const std::string& dataset_name, int argc, char** argv) {
   } else {
     std::cout << "baseline: " << baseline.status().ToString() << "\n";
   }
+  WriteMetricsSnapshot("topk_" + dataset_name);
   return 0;
 }
 
@@ -149,6 +152,19 @@ void WriteArtifact(const std::string& name,
   for (const auto& row : rows) out << Join(row, ",") << "\n";
   std::cout << "artifact written: " << path << " (" << rows.size()
             << " rows)\n";
+  WriteMetricsSnapshot(name);
+}
+
+void WriteMetricsSnapshot(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_artifacts", ec);
+  const std::string path = "bench_artifacts/" + name + ".metrics.json";
+  std::ofstream out(path);
+  if (!(out << obs::MetricsRegistry::Global().Snapshot().ToJson() << "\n")) {
+    std::cerr << "(could not write metrics snapshot " << path << ")\n";
+    return;
+  }
+  std::cout << "metrics snapshot written: " << path << "\n";
 }
 
 }  // namespace bench

@@ -66,11 +66,19 @@ void PrintBanner(const std::string& title, const std::string& paper_ref);
 int RunTopKBench(const std::string& dataset_name, int argc, char** argv);
 
 /// Writes bench_artifacts/<name>.csv (creating the directory on first use)
-/// with plottable data for the figure benches. Failures are reported but
-/// non-fatal to the bench itself.
+/// with plottable data for the figure benches, plus a sibling
+/// bench_artifacts/<name>.metrics.json embedding a snapshot of the global
+/// metrics registry — so every artifact carries the counter context
+/// (pruning work, unlearning work, cache behaviour) of the run that
+/// produced it. Failures are reported but non-fatal to the bench itself.
 void WriteArtifact(const std::string& name,
                    const std::vector<std::string>& header,
                    const std::vector<std::vector<std::string>>& rows);
+
+/// Writes bench_artifacts/<name>.metrics.json from the global registry
+/// (also called by WriteArtifact). Use after table benches that emit no
+/// CSV to still persist the run's counters.
+void WriteMetricsSnapshot(const std::string& name);
 
 }  // namespace bench
 }  // namespace fume

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds with ThreadSanitizer and runs the tests that exercise the
+# lock-free observability counters and the multi-threaded FUME search, so
+# every new atomic is race-checked. Usage:
+#
+#   scripts/run_tsan_tests.sh            # TSan (default)
+#   FUME_SANITIZE=address scripts/run_tsan_tests.sh   # ASan+UBSan instead
+#
+# Extra args are forwarded to ctest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${FUME_SANITIZE:-thread}"
+BUILD_DIR="build-${SANITIZER}san"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DFUME_SANITIZE="${SANITIZER}" \
+  -DFUME_BUILD_BENCHMARKS=OFF \
+  -DFUME_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j --target obs_test fume_algorithm_test \
+  forest_unlearn_test
+
+cd "${BUILD_DIR}"
+ctest --output-on-failure -j "$(nproc)" \
+  -R '(Obs|Fume|Unlearn|Addition)' "$@"

@@ -7,12 +7,38 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
 namespace fume {
 
 namespace {
+
+// Global mirrors of the per-run FumeStats, so a whole process's pruning
+// behaviour is visible via `fume_cli --metrics-out` and bench artifacts.
+// All increments happen on the search's main thread.
+struct SearchMetrics {
+  obs::Counter* rule2_low = obs::GetCounter("fume.prune.rule2_support_low");
+  obs::Counter* rule2_high = obs::GetCounter("fume.prune.rule2_support_high");
+  obs::Counter* rule3 = obs::GetCounter("fume.prune.rule3_unexpanded");
+  obs::Counter* rule4 = obs::GetCounter("fume.prune.rule4_parent");
+  obs::Counter* rule5 = obs::GetCounter("fume.prune.rule5_nonpositive");
+  obs::Counter* cache_hit = obs::GetCounter("fume.rowset_cache.hit");
+  obs::Counter* cache_miss = obs::GetCounter("fume.rowset_cache.miss");
+  obs::Counter* cache_insert = obs::GetCounter("fume.rowset_cache.insert");
+  obs::Counter* runs = obs::GetCounter("fume.search.runs");
+  obs::Counter* evaluations = obs::GetCounter("fume.search.evaluations");
+  obs::Counter* possible = obs::GetCounter("fume.search.possible_subsets");
+  obs::Counter* explored = obs::GetCounter("fume.search.explored_subsets");
+  obs::Histogram* frontier = obs::GetHistogram("fume.search.frontier_size");
+
+  static SearchMetrics& Get() {
+    static SearchMetrics metrics;
+    return metrics;
+  }
+};
 
 // Hash of a sorted row-id vector, for the attribution memo table.
 struct RowsKey {
@@ -53,6 +79,9 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
     return Status::Invalid("training data must be all-categorical");
   }
   Stopwatch total_watch;
+  SearchMetrics& metrics = SearchMetrics::Get();
+  metrics.runs->Inc();
+  obs::TraceSpan run_span("fume.explain", {{"rows", train.num_rows()}});
 
   FumeResult result;
   result.original_fairness = original.fairness;
@@ -71,14 +100,23 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
 
   std::vector<LatticeNode> frontier = lattice.MakeLevel1();
   int64_t possible = lattice.NumPossibleLevel1();
+  // Rule 1 pruning that happened while merging the frontier for the next
+  // level, attributed to that level's stats row.
+  int64_t pending_rule1 = 0;
 
   const int num_threads = std::max(1, config.num_threads);
 
   for (int level = 1; level <= config.max_literals; ++level) {
     Stopwatch level_watch;
+    obs::TraceSpan level_span(
+        "fume.level",
+        {{"level", level}, {"frontier", static_cast<int64_t>(frontier.size())}});
     LevelStats level_stats;
     level_stats.level = level;
     level_stats.possible = possible;
+    level_stats.rule1_pruned = pending_rule1;
+    metrics.possible->Inc(possible);
+    metrics.frontier->Record(static_cast<int64_t>(frontier.size()));
 
     // ---- Phase 1: classify nodes against Rule 2 and collect the distinct
     // row sets that need an attribution evaluation.
@@ -100,11 +138,15 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       // estimated, but stay expandable — their children shrink into range.
       if (config.rule2_support && node.support > config.support_max) {
         fates[i] = NodeFate::kExpandOnly;
+        ++level_stats.rule2_expand_only;
         continue;
       }
       // Rule 2 (lower bound): support is anti-monotone along the lattice,
       // so a too-small subset's whole subtree is out of range.
-      if (config.rule2_support && node.support < config.support_min) continue;
+      if (config.rule2_support && node.support < config.support_min) {
+        ++level_stats.rule2_pruned_low;
+        continue;
+      }
       if (node.rows.Count() == 0) continue;
       fates[i] = NodeFate::kEvaluate;
       keys[i].rows = node.rows.ToRows();
@@ -125,38 +167,49 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
     // ---- Phase 2: run the evaluations, optionally across threads. Each
     // job is independent (clone + delete + score), so the outcome does not
     // depend on scheduling.
-    auto run_job = [&](EvalJob& job) {
-      std::vector<RowId> rows(job.key.rows.begin(), job.key.rows.end());
-      auto eval = removal->EvaluateWithout(rows);
-      if (eval.ok()) {
-        job.eval = *eval;
+    {
+      obs::TraceSpan eval_span("fume.evaluate",
+                               {{"level", level},
+                                {"jobs", static_cast<int64_t>(jobs.size())},
+                                {"threads", num_threads}});
+      auto run_job = [&](EvalJob& job) {
+        std::vector<RowId> rows(job.key.rows.begin(), job.key.rows.end());
+        auto eval = removal->EvaluateWithout(rows);
+        if (eval.ok()) {
+          job.eval = *eval;
+        } else {
+          job.status = eval.status();
+        }
+      };
+      if (num_threads <= 1 || jobs.size() < 2) {
+        for (EvalJob& job : jobs) run_job(job);
       } else {
-        job.status = eval.status();
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> workers;
+        const int spawn =
+            std::min<int>(num_threads, static_cast<int>(jobs.size()));
+        workers.reserve(static_cast<size_t>(spawn));
+        for (int t = 0; t < spawn; ++t) {
+          workers.emplace_back([&]() {
+            while (true) {
+              const size_t i = next.fetch_add(1);
+              if (i >= jobs.size()) return;
+              run_job(jobs[i]);
+            }
+          });
+        }
+        for (auto& worker : workers) worker.join();
       }
-    };
-    if (num_threads <= 1 || jobs.size() < 2) {
-      for (EvalJob& job : jobs) run_job(job);
-    } else {
-      std::atomic<size_t> next{0};
-      std::vector<std::thread> workers;
-      const int spawn =
-          std::min<int>(num_threads, static_cast<int>(jobs.size()));
-      workers.reserve(static_cast<size_t>(spawn));
-      for (int t = 0; t < spawn; ++t) {
-        workers.emplace_back([&]() {
-          while (true) {
-            const size_t i = next.fetch_add(1);
-            if (i >= jobs.size()) return;
-            run_job(jobs[i]);
-          }
-        });
+      metrics.evaluations->Inc(static_cast<int64_t>(jobs.size()));
+      for (EvalJob& job : jobs) {
+        FUME_RETURN_NOT_OK(job.status);
+        ++result.stats.attribution_evaluations;
+        if (config.cache_by_rowset) {
+          memo.emplace(std::move(job.key), job.eval);
+          ++result.stats.cache_inserts;
+          metrics.cache_insert->Inc();
+        }
       }
-      for (auto& worker : workers) worker.join();
-    }
-    for (EvalJob& job : jobs) {
-      FUME_RETURN_NOT_OK(job.status);
-      ++result.stats.attribution_evaluations;
-      if (config.cache_by_rowset) memo.emplace(std::move(job.key), job.eval);
     }
 
     // ---- Phase 3: apply Rules 4/5 and assemble candidates, in frontier
@@ -176,7 +229,12 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
         eval = it->second;
         // A node that did not create its own job reused a prior level's
         // memo entry or another node's identical row set.
-        if (!created_job[i]) ++result.stats.cache_hits;
+        if (!created_job[i]) {
+          ++result.stats.cache_hits;
+          metrics.cache_hit->Inc();
+        } else {
+          metrics.cache_miss->Inc();
+        }
       } else {
         eval = jobs[job_of_node[i]].eval;
       }
@@ -185,13 +243,18 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       node.attribution = -ComputePhi(result.original_fairness, eval.fairness);
 
       // Rule 5: only subsets whose removal reduces bias are worth keeping.
-      bool selected = !config.rule5_positive || node.attribution > 0.0;
+      bool selected = true;
+      if (config.rule5_positive && !(node.attribution > 0.0)) {
+        selected = false;
+        ++level_stats.rule5_pruned;
+      }
       // Rule 4: a merged subset weaker than its strongest estimated parent
       // is a dead end.
       if (selected && config.rule4_parent &&
           !std::isnan(node.parent_attribution) &&
           node.attribution < node.parent_attribution) {
         selected = false;
+        ++level_stats.rule4_pruned;
       }
       if (!selected) continue;
 
@@ -213,17 +276,31 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
     }
 
     level_stats.seconds = level_watch.ElapsedSeconds();
+    metrics.explored->Inc(level_stats.explored);
+    metrics.rule2_low->Inc(level_stats.rule2_pruned_low);
+    metrics.rule2_high->Inc(level_stats.rule2_expand_only);
+    metrics.rule4->Inc(level_stats.rule4_pruned);
+    metrics.rule5->Inc(level_stats.rule5_pruned);
     result.stats.levels.push_back(level_stats);
 
-    if (level == config.max_literals) break;  // Rule 3
+    if (level == config.max_literals) {  // Rule 3
+      result.stats.rule3_unexpanded = static_cast<int64_t>(expandable.size());
+      metrics.rule3->Inc(result.stats.rule3_unexpanded);
+      break;
+    }
     if (expandable.size() < 2) break;  // nothing left to merge
-    int64_t pairs = 0;
-    frontier = lattice.MergeLevel(std::move(expandable), &pairs);
-    possible = pairs;
+    LatticeMergeStats merge_stats;
+    frontier = lattice.MergeLevel(std::move(expandable), merge_stats);
+    possible = merge_stats.pairs_considered;
+    pending_rule1 =
+        merge_stats.rule1_contradictions + merge_stats.degenerate_merges;
     if (frontier.empty()) break;
   }
 
   // Rank candidates: attribution descending, predicate order for ties.
+  obs::TraceSpan rank_span(
+      "fume.rank",
+      {{"candidates", static_cast<int64_t>(result.all_candidates.size())}});
   std::sort(result.all_candidates.begin(), result.all_candidates.end(),
             [](const AttributableSubset& a, const AttributableSubset& b) {
               if (a.attribution != b.attribution) {

@@ -58,7 +58,8 @@ struct FumeConfig {
   double max_row_overlap = 1.0;
 };
 
-/// Per-level exploration counters (paper Table 9).
+/// Per-level exploration counters (paper Table 9), with the pruning work
+/// attributed to the individual rule that did it.
 struct LevelStats {
   int level = 0;
   /// Syntactic candidates: literal count at level 1, apriori join pairs at
@@ -67,6 +68,19 @@ struct LevelStats {
   /// Nodes whose attribution was actually estimated.
   int64_t explored = 0;
   double seconds = 0.0;
+
+  /// Rule 1: join pairs dropped as contradictory/degenerate while forming
+  /// this level's candidates (always 0 at level 1 — no join happened).
+  int64_t rule1_pruned = 0;
+  /// Rule 2 lower bound: support < tau_min, whole subtree abandoned.
+  int64_t rule2_pruned_low = 0;
+  /// Rule 2 upper bound: support > tau_max, kept expandable but never
+  /// estimated.
+  int64_t rule2_expand_only = 0;
+  /// Rule 4: estimated but weaker than the strongest estimated parent.
+  int64_t rule4_pruned = 0;
+  /// Rule 5: estimated but attribution not positive.
+  int64_t rule5_pruned = 0;
 
   double pruned_percent() const {
     if (possible == 0) return 0.0;
@@ -79,7 +93,13 @@ struct FumeStats {
   std::vector<LevelStats> levels;
   /// Removal-method invocations (cache hits excluded).
   int64_t attribution_evaluations = 0;
+  /// Evaluations avoided because an identical row set was already scored
+  /// (prior level or duplicate predicate within the level).
   int64_t cache_hits = 0;
+  /// Distinct row sets entered into the memo table.
+  int64_t cache_inserts = 0;
+  /// Rule 3: expandable nodes left unexpanded at the literal-count cap.
+  int64_t rule3_unexpanded = 0;
   double total_seconds = 0.0;
 };
 

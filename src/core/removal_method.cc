@@ -1,5 +1,8 @@
 #include "core/removal_method.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fume {
 
 UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
@@ -10,6 +13,13 @@ UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
 
 Result<ModelEval> UnlearnRemovalMethod::EvaluateWithout(
     const std::vector<RowId>& rows) {
+  static obs::Counter* evals = obs::GetCounter("removal.unlearn.evaluations");
+  static obs::Histogram* rows_hist =
+      obs::GetHistogram("removal.unlearn.rows_per_evaluation");
+  evals->Inc();
+  rows_hist->Record(static_cast<int64_t>(rows.size()));
+  obs::TraceSpan span("removal.unlearn.evaluate",
+                      {{"rows", static_cast<int64_t>(rows.size())}});
   DareForest what_if = model_->Clone();
   FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
   {
@@ -44,6 +54,10 @@ RetrainRemovalMethod::RetrainRemovalMethod(const Dataset* train,
 
 Result<ModelEval> RetrainRemovalMethod::EvaluateWithout(
     const std::vector<RowId>& rows) {
+  static obs::Counter* evals = obs::GetCounter("removal.retrain.evaluations");
+  evals->Inc();
+  obs::TraceSpan span("removal.retrain.evaluate",
+                      {{"rows", static_cast<int64_t>(rows.size())}});
   std::vector<int64_t> to_drop(rows.begin(), rows.end());
   const Dataset reduced = train_->DropRows(to_drop);
   FUME_ASSIGN_OR_RETURN(DareForest model, DareForest::Train(reduced, config_));

@@ -24,17 +24,31 @@ void PrintTopK(const FumeResult& result, const Schema& schema,
 }
 
 void PrintExplorationStats(const FumeStats& stats, std::ostream& os) {
-  TablePrinter table(
-      {"Level", "Possible subsets", "Subsets explored", "Subsets pruned (%)"});
+  // Table 9 shape plus the per-rule attribution of the pruned delta:
+  // R1 = contradictory merges, R2- / R2+ = support below / above the
+  // bounds, R4 = weaker than parent, R5 = non-positive attribution.
+  // R4/R5 subsets were explored (estimated) and pruned from expansion only,
+  // so the pruned-% column remains possible vs. explored.
+  TablePrinter table({"Level", "Possible subsets", "Subsets explored",
+                      "Subsets pruned (%)", "R1", "R2-", "R2+", "R4", "R5"});
   for (const LevelStats& level : stats.levels) {
     table.AddRow({std::to_string(level.level), std::to_string(level.possible),
                   std::to_string(level.explored),
-                  FormatDouble(level.pruned_percent(), 2)});
+                  FormatDouble(level.pruned_percent(), 2),
+                  std::to_string(level.rule1_pruned),
+                  std::to_string(level.rule2_pruned_low),
+                  std::to_string(level.rule2_expand_only),
+                  std::to_string(level.rule4_pruned),
+                  std::to_string(level.rule5_pruned)});
   }
   table.Print(os);
   os << "attribution evaluations: " << stats.attribution_evaluations
      << " (cache hits: " << stats.cache_hits << "), total time: "
      << FormatDouble(stats.total_seconds, 2) << " s\n";
+  if (stats.rule3_unexpanded > 0) {
+    os << "rule 3 stopped " << stats.rule3_unexpanded
+       << " expandable subsets at the literal cap\n";
+  }
 }
 
 void PrintViolationSummary(const FumeResult& result, FairnessMetric metric,

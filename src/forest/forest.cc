@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fume {
@@ -74,6 +76,10 @@ Result<DareForest> DareForest::Train(const Dataset& train,
   if (config.random_depth < 0 || config.random_depth > config.max_depth) {
     return Status::Invalid("random_depth must lie in [0, max_depth]");
   }
+  obs::TraceSpan span("forest.train", {{"rows", train.num_rows()},
+                                       {"trees", config.num_trees}});
+  static obs::Counter* trains = obs::GetCounter("forest.train.calls");
+  trains->Inc();
   DareForest forest;
   forest.config_ = config;
   forest.store_ = TrainingStore::Make(train);
@@ -91,6 +97,17 @@ Result<DareForest> DareForest::Train(const Dataset& train,
 
 Status DareForest::DeleteRows(const std::vector<RowId>& rows) {
   if (rows.empty()) return Status::OK();
+  obs::TraceSpan span("forest.delete",
+                      {{"rows", static_cast<int64_t>(rows.size())},
+                       {"trees", static_cast<int>(trees_.size())}});
+  static obs::Counter* deletes = obs::GetCounter("forest.unlearn.batches");
+  static obs::Counter* deleted_rows =
+      obs::GetCounter("forest.unlearn.rows_deleted");
+  static obs::Histogram* batch_rows =
+      obs::GetHistogram("forest.unlearn.batch_rows");
+  deletes->Inc();
+  deleted_rows->Inc(static_cast<int64_t>(rows.size()));
+  batch_rows->Record(static_cast<int64_t>(rows.size()));
   std::unordered_set<RowId> seen;
   for (RowId r : rows) {
     if (r < 0 || r >= store_->num_rows()) {
@@ -109,6 +126,11 @@ Status DareForest::DeleteRows(const std::vector<RowId>& rows) {
 }
 
 Result<std::vector<RowId>> DareForest::AddData(const Dataset& rows) {
+  obs::TraceSpan span("forest.add", {{"rows", rows.num_rows()}});
+  static obs::Counter* adds = obs::GetCounter("forest.add.batches");
+  static obs::Counter* added_rows = obs::GetCounter("forest.add.rows_added");
+  adds->Inc();
+  added_rows->Inc(rows.num_rows());
   FUME_RETURN_NOT_OK(CheckCompatible(rows));
   for (int j = 0; j < rows.num_attributes(); ++j) {
     if (rows.schema().attribute(j).cardinality() >

@@ -4,13 +4,66 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fume {
 
+namespace {
+
+// Unlearning work, attributed per event class. Retrains are rare (that is
+// DaRE's whole point), so the per-retrain histogram/counter updates are
+// off the common path; the bulk counters are added once per batch.
+struct UnlearnMetrics {
+  obs::Counter* nodes_visited = obs::GetCounter("forest.unlearn.nodes_visited");
+  obs::Counter* nodes_updated = obs::GetCounter("forest.unlearn.nodes_updated");
+  obs::Counter* leaves_updated =
+      obs::GetCounter("forest.unlearn.leaves_updated");
+  obs::Counter* subtrees_retrained =
+      obs::GetCounter("forest.unlearn.subtrees_retrained");
+  obs::Counter* rows_retrained =
+      obs::GetCounter("forest.unlearn.rows_retrained");
+  /// Retrains of nodes in the random upper levels ("resampled" random
+  /// splits) vs. greedy nodes below them.
+  obs::Counter* retrain_random_nodes =
+      obs::GetCounter("forest.unlearn.retrain_random_nodes");
+  obs::Counter* retrain_greedy_nodes =
+      obs::GetCounter("forest.unlearn.retrain_greedy_nodes");
+  /// Depth at which each subtree retrain was triggered.
+  obs::Histogram* retrain_depth =
+      obs::GetHistogram("forest.unlearn.retrain_depth");
+
+  static UnlearnMetrics& Get() {
+    static UnlearnMetrics metrics;
+    return metrics;
+  }
+};
+
+void RecordBatch(const DeletionStats& s) {
+  UnlearnMetrics& m = UnlearnMetrics::Get();
+  m.nodes_visited->Inc(s.nodes_visited);
+  m.nodes_updated->Inc(s.nodes_updated);
+  m.leaves_updated->Inc(s.leaves_updated);
+  m.subtrees_retrained->Inc(s.subtrees_retrained);
+  m.rows_retrained->Inc(s.rows_retrained);
+}
+
+void RecordRetrain(int depth, int random_depth) {
+  UnlearnMetrics& m = UnlearnMetrics::Get();
+  m.retrain_depth->Record(depth);
+  (depth < random_depth ? m.retrain_random_nodes : m.retrain_greedy_nodes)
+      ->Inc();
+}
+
+}  // namespace
+
 DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
                          const std::vector<RowId>& rows, int tree_id,
                          const ForestConfig& config) {
+  obs::TraceSpan span("tree.build",
+                      {{"tree_id", tree_id},
+                       {"rows", static_cast<int64_t>(rows.size())}});
   DareTree tree;
   tree.store_ = std::move(store);
   tree.config_ = config;
@@ -71,6 +124,7 @@ void DareTree::DeleteRows(const std::vector<RowId>& rows,
   DeletionStats local;
   DeleteFromNode(root_.get(), rows, /*depth=*/0,
                  RootPathKey(config_.seed, tree_id_), &local);
+  RecordBatch(local);
   if (stats_out != nullptr) stats_out->Add(local);
 }
 
@@ -120,6 +174,7 @@ void DareTree::DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
     // The split this node would be built with has changed: retrain the
     // subtree from its remaining instances (DaRE's retrain-as-needed step).
     ++stats_out->subtrees_retrained;
+    RecordRetrain(depth, config_.random_depth);
     std::vector<RowId> remaining;
     CollectLeafRows(node, &remaining);
     std::unordered_set<RowId> doomed(rows.begin(), rows.end());

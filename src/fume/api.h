@@ -21,6 +21,8 @@
 #include "fairness/metrics.h"       // FairnessMetric / ComputeFairness
 #include "forest/forest.h"          // DareForest
 #include "forest/serialize.h"       // SaveForestToFile / LoadForestFromFile
+#include "obs/metrics.h"            // MetricsRegistry / counters
+#include "obs/trace.h"              // TraceSpan / StartTracing
 #include "repair/what_if.h"         // WhatIfRemove / Relabel / Duplicate
 #include "subset/predicate.h"       // Literal / Predicate
 #include "util/result.h"            // Status / Result

@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace fume {
+namespace obs {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceEvent {
+  const char* name;
+  int64_t start_ns;
+  int64_t dur_ns;
+  int num_args;
+  std::pair<const char*, int64_t> args[TraceSpan::kMaxArgs];
+};
+
+// Each thread appends to its own buffer; the global session keeps a
+// shared_ptr to every buffer ever created so events survive thread exit.
+// The per-buffer mutex is only ever contended by the exporter.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceSession {
+  std::atomic<bool> enabled{false};
+  std::atomic<int64_t> epoch_ns{0};
+  std::mutex mu;  // guards buffers (the vector, not the events)
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint32_t> next_tid{0};
+};
+
+TraceSession& Session() {
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceSession& s = Session();
+    b->tid = s.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return Session().enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  ClearTrace();
+  Session().epoch_ns.store(NowNanos(), std::memory_order_relaxed);
+  Session().enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  Session().enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceSession& s = Session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+int64_t TraceEventCount() {
+  TraceSession& s = Session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  int64_t total = 0;
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<int64_t>(buffer->events.size());
+  }
+  return total;
+}
+
+namespace {
+
+void AppendMicros(int64_t ns, std::ostream& os) {
+  // Microseconds with nanosecond precision, without float rounding.
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+void AppendEvent(const TraceEvent& e, uint32_t tid, int64_t epoch_ns,
+                 std::ostream& os) {
+  os << "{\"ph\":\"X\",\"name\":\"" << e.name << "\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":";
+  AppendMicros(e.start_ns - epoch_ns, os);
+  os << ",\"dur\":";
+  AppendMicros(e.dur_ns, os);
+  if (e.num_args > 0) {
+    os << ",\"args\":{";
+    for (int i = 0; i < e.num_args; ++i) {
+      if (i > 0) os << ',';
+      os << '"' << e.args[i].first << "\":" << e.args[i].second;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void WriteTraceJson(std::ostream& os) {
+  TraceSession& s = Session();
+  const int64_t epoch_ns = s.epoch_ns.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mu);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (auto& buffer : s.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const TraceEvent& e : buffer->events) {
+      if (!first) os << ',';
+      first = false;
+      AppendEvent(e, buffer->tid, epoch_ns, os);
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string TraceToJson() {
+  std::ostringstream os;
+  WriteTraceJson(os);
+  return os.str();
+}
+
+bool WriteTraceJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteTraceJson(out);
+  return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(
+    const char* name,
+    std::initializer_list<std::pair<const char*, int64_t>> args)
+    : name_(TracingEnabled() ? name : nullptr) {
+  if (name_ == nullptr) return;
+  for (const auto& arg : args) {
+    if (num_args_ >= kMaxArgs) break;
+    args_[num_args_++] = arg;
+  }
+  start_ns_ = NowNanos();
+}
+
+void TraceSpan::AddArg(const char* key, int64_t value) {
+  if (name_ == nullptr) return;
+  for (int i = 0; i < num_args_; ++i) {
+    if (args_[i].first == key) {
+      args_[i].second = value;
+      return;
+    }
+  }
+  if (num_args_ < kMaxArgs) args_[num_args_++] = {key, value};
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const int64_t end_ns = NowNanos();
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  TraceEvent e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = end_ns - start_ns_;
+  e.num_args = num_args_;
+  for (int i = 0; i < num_args_; ++i) e.args[i] = args_[i];
+  buffer.events.push_back(e);
+}
+
+}  // namespace obs
+}  // namespace fume

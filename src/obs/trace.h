@@ -1,0 +1,87 @@
+// Scoped trace spans exportable as Chrome trace-event JSON.
+//
+// A TraceSpan is an RAII scope: construction timestamps the start,
+// destruction records one complete ("ph":"X") event into a per-thread
+// buffer. Nesting falls out of ts/dur containment, which is how
+// chrome://tracing and Perfetto reconstruct the span tree per thread.
+//
+// Tracing is off by default. A disabled TraceSpan costs one relaxed
+// atomic load and a branch — no clock read, no allocation — so spans are
+// left permanently compiled into the hot paths. Enable with
+// StartTracing(), run the workload, then TraceToJson() /
+// WriteTraceJsonFile() and load the file in chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Span names (and arg keys) must be string literals or otherwise outlive
+// the trace session: the buffer stores the pointer, not a copy.
+
+#ifndef FUME_OBS_TRACE_H_
+#define FUME_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fume {
+namespace obs {
+
+/// True between StartTracing() and StopTracing().
+bool TracingEnabled();
+
+/// Clears any previous trace and starts recording spans.
+void StartTracing();
+
+/// Stops recording. Already-recorded events stay available for export.
+void StopTracing();
+
+/// Drops all recorded events (implicit in StartTracing()).
+void ClearTrace();
+
+/// Number of events recorded so far (for tests / sanity checks).
+int64_t TraceEventCount();
+
+/// Serializes the recorded events as `{"traceEvents":[...]}` — the JSON
+/// object format accepted by chrome://tracing and Perfetto. Timestamps are
+/// microseconds relative to StartTracing().
+void WriteTraceJson(std::ostream& os);
+std::string TraceToJson();
+
+/// Writes TraceToJson() to a file; returns false on I/O failure.
+bool WriteTraceJsonFile(const std::string& path);
+
+/// \brief RAII timed span. Records nothing unless tracing is enabled at
+/// construction time.
+class TraceSpan {
+ public:
+  static constexpr int kMaxArgs = 4;
+
+  explicit TraceSpan(const char* name) : TraceSpan(name, {}) {}
+
+  /// Up to kMaxArgs integer annotations, rendered into the event's "args"
+  /// object (e.g. {"level", 2}); extras are dropped.
+  TraceSpan(const char* name,
+            std::initializer_list<std::pair<const char*, int64_t>> args);
+
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches/overwrites an annotation after construction (e.g. a result
+  /// count known only at scope exit). No-op when the span is disabled.
+  void AddArg(const char* key, int64_t value);
+
+ private:
+  const char* name_;  // nullptr when tracing was off at construction
+  int64_t start_ns_ = 0;
+  int num_args_ = 0;
+  std::pair<const char*, int64_t> args_[kMaxArgs];
+};
+
+}  // namespace obs
+}  // namespace fume
+
+#endif  // FUME_OBS_TRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fume {
 
 Lattice::Lattice(const Dataset& train, LatticeOptions options)
@@ -59,11 +62,27 @@ std::vector<LatticeNode> Lattice::MakeLevel1() const {
 
 std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
                                              int64_t* pairs_considered) const {
+  LatticeMergeStats stats;
+  std::vector<LatticeNode> out = MergeLevel(std::move(parents), stats);
+  if (pairs_considered != nullptr) *pairs_considered = stats.pairs_considered;
+  return out;
+}
+
+std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
+                                             LatticeMergeStats& stats) const {
+  static obs::Counter* pairs_counter =
+      obs::GetCounter("lattice.merge.pairs_considered");
+  static obs::Counter* rule1_counter =
+      obs::GetCounter("fume.prune.rule1_contradiction");
+  static obs::Counter* degenerate_counter =
+      obs::GetCounter("lattice.merge.degenerate");
+  obs::TraceSpan span("lattice.merge",
+                      {{"parents", static_cast<int64_t>(parents.size())}});
+  LatticeMergeStats local;
   std::sort(parents.begin(), parents.end(),
             [](const LatticeNode& a, const LatticeNode& b) {
               return a.predicate < b.predicate;
             });
-  int64_t pairs = 0;
   std::vector<LatticeNode> out;
   // Classic apriori join: predicates sharing their first l-2 literals form a
   // contiguous run in canonical order; join every pair within a run.
@@ -83,15 +102,19 @@ std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
         }
       }
       if (!same_prefix) break;  // runs are contiguous; advance i
-      ++pairs;
+      ++local.pairs_considered;
       // Rule 1: drop contradictions (for equality literals this skips any
       // pair constraining the same attribute twice).
       Predicate merged = parents[i].predicate.With(lj.back());
       if (merged.num_literals() !=
           static_cast<int>(li.size()) + 1) {
+        ++local.degenerate_merges;
         continue;  // duplicate literal; degenerate merge
       }
-      if (!merged.IsSatisfiable(*schema_)) continue;
+      if (!merged.IsSatisfiable(*schema_)) {
+        ++local.rule1_contradictions;
+        continue;
+      }
 
       LatticeNode node;
       node.predicate = std::move(merged);
@@ -113,7 +136,11 @@ std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
       out.push_back(std::move(node));
     }
   }
-  if (pairs_considered != nullptr) *pairs_considered = pairs;
+  pairs_counter->Inc(local.pairs_considered);
+  rule1_counter->Inc(local.rule1_contradictions);
+  degenerate_counter->Inc(local.degenerate_merges);
+  span.AddArg("children", static_cast<int64_t>(out.size()));
+  stats = local;
   return out;
 }
 

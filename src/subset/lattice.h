@@ -45,6 +45,17 @@ struct LatticeOptions {
   std::vector<int> excluded_attrs;
 };
 
+/// Work breakdown of one MergeLevel call (Rule 1 is the only rule applied
+/// inside the lattice; the rest live in the FUME search loop).
+struct LatticeMergeStats {
+  /// Join pairs examined — the "possible subsets" column of Table 9.
+  int64_t pairs_considered = 0;
+  /// Pairs dropped because the merge is unsatisfiable (Rule 1 proper).
+  int64_t rule1_contradictions = 0;
+  /// Pairs dropped as degenerate (the joined literal already present).
+  int64_t degenerate_merges = 0;
+};
+
 /// \brief Generates lattice levels over one training set.
 class Lattice {
  public:
@@ -60,8 +71,11 @@ class Lattice {
   ///
   /// Each candidate's rows = intersection of its parents' bitmaps and
   /// parent_attribution = max of the parents' known attributions.
-  /// *pairs_considered (nullable) counts the join pairs examined before
-  /// Rule 1 — the "possible subsets" column of the paper's Table 9.
+  /// `stats` receives the pairs-considered / Rule 1 breakdown.
+  std::vector<LatticeNode> MergeLevel(std::vector<LatticeNode> parents,
+                                      LatticeMergeStats& stats) const;
+
+  /// Same, reporting only the pairs-considered count (nullable).
   std::vector<LatticeNode> MergeLevel(std::vector<LatticeNode> parents,
                                       int64_t* pairs_considered) const;
 

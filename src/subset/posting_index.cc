@@ -1,11 +1,38 @@
 #include "subset/posting_index.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fume {
 
+namespace {
+
+// Posting-list work counters: how many literal/predicate lookups the
+// search issues and how many bitmap combines they cost. One relaxed add
+// per Match call — per-row work stays uninstrumented.
+obs::Counter* LiteralMatches() {
+  static obs::Counter* c = obs::GetCounter("posting.match.literal");
+  return c;
+}
+obs::Counter* PredicateMatches() {
+  static obs::Counter* c = obs::GetCounter("posting.match.predicate");
+  return c;
+}
+obs::Counter* BitmapUnions() {
+  static obs::Counter* c = obs::GetCounter("posting.bitmap.union");
+  return c;
+}
+obs::Counter* BitmapIntersections() {
+  static obs::Counter* c = obs::GetCounter("posting.bitmap.intersect");
+  return c;
+}
+
+}  // namespace
+
 PostingIndex PostingIndex::Build(const Dataset& data) {
   FUME_CHECK(data.schema().AllCategorical());
+  obs::TraceSpan span("posting.build", {{"rows", data.num_rows()}});
   PostingIndex index;
   index.num_rows_ = data.num_rows();
   const int p = data.num_attributes();
@@ -31,10 +58,12 @@ const Bitmap& PostingIndex::EqualityBitmap(int attr, int32_t value) const {
 }
 
 Bitmap PostingIndex::Match(const Literal& literal) const {
+  LiteralMatches()->Inc();
   const int32_t card = cards_[static_cast<size_t>(literal.attr)];
   Bitmap out(num_rows_);
   for (int32_t c = 0; c < card; ++c) {
     if (literal.Matches(c)) {
+      BitmapUnions()->Inc();
       out.UnionWith(maps_[static_cast<size_t>(literal.attr)]
                          [static_cast<size_t>(c)]);
     }
@@ -43,6 +72,7 @@ Bitmap PostingIndex::Match(const Literal& literal) const {
 }
 
 Bitmap PostingIndex::Match(const Predicate& predicate) const {
+  PredicateMatches()->Inc();
   Bitmap out(num_rows_);
   if (predicate.empty()) {
     for (int64_t r = 0; r < num_rows_; ++r) out.Set(r);
@@ -55,6 +85,7 @@ Bitmap PostingIndex::Match(const Predicate& predicate) const {
       out = m;
       first = false;
     } else {
+      BitmapIntersections()->Inc();
       out.IntersectWith(m);
     }
   }

@@ -10,8 +10,10 @@
 // Run with --help for the full flag list.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "core/baseline.h"
@@ -22,6 +24,8 @@
 #include "data/discretizer.h"
 #include "data/split.h"
 #include "forest/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/registry.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -58,6 +62,10 @@ struct CliOptions {
   bool run_baseline = false;
   bool run_slicefinder = false;
   double test_fraction = 0.3;
+  // Observability.
+  bool print_metrics = false;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 void PrintUsage() {
@@ -96,6 +104,12 @@ Search:
   --baseline            also run the DropUnprivUnfavor baseline
   --slicefinder         also run the SliceFinder-style comparator
   --test-fraction F     test split fraction (default 0.3)
+
+Observability (docs/observability.md; --flag=value also accepted):
+  --metrics             print a metrics summary after the run
+  --metrics-out FILE    write all counters/histograms as JSON
+  --trace-out FILE      record trace spans and write Chrome trace-event
+                        JSON (open in chrome://tracing or Perfetto)
 )";
 }
 
@@ -108,17 +122,30 @@ std::optional<FairnessMetric> ParseMetric(const std::string& name) {
   return std::nullopt;
 }
 
-// Returns false (after printing an error) on malformed flags.
+// Returns false (after printing an error) on malformed flags. Value flags
+// accept both `--flag value` and `--flag=value`.
 bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
-  auto need_value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) {
-      std::cerr << "missing value for " << argv[i] << "\n";
-      return nullptr;
-    }
-    return argv[++i];
-  };
+  std::string inline_value;
+  bool has_inline = false;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    std::string flag = argv[i];
+    has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto need_value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
     const char* v = nullptr;
     if (flag == "--help" || flag == "-h") {
       *want_help = true;
@@ -129,26 +156,34 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       opts->run_baseline = true;
     } else if (flag == "--slicefinder") {
       opts->run_slicefinder = true;
+    } else if (flag == "--metrics") {
+      opts->print_metrics = true;
+    } else if (flag == "--metrics-out") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->metrics_out = v;
+    } else if (flag == "--trace-out") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->trace_out = v;
     } else if (flag == "--dataset") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->dataset = v;
     } else if (flag == "--csv") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->csv = v;
     } else if (flag == "--label") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->label = v;
     } else if (flag == "--sensitive") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->sensitive = v;
     } else if (flag == "--privileged") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->privileged = v;
     } else if (flag == "--save-model") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       opts->save_model = v;
     } else if (flag == "--metric") {
-      if ((v = need_value(i)) == nullptr) return false;
+      if ((v = need_value()) == nullptr) return false;
       auto metric = ParseMetric(v);
       if (!metric) {
         std::cerr << "unknown metric '" << v << "'\n";
@@ -156,7 +191,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       }
       opts->metric = *metric;
     } else {
-      if ((v = need_value(i)) == nullptr) return false;
+      static const std::set<std::string> kNumericFlags = {
+          "--rows",        "--seed",        "--bins",
+          "--trees",       "--depth",       "--random-depth",
+          "--model-seed",  "--k",           "--literals",
+          "--threads",     "--support-min", "--support-max",
+          "--overlap",     "--test-fraction"};
+      if (kNumericFlags.count(flag) == 0) {
+        std::cerr << "unknown flag: " << flag << " (see --help)\n";
+        return false;
+      }
+      if ((v = need_value()) == nullptr) return false;
       int iv = 0;
       double dv = 0.0;
       const bool is_int = ParseInt(v, &iv);
@@ -221,7 +266,49 @@ Result<synth::DatasetBundle> LoadData(const CliOptions& opts) {
   return bundle;
 }
 
+// Writes the requested metrics/trace outputs when Run() exits, whichever
+// path it takes (including the "no violation" early return).
+struct ObsOutputs {
+  const CliOptions& opts;
+
+  explicit ObsOutputs(const CliOptions& options) : opts(options) {
+    if (!opts.trace_out.empty()) obs::StartTracing();
+  }
+
+  ~ObsOutputs() {
+    if (!opts.trace_out.empty()) {
+      obs::StopTracing();
+      if (obs::WriteTraceJsonFile(opts.trace_out)) {
+        std::cout << "trace written to " << opts.trace_out << " ("
+                  << obs::TraceEventCount()
+                  << " events; open in chrome://tracing or "
+                     "https://ui.perfetto.dev)\n";
+      } else {
+        std::cerr << "could not write trace to " << opts.trace_out << "\n";
+      }
+    }
+    if (opts.print_metrics || !opts.metrics_out.empty()) {
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Global().Snapshot();
+      if (opts.print_metrics) {
+        std::cout << "\n--- metrics ---\n";
+        snapshot.PrintText(std::cout);
+      }
+      if (!opts.metrics_out.empty()) {
+        std::ofstream out(opts.metrics_out);
+        if (out << snapshot.ToJson() << "\n") {
+          std::cout << "metrics written to " << opts.metrics_out << "\n";
+        } else {
+          std::cerr << "could not write metrics to " << opts.metrics_out
+                    << "\n";
+        }
+      }
+    }
+  }
+};
+
 int Run(const CliOptions& opts) {
+  ObsOutputs obs_outputs(opts);
   auto bundle = LoadData(opts);
   if (!bundle.ok()) {
     std::cerr << bundle.status().ToString() << "\n";
