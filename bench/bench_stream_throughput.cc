@@ -1,0 +1,130 @@
+// Streaming engine throughput: incremental StreamEngine ops versus the
+// naive alternative of cold-retraining the forest and re-running the FUME
+// search after every op-log entry. The acceptance bar for the streaming
+// subsystem is a >= 10x total-time speedup on the same op sequence; both
+// sides see identical data at every step (the cold side retrains on the
+// engine's surviving rows), so the comparison is apples-to-apples and the
+// engine's exactness contract makes the outputs interchangeable.
+//
+// Artifacts: bench_artifacts/stream_throughput.csv (per-op timings) and
+// bench_artifacts/stream_throughput.metrics.json (counter snapshot, incl.
+// stream.predcache.* cache behaviour and stream.search.* drift decisions).
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/removal_method.h"
+#include "stream/engine.h"
+#include "stream/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace fume;
+  using namespace fume::bench;
+  const bool full = FullMode(argc, argv);
+  PrintBanner("Streaming engine throughput vs cold retrain-and-search",
+              "streaming extension; see docs/streaming.md");
+
+  synth::PlantedOptions opts;
+  opts.num_rows = full ? 20000 : 10000;
+  opts.seed = 4;
+  auto bundle = synth::MakePlantedBias(opts);
+  FUME_ABORT_NOT_OK(bundle.status());
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+
+  const int64_t pool_rows = split->train.num_rows() / 3;
+  std::vector<int64_t> tail, head;
+  for (int64_t r = 0; r < split->train.num_rows(); ++r) {
+    (r < split->train.num_rows() - pool_rows ? head : tail).push_back(r);
+  }
+  const Dataset initial_train = split->train.DropRows(tail);
+  const Dataset pool = split->train.DropRows(head);
+
+  stream::StreamEngineConfig config;
+  config.forest = BenchForestConfig(bundle->name);
+  config.fume = BenchFumeConfig(bundle->group);
+  config.fume.max_literals = 1;  // keep the cold side's searches tractable
+  // The drift policy is the amortization lever: small per-op metric noise
+  // should NOT trigger a full re-search. These bounds re-search only on a
+  // meaningful shift (>= 0.015 absolute or 20% relative), which is what a
+  // deployment monitoring a violation would configure.
+  config.drift.abs_threshold = 0.015;
+  config.drift.rel_threshold = 0.20;
+
+  const int num_ops = full ? 60 : 30;
+  stream::WorkloadOptions w;
+  w.num_ops = num_ops;
+  w.insert_batch = 2;
+  w.delete_batch = 2;
+  w.checkpoint_every = 0;  // data ops only (plus the mandatory final C)
+  w.seed = 11;
+  auto ops = stream::SynthesizeOpLog(pool, initial_train.num_rows(), w);
+  FUME_ABORT_NOT_OK(ops.status());
+
+  auto engine =
+      stream::StreamEngine::Create(initial_train, split->test, config);
+  FUME_ABORT_NOT_OK(engine.status());
+
+  std::vector<std::vector<std::string>> rows;
+  double engine_total = 0.0;
+  double cold_total = 0.0;
+  int searches = 0;
+  for (const stream::StreamOp& op : *ops) {
+    if (op.kind == stream::OpKind::kCheckpoint) continue;
+    Stopwatch engine_watch;
+    auto outcome = engine->Apply(op);
+    const double engine_seconds = engine_watch.ElapsedSeconds();
+    FUME_ABORT_NOT_OK(outcome.status());
+    if (outcome->searched) ++searches;
+
+    // Cold baseline on the identical surviving rows: full retrain, full
+    // evaluation, full search (skipped, as the engine skips it, when the
+    // model is within the fairness floor).
+    Stopwatch cold_watch;
+    auto cold = DareForest::Train(engine->train_data(), config.forest);
+    FUME_ABORT_NOT_OK(cold.status());
+    ModelEval original;
+    original.fairness = ComputeFairness(*cold, split->test,
+                                        config.fume.group, config.fume.metric);
+    original.accuracy = cold->Accuracy(split->test);
+    if (std::abs(original.fairness) >= config.fume.min_original_bias) {
+      UnlearnRemovalMethod removal(&*cold, &split->test, config.fume.group,
+                                   config.fume.metric);
+      auto fresh = ExplainWithRemoval(original, engine->train_data(),
+                                      config.fume, &removal);
+      FUME_ABORT_NOT_OK(fresh.status());
+    }
+    const double cold_seconds = cold_watch.ElapsedSeconds();
+
+    engine_total += engine_seconds;
+    cold_total += cold_seconds;
+    rows.push_back({std::to_string(op.seq), stream::OpKindName(op.kind),
+                    FormatDouble(engine_seconds * 1e3, 3),
+                    FormatDouble(cold_seconds * 1e3, 3),
+                    FormatDouble(cold_seconds / engine_seconds, 1)});
+  }
+
+  const double speedup = cold_total / engine_total;
+  const int data_ops = static_cast<int>(rows.size());
+  TablePrinter table({"Mode", "Total (s)", "Mean/op (ms)", "Searches"});
+  table.AddRow({"incremental engine", FormatDouble(engine_total, 2),
+                FormatDouble(engine_total / data_ops * 1e3, 2),
+                std::to_string(searches)});
+  table.AddRow({"cold retrain+search", FormatDouble(cold_total, 2),
+                FormatDouble(cold_total / data_ops * 1e3, 2),
+                std::to_string(data_ops)});
+  table.Print(std::cout);
+  std::cout << "\n" << data_ops << " data ops, "
+            << initial_train.num_rows() << " initial rows -> "
+            << engine->rows_live() << " live; speedup "
+            << FormatDouble(speedup, 1) << "x (target >= 10x)\n";
+
+  WriteArtifact("stream_throughput",
+                {"seq", "kind", "engine_ms", "cold_ms", "speedup"}, rows);
+  return speedup >= 10.0 ? 0 : 1;
+}

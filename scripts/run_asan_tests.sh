@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# AddressSanitizer (+UBSan) sweep: the same harness as run_tsan_tests.sh
+# with FUME_SANITIZE=address pinned. The stream engine caches raw TreeNode
+# pointers across forest mutations (src/stream/prediction_cache.h), so this
+# sweep is the use-after-free tripwire for that contract. Usage:
+#
+#   scripts/run_asan_tests.sh            # ASan+UBSan
+#
+# Extra args are forwarded to ctest.
+set -euo pipefail
+
+FUME_SANITIZE=address exec "$(dirname "$0")/run_tsan_tests.sh" "$@"

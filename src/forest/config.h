@@ -58,6 +58,14 @@ struct DeletionStats {
     rows_retrained += other.rows_retrained;
     leaves_updated += other.leaves_updated;
   }
+
+  friend bool operator==(const DeletionStats& a, const DeletionStats& b) {
+    return a.nodes_visited == b.nodes_visited &&
+           a.nodes_updated == b.nodes_updated &&
+           a.subtrees_retrained == b.subtrees_retrained &&
+           a.rows_retrained == b.rows_retrained &&
+           a.leaves_updated == b.leaves_updated;
+  }
 };
 
 }  // namespace fume

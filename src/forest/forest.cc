@@ -95,7 +95,11 @@ Result<DareForest> DareForest::Train(const Dataset& train,
   return forest;
 }
 
-Status DareForest::DeleteRows(const std::vector<RowId>& rows) {
+Status DareForest::DeleteRows(const std::vector<RowId>& rows,
+                              std::vector<DeletionStats>* per_tree) {
+  if (per_tree != nullptr) {
+    per_tree->assign(trees_.size(), DeletionStats{});
+  }
   if (rows.empty()) return Status::OK();
   obs::TraceSpan span("forest.delete",
                       {{"rows", static_cast<int64_t>(rows.size())},
@@ -119,13 +123,20 @@ Status DareForest::DeleteRows(const std::vector<RowId>& rows) {
                              " in deletion batch");
     }
   }
-  for (auto& tree : trees_) {
-    tree.DeleteRows(rows, &deletion_stats_);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    DeletionStats local;
+    trees_[t].DeleteRows(rows, &local);
+    deletion_stats_.Add(local);
+    if (per_tree != nullptr) (*per_tree)[t] = local;
   }
   return Status::OK();
 }
 
-Result<std::vector<RowId>> DareForest::AddData(const Dataset& rows) {
+Result<std::vector<RowId>> DareForest::AddData(
+    const Dataset& rows, std::vector<DeletionStats>* per_tree) {
+  if (per_tree != nullptr) {
+    per_tree->assign(trees_.size(), DeletionStats{});
+  }
   obs::TraceSpan span("forest.add", {{"rows", rows.num_rows()}});
   static obs::Counter* adds = obs::GetCounter("forest.add.batches");
   static obs::Counter* added_rows = obs::GetCounter("forest.add.rows_added");
@@ -148,8 +159,11 @@ Result<std::vector<RowId>> DareForest::AddData(const Dataset& rows) {
     }
     new_ids.push_back(store_->Append(codes, rows.Label(r)));
   }
-  for (auto& tree : trees_) {
-    tree.AddRows(new_ids, &deletion_stats_);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    DeletionStats local;
+    trees_[t].AddRows(new_ids, &local);
+    deletion_stats_.Add(local);
+    if (per_tree != nullptr) (*per_tree)[t] = local;
   }
   return new_ids;
 }
@@ -231,11 +245,13 @@ bool DareForest::ValidateStats() const {
 
 DareForest DareForest::FromParts(std::shared_ptr<TrainingStore> store,
                                  const ForestConfig& config,
-                                 std::vector<DareTree> trees) {
+                                 std::vector<DareTree> trees,
+                                 const DeletionStats& stats) {
   DareForest forest;
   forest.store_ = std::move(store);
   forest.config_ = config;
   forest.trees_ = std::move(trees);
+  forest.deletion_stats_ = stats;
   return forest;
 }
 

@@ -36,13 +36,29 @@ class DareForest {
 
   /// Exactly unlearns training rows (ids into the training dataset given to
   /// Train). Duplicate ids are an error.
-  Status DeleteRows(const std::vector<RowId>& rows);
+  Status DeleteRows(const std::vector<RowId>& rows) {
+    return DeleteRows(rows, nullptr);
+  }
+
+  /// As above, additionally reporting the work done in each tree by THIS
+  /// call (one entry per tree, zeroed first). A tree whose entry has
+  /// subtrees_retrained == 0 kept every node object alive — callers holding
+  /// pointers into it (e.g. the stream engine's prediction cache) may keep
+  /// them. Pass nullptr to skip the report.
+  Status DeleteRows(const std::vector<RowId>& rows,
+                    std::vector<DeletionStats>* per_tree);
 
   /// Exactly adds new training instances: the updated forest equals Train()
   /// on the enlarged dataset (same config/seed). `rows` must be
   /// all-categorical with the same attribute count and cardinalities as the
   /// training data. Returns the ids assigned to the new rows.
-  Result<std::vector<RowId>> AddData(const Dataset& rows);
+  Result<std::vector<RowId>> AddData(const Dataset& rows) {
+    return AddData(rows, nullptr);
+  }
+
+  /// As above with the per-tree work report of DeleteRows' overload.
+  Result<std::vector<RowId>> AddData(const Dataset& rows,
+                                     std::vector<DeletionStats>* per_tree);
 
   /// P(label = 1): mean of per-tree leaf positive fractions.
   double PredictProb(const Dataset& data, int64_t row) const;
@@ -73,9 +89,12 @@ class DareForest {
   const TrainingStore& store() const { return *store_; }
 
   /// Reassembles a forest from deserialized parts (forest/serialize.cc).
+  /// `stats` restores the unlearning work counters accumulated before the
+  /// forest was saved, so a save/load round trip preserves them.
   static DareForest FromParts(std::shared_ptr<TrainingStore> store,
                               const ForestConfig& config,
-                              std::vector<DareTree> trees);
+                              std::vector<DareTree> trees,
+                              const DeletionStats& stats = DeletionStats{});
 
  private:
   Status CheckCompatible(const Dataset& data) const;

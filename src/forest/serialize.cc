@@ -10,7 +10,10 @@ namespace fume {
 namespace {
 
 constexpr char kMagic[8] = {'F', 'U', 'M', 'E', 'D', 'A', 'R', 'E'};
-constexpr uint32_t kVersion = 1;
+// Version 2 appends the forest's DeletionStats to the config block, so the
+// unlearning work counters survive a save/load round trip. Version 1 files
+// (no stats block) still load, with zeroed counters.
+constexpr uint32_t kVersion = 2;
 
 // ---- primitive writers/readers (little-endian native assumed; the format
 // is an internal artifact, not a cross-platform interchange format).
@@ -133,6 +136,14 @@ Status SaveForest(const DareForest& forest, std::ostream& out) {
   WritePod<int32_t>(out, config.num_sampled_thresholds);
   WritePod<uint64_t>(out, config.seed);
 
+  // Unlearning work counters (v2+).
+  const DeletionStats& stats = forest.deletion_stats();
+  WritePod<int64_t>(out, stats.nodes_visited);
+  WritePod<int64_t>(out, stats.nodes_updated);
+  WritePod<int64_t>(out, stats.subtrees_retrained);
+  WritePod<int64_t>(out, stats.rows_retrained);
+  WritePod<int64_t>(out, stats.leaves_updated);
+
   // Training store block.
   const TrainingStore& store = forest.store();
   const int p = store.num_attrs();
@@ -166,7 +177,7 @@ Result<DareForest> LoadForest(std::istream& in) {
     return Status::IOError("not a FUME forest file (bad magic)");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
+  if (!ReadPod(in, &version) || version < 1 || version > kVersion) {
     return Status::IOError("unsupported forest file version");
   }
 
@@ -183,6 +194,17 @@ Result<DareForest> LoadForest(std::istream& in) {
   }
   config.threshold_mode =
       mode == 0 ? ThresholdMode::kExact : ThresholdMode::kSampled;
+
+  DeletionStats stats;
+  if (version >= 2) {
+    if (!ReadPod(in, &stats.nodes_visited) ||
+        !ReadPod(in, &stats.nodes_updated) ||
+        !ReadPod(in, &stats.subtrees_retrained) ||
+        !ReadPod(in, &stats.rows_retrained) ||
+        !ReadPod(in, &stats.leaves_updated)) {
+      return Status::IOError("forest file: truncated deletion-stats block");
+    }
+  }
 
   std::vector<int32_t> cards;
   if (!ReadVec(in, &cards, kMaxVec) || cards.empty()) {
@@ -227,7 +249,7 @@ Result<DareForest> LoadForest(std::istream& in) {
         DareTree::FromParts(store, config, tree_id, std::move(root)));
   }
   DareForest forest =
-      DareForest::FromParts(std::move(store), config, std::move(trees));
+      DareForest::FromParts(std::move(store), config, std::move(trees), stats);
   if (!forest.ValidateStats()) {
     return Status::IOError("forest file: cached statistics fail validation");
   }

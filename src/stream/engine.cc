@@ -1,0 +1,506 @@
+#include "stream/engine.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "forest/serialize.h"
+
+#include "core/removal_method.h"
+#include "fairness/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
+namespace fume {
+namespace stream {
+
+namespace {
+
+// ---- obs shorthands (docs/observability.md naming scheme).
+struct StreamMetrics {
+  obs::Counter* ops = obs::GetCounter("stream.ops.applied");
+  obs::Counter* inserts = obs::GetCounter("stream.ops.inserts");
+  obs::Counter* deletes = obs::GetCounter("stream.ops.deletes");
+  obs::Counter* checkpoints = obs::GetCounter("stream.ops.checkpoints");
+  obs::Counter* rows_added = obs::GetCounter("stream.rows.inserted");
+  obs::Counter* rows_deleted = obs::GetCounter("stream.rows.deleted");
+  obs::Counter* searches = obs::GetCounter("stream.search.triggered");
+  obs::Counter* drift_holds = obs::GetCounter("stream.search.drift_held");
+  obs::Counter* saves = obs::GetCounter("stream.checkpoint.saved");
+  obs::Counter* restores = obs::GetCounter("stream.checkpoint.restored");
+  obs::Gauge* staleness = obs::GetGauge("stream.topk.staleness_ops");
+  obs::Gauge* live = obs::GetGauge("stream.rows.live");
+  obs::Histogram* apply_us = obs::GetHistogram("stream.op.apply_us");
+
+  static StreamMetrics& Get() {
+    static StreamMetrics metrics;
+    return metrics;
+  }
+};
+
+/// The engine's removal method: FUME hands it dense indices into
+/// train_data(); it forwards the corresponding training-store ids to a
+/// plain UnlearnRemovalMethod over the streaming forest. Thread-safe like
+/// the inner method (the map is read-only during a search).
+class MappedUnlearnRemoval : public RemovalMethod {
+ public:
+  MappedUnlearnRemoval(const DareForest* model, const Dataset* test,
+                       const std::vector<RowId>* dense_to_id, GroupSpec group,
+                       FairnessMetric metric)
+      : inner_(model, test, group, metric), dense_to_id_(dense_to_id) {}
+
+  Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override {
+    std::vector<RowId> mapped(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const size_t dense = static_cast<size_t>(rows[i]);
+      if (dense >= dense_to_id_->size()) {
+        return Status::IndexError("dense row " + std::to_string(rows[i]) +
+                                  " out of live range");
+      }
+      mapped[i] = (*dense_to_id_)[dense];
+    }
+    return inner_.EvaluateWithout(mapped);
+  }
+  const char* name() const override { return "dare-unlearn-stream"; }
+
+ private:
+  UnlearnRemovalMethod inner_;
+  const std::vector<RowId>* dense_to_id_;
+};
+
+// ---- checkpoint primitives (little-endian native, like forest/serialize).
+
+constexpr char kCkptMagic[8] = {'F', 'U', 'M', 'E', 'S', 'T', 'R', 'M'};
+constexpr uint32_t kCkptVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteSubset(std::ostream& out, const AttributableSubset& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.predicate.num_literals()));
+  for (const Literal& lit : s.predicate.literals()) {
+    WritePod<int32_t>(out, lit.attr);
+    WritePod<uint8_t>(out, static_cast<uint8_t>(lit.op));
+    WritePod<int32_t>(out, lit.value);
+  }
+  WritePod<double>(out, s.support);
+  WritePod<int64_t>(out, s.num_rows);
+  WritePod<double>(out, s.phi);
+  WritePod<double>(out, s.attribution);
+  WritePod<double>(out, s.new_fairness);
+  WritePod<double>(out, s.new_accuracy);
+}
+
+Result<AttributableSubset> ReadSubset(std::istream& in) {
+  uint32_t num_literals = 0;
+  if (!ReadPod(in, &num_literals) || num_literals > 64) {
+    return Status::IOError("checkpoint: bad literal count");
+  }
+  std::vector<Literal> literals;
+  literals.reserve(num_literals);
+  for (uint32_t i = 0; i < num_literals; ++i) {
+    Literal lit;
+    uint8_t op = 0;
+    if (!ReadPod(in, &lit.attr) || !ReadPod(in, &op) ||
+        !ReadPod(in, &lit.value)) {
+      return Status::IOError("checkpoint: truncated literal");
+    }
+    lit.op = static_cast<LiteralOp>(op);
+    literals.push_back(lit);
+  }
+  AttributableSubset s;
+  s.predicate = Predicate(std::move(literals));
+  if (!ReadPod(in, &s.support) || !ReadPod(in, &s.num_rows) ||
+      !ReadPod(in, &s.phi) || !ReadPod(in, &s.attribution) ||
+      !ReadPod(in, &s.new_fairness) || !ReadPod(in, &s.new_accuracy)) {
+    return Status::IOError("checkpoint: truncated subset record");
+  }
+  return s;
+}
+
+}  // namespace
+
+bool DriftPolicy::ShouldSearch(double last, double now) const {
+  const double drift = std::fabs(now - last);
+  if (drift >= abs_threshold) return true;
+  const double base = std::fabs(last);
+  return base > 0.0 && drift >= rel_threshold * base;
+}
+
+StreamEngine::StreamEngine(Dataset test, StreamEngineConfig config)
+    : test_(std::move(test)), config_(std::move(config)) {}
+
+Result<StreamEngine> StreamEngine::Create(const Dataset& initial_train,
+                                          Dataset test,
+                                          StreamEngineConfig config) {
+  if (initial_train.num_rows() >
+      static_cast<int64_t>(std::numeric_limits<RowId>::max())) {
+    return Status::Invalid("initial training set too large for RowId");
+  }
+  obs::TraceSpan span("stream.engine.create",
+                      {{"rows", initial_train.num_rows()}});
+  StreamEngine engine(std::move(test), std::move(config));
+  FUME_ASSIGN_OR_RETURN(
+      engine.forest_, DareForest::Train(initial_train, engine.config_.forest));
+  engine.train_data_ = initial_train;
+  engine.store_ids_.resize(static_cast<size_t>(initial_train.num_rows()));
+  for (int64_t r = 0; r < initial_train.num_rows(); ++r) {
+    engine.store_ids_[static_cast<size_t>(r)] = static_cast<RowId>(r);
+  }
+  engine.RebuildLiveIndex();
+  engine.cache_.Rebuild(engine.forest_, engine.test_);
+  engine.RefreshMetric();
+  FUME_RETURN_NOT_OK(engine.RunSearch());
+  return engine;
+}
+
+void StreamEngine::RebuildLiveIndex() {
+  dense_of_id_.clear();
+  dense_of_id_.reserve(store_ids_.size());
+  for (size_t dense = 0; dense < store_ids_.size(); ++dense) {
+    dense_of_id_[store_ids_[dense]] = static_cast<int64_t>(dense);
+  }
+}
+
+void StreamEngine::RefreshMetric() {
+  const std::vector<int>& preds = cache_.predictions();
+  metric_ = ComputeFairness(test_, preds, config_.fume.group,
+                            config_.fume.metric);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test_.num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test_.Label(r)) ++correct;
+  }
+  accuracy_ = test_.num_rows() == 0
+                  ? 0.0
+                  : static_cast<double>(correct) /
+                        static_cast<double>(test_.num_rows());
+}
+
+Status StreamEngine::RunSearch() {
+  obs::TraceSpan span("stream.search",
+                      {{"staleness", staleness_ops_},
+                       {"rows", train_data_.num_rows()}});
+  StreamMetrics::Get().searches->Inc();
+  metric_at_last_search_ = metric_;
+  staleness_ops_ = 0;
+  StreamMetrics::Get().staleness->Set(0);
+  if (std::fabs(metric_) < config_.fume.min_original_bias) {
+    // No violation to explain right now; serve "model is fair".
+    explanation_.reset();
+    return Status::OK();
+  }
+  ModelEval original;
+  original.fairness = metric_;
+  original.accuracy = accuracy_;
+  MappedUnlearnRemoval removal(&forest_, &test_, &store_ids_,
+                               config_.fume.group, config_.fume.metric);
+  FUME_ASSIGN_OR_RETURN(
+      FumeResult result,
+      ExplainWithRemoval(original, train_data_, config_.fume, &removal));
+  explanation_ = std::move(result);
+  return Status::OK();
+}
+
+Status StreamEngine::ApplyInsert(const StreamOp& op) {
+  if (op.rows.empty()) return Status::Invalid("insert op carries no rows");
+  Dataset batch(train_data_.schema());
+  for (const StreamRow& row : op.rows) {
+    FUME_RETURN_NOT_OK(batch.AppendRow(row.codes, row.label));
+  }
+  std::vector<DeletionStats> per_tree;
+  FUME_ASSIGN_OR_RETURN(std::vector<RowId> new_ids,
+                        forest_.AddData(batch, &per_tree));
+  for (size_t i = 0; i < op.rows.size(); ++i) {
+    // Validated above; appending to the mirror cannot fail now.
+    FUME_CHECK(train_data_.AppendRow(op.rows[i].codes, op.rows[i].label).ok());
+    dense_of_id_[new_ids[i]] =
+        static_cast<int64_t>(store_ids_.size());
+    store_ids_.push_back(new_ids[i]);
+  }
+  // Addition rebuilds absorbed leaves *in place* (same node address, fresh
+  // children), so cached pointers stay valid and the cache resumes each
+  // row's descent from them; only a subtree retrain frees nodes and forces
+  // a re-walk from the root.
+  std::vector<bool> dirty(per_tree.size());
+  for (size_t t = 0; t < per_tree.size(); ++t) {
+    dirty[t] = per_tree[t].subtrees_retrained > 0;
+  }
+  cache_.Update(forest_, test_, dirty);
+  StreamMetrics::Get().inserts->Inc();
+  StreamMetrics::Get().rows_added->Inc(static_cast<int64_t>(op.rows.size()));
+  return Status::OK();
+}
+
+Status StreamEngine::ApplyDelete(const StreamOp& op) {
+  if (op.row_ids.empty()) return Status::Invalid("delete op carries no ids");
+  std::vector<int64_t> dense_rows;
+  dense_rows.reserve(op.row_ids.size());
+  for (RowId id : op.row_ids) {
+    auto it = dense_of_id_.find(id);
+    if (it == dense_of_id_.end()) {
+      return Status::KeyError("row id " + std::to_string(id) +
+                              " is not live (never inserted, or already "
+                              "deleted)");
+    }
+    dense_rows.push_back(it->second);
+  }
+  std::vector<DeletionStats> per_tree;
+  FUME_RETURN_NOT_OK(forest_.DeleteRows(op.row_ids, &per_tree));
+  train_data_ = train_data_.DropRows(dense_rows);
+  // Drop the same dense positions from the id map, preserving order.
+  std::vector<bool> doomed(store_ids_.size(), false);
+  for (int64_t dense : dense_rows) doomed[static_cast<size_t>(dense)] = true;
+  size_t kept = 0;
+  for (size_t dense = 0; dense < store_ids_.size(); ++dense) {
+    if (!doomed[dense]) store_ids_[kept++] = store_ids_[dense];
+  }
+  store_ids_.resize(kept);
+  RebuildLiveIndex();
+  // Deletion mutates statistics strictly in place unless a subtree
+  // retrained; leaves stay leaves, so cached pointers survive.
+  std::vector<bool> dirty(per_tree.size());
+  for (size_t t = 0; t < per_tree.size(); ++t) {
+    dirty[t] = per_tree[t].subtrees_retrained > 0;
+  }
+  cache_.Update(forest_, test_, dirty);
+  StreamMetrics::Get().deletes->Inc();
+  StreamMetrics::Get().rows_deleted->Inc(
+      static_cast<int64_t>(op.row_ids.size()));
+  return Status::OK();
+}
+
+Result<OpOutcome> StreamEngine::Apply(const StreamOp& op) {
+  if (op.seq <= last_seq_) {
+    return Status::Invalid("op seq " + std::to_string(op.seq) +
+                           " is not past the engine's last applied seq " +
+                           std::to_string(last_seq_));
+  }
+  StreamMetrics& metrics = StreamMetrics::Get();
+  obs::TraceSpan span("stream.apply",
+                      {{"seq", op.seq},
+                       {"kind", static_cast<int64_t>(op.kind)}});
+  Stopwatch apply_watch;
+  OpOutcome outcome;
+  outcome.seq = op.seq;
+  outcome.kind = op.kind;
+
+  bool model_changed = false;
+  switch (op.kind) {
+    case OpKind::kInsert:
+      FUME_RETURN_NOT_OK(ApplyInsert(op));
+      model_changed = true;
+      break;
+    case OpKind::kDelete:
+      FUME_RETURN_NOT_OK(ApplyDelete(op));
+      model_changed = true;
+      break;
+    case OpKind::kCheckpoint:
+      metrics.checkpoints->Inc();
+      break;
+  }
+  last_seq_ = op.seq;
+  if (model_changed) {
+    RefreshMetric();
+    ++staleness_ops_;
+  }
+  outcome.apply_seconds = apply_watch.ElapsedSeconds();
+
+  // Drift policy: checkpoints refresh whenever stale (so the persisted
+  // explanation is current); data ops re-search only past the thresholds.
+  bool want_search = false;
+  if (op.kind == OpKind::kCheckpoint) {
+    want_search = config_.search_on_checkpoint && staleness_ops_ > 0;
+  } else {
+    want_search =
+        config_.drift.ShouldSearch(metric_at_last_search_, metric_);
+  }
+  if (want_search) {
+    Stopwatch search_watch;
+    FUME_RETURN_NOT_OK(RunSearch());
+    outcome.searched = true;
+    outcome.search_seconds = search_watch.ElapsedSeconds();
+  } else if (model_changed) {
+    metrics.drift_holds->Inc();
+  }
+
+  if (op.kind == OpKind::kCheckpoint && !config_.checkpoint_path.empty()) {
+    FUME_RETURN_NOT_OK(SaveCheckpointToFile(config_.checkpoint_path));
+  }
+
+  metrics.ops->Inc();
+  metrics.staleness->Set(staleness_ops_);
+  metrics.live->Set(rows_live());
+  metrics.apply_us->Record(
+      static_cast<int64_t>(apply_watch.ElapsedSeconds() * 1e6));
+  outcome.metric = metric_;
+  outcome.accuracy = accuracy_;
+  outcome.rows_live = rows_live();
+  outcome.staleness_ops = staleness_ops_;
+  return outcome;
+}
+
+Result<std::vector<OpOutcome>> StreamEngine::Replay(
+    const std::vector<StreamOp>& ops) {
+  std::vector<OpOutcome> outcomes;
+  outcomes.reserve(ops.size());
+  for (const StreamOp& op : ops) {
+    FUME_ASSIGN_OR_RETURN(OpOutcome outcome, Apply(op));
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+Status StreamEngine::SaveCheckpoint(std::ostream& out) const {
+  obs::TraceSpan span("stream.checkpoint.save", {{"seq", last_seq_}});
+  out.write(kCkptMagic, sizeof(kCkptMagic));
+  WritePod<uint32_t>(out, kCkptVersion);
+  WritePod<int64_t>(out, last_seq_);
+  WritePod<double>(out, metric_);
+  WritePod<double>(out, accuracy_);
+  WritePod<double>(out, metric_at_last_search_);
+  WritePod<int64_t>(out, staleness_ops_);
+  WritePod<uint64_t>(out, store_ids_.size());
+  if (!store_ids_.empty()) {
+    out.write(reinterpret_cast<const char*>(store_ids_.data()),
+              static_cast<std::streamsize>(store_ids_.size() *
+                                           sizeof(RowId)));
+  }
+  WritePod<uint8_t>(out, explanation_.has_value() ? 1 : 0);
+  if (explanation_.has_value()) {
+    WritePod<double>(out, explanation_->original_fairness);
+    WritePod<double>(out, explanation_->original_accuracy);
+    WritePod<uint32_t>(out,
+                       static_cast<uint32_t>(explanation_->top_k.size()));
+    for (const AttributableSubset& s : explanation_->top_k) {
+      WriteSubset(out, s);
+    }
+  }
+  FUME_RETURN_NOT_OK(SaveForest(forest_, out));
+  if (!out) return Status::IOError("checkpoint write failed");
+  StreamMetrics::Get().saves->Inc();
+  return Status::OK();
+}
+
+Status StreamEngine::SaveCheckpointToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  return SaveCheckpoint(out);
+}
+
+Result<StreamEngine> StreamEngine::Restore(std::istream& in,
+                                           const Schema& schema, Dataset test,
+                                           StreamEngineConfig config) {
+  obs::TraceSpan span("stream.restore");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return Status::IOError("not a FUME stream checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kCkptVersion) {
+    return Status::IOError("unsupported stream checkpoint version");
+  }
+  StreamEngine engine(std::move(test), std::move(config));
+  double saved_metric = 0.0;
+  double saved_accuracy = 0.0;
+  if (!ReadPod(in, &engine.last_seq_) || !ReadPod(in, &saved_metric) ||
+      !ReadPod(in, &saved_accuracy) ||
+      !ReadPod(in, &engine.metric_at_last_search_) ||
+      !ReadPod(in, &engine.staleness_ops_)) {
+    return Status::IOError("checkpoint: truncated engine state");
+  }
+  uint64_t num_live = 0;
+  if (!ReadPod(in, &num_live) || num_live > (1ull << 30)) {
+    return Status::IOError("checkpoint: bad live-row count");
+  }
+  engine.store_ids_.resize(num_live);
+  if (num_live > 0) {
+    in.read(reinterpret_cast<char*>(engine.store_ids_.data()),
+            static_cast<std::streamsize>(num_live * sizeof(RowId)));
+  }
+  uint8_t has_explanation = 0;
+  if (!in || !ReadPod(in, &has_explanation)) {
+    return Status::IOError("checkpoint: truncated live-id block");
+  }
+  if (has_explanation != 0) {
+    FumeResult cached;
+    uint32_t k = 0;
+    if (!ReadPod(in, &cached.original_fairness) ||
+        !ReadPod(in, &cached.original_accuracy) || !ReadPod(in, &k) ||
+        k > 100000) {
+      return Status::IOError("checkpoint: truncated explanation header");
+    }
+    cached.top_k.reserve(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      FUME_ASSIGN_OR_RETURN(AttributableSubset s, ReadSubset(in));
+      cached.top_k.push_back(std::move(s));
+    }
+    engine.explanation_ = std::move(cached);
+  }
+  FUME_ASSIGN_OR_RETURN(engine.forest_, LoadForest(in));
+
+  // Reassemble the dense training mirror from the store and the live-id
+  // map, then verify the checkpoint is self-consistent.
+  if (!schema.AllCategorical() ||
+      schema.num_attributes() != engine.forest_.store().num_attrs()) {
+    return Status::Invalid("restore schema does not match checkpoint store");
+  }
+  for (int j = 0; j < schema.num_attributes(); ++j) {
+    if (schema.attribute(j).cardinality() !=
+        engine.forest_.store().cardinality(j)) {
+      return Status::Invalid("restore schema cardinality mismatch at '" +
+                             schema.attribute(j).name + "'");
+    }
+  }
+  const TrainingStore& store = engine.forest_.store();
+  engine.train_data_ = Dataset(schema);
+  std::vector<int32_t> codes(static_cast<size_t>(store.num_attrs()));
+  for (RowId id : engine.store_ids_) {
+    if (id < 0 || id >= store.num_rows()) {
+      return Status::IOError("checkpoint: live id out of store range");
+    }
+    for (int j = 0; j < store.num_attrs(); ++j) {
+      codes[static_cast<size_t>(j)] = store.code(id, j);
+    }
+    FUME_RETURN_NOT_OK(engine.train_data_.AppendRow(codes, store.label(id)));
+  }
+  if (engine.train_data_.num_rows() != engine.forest_.num_training_rows()) {
+    return Status::IOError("checkpoint: live ids disagree with forest");
+  }
+  engine.RebuildLiveIndex();
+  if (engine.dense_of_id_.size() != engine.store_ids_.size()) {
+    return Status::IOError("checkpoint: duplicate live ids");
+  }
+  engine.cache_.Rebuild(engine.forest_, engine.test_);
+  engine.RefreshMetric();
+  if (engine.metric_ != saved_metric || engine.accuracy_ != saved_accuracy) {
+    return Status::IOError(
+        "checkpoint: recomputed metric disagrees with saved state (corrupt "
+        "file, or different test data / config)");
+  }
+  StreamMetrics::Get().restores->Inc();
+  return engine;
+}
+
+Result<StreamEngine> StreamEngine::RestoreFromFile(
+    const std::string& path, const Schema& schema, Dataset test,
+    StreamEngineConfig config) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return Restore(in, schema, std::move(test), std::move(config));
+}
+
+}  // namespace stream
+}  // namespace fume

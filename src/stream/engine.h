@@ -1,0 +1,168 @@
+// StreamEngine: a long-lived incremental FUME service. It consumes an
+// ordered op-log of training-set mutations (stream/op_log.h), applies them
+// exactly to a DaRE forest via AddData/DeleteRows, keeps the group-fairness
+// metric current through a per-tree test-prediction cache, and re-runs the
+// FUME top-k search only when the metric has drifted past a configurable
+// threshold since the last search — otherwise it serves the cached top-k
+// with a staleness annotation.
+//
+// Exactness contract (pinned by tests/stream_test.cc): after any prefix of
+// the op-log, the engine's forest predictions, fairness metric and — right
+// after a search — top-k explanations are byte-identical to training a
+// fresh forest on the surviving rows (same config/seed) and running a
+// fresh FUME search on it. Checkpoints serialize forest + engine state, so
+// an engine killed mid-log can be restored and replayed to the same state
+// an uninterrupted run reaches (docs/streaming.md).
+
+#ifndef FUME_STREAM_ENGINE_H_
+#define FUME_STREAM_ENGINE_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fume.h"
+#include "stream/op_log.h"
+#include "stream/prediction_cache.h"
+#include "util/result.h"
+
+namespace fume {
+namespace stream {
+
+/// When to re-run the FUME search. The signed metric F is compared against
+/// its value at the last search; a re-search triggers when EITHER bound is
+/// crossed. Set both to infinity to pin the cached explanation forever.
+struct DriftPolicy {
+  /// Absolute drift: |F_now - F_last_search| >= abs_threshold.
+  double abs_threshold = 0.01;
+  /// Relative drift: |F_now - F_last_search| >= rel_threshold * |F_last|.
+  /// Ignored while |F_last| is 0.
+  double rel_threshold = 0.10;
+
+  bool ShouldSearch(double last, double now) const;
+};
+
+struct StreamEngineConfig {
+  ForestConfig forest;
+  FumeConfig fume;
+  DriftPolicy drift;
+  /// Refresh the explanation at Checkpoint ops when any op was applied
+  /// since the last search, regardless of drift — so checkpointed top-k is
+  /// never stale (and the exactness tests can compare it cold).
+  bool search_on_checkpoint = true;
+  /// When non-empty, every Checkpoint op (re)writes this checkpoint file.
+  std::string checkpoint_path;
+};
+
+/// What one Apply() did, for timelines and logs.
+struct OpOutcome {
+  int64_t seq = 0;
+  OpKind kind = OpKind::kCheckpoint;
+  /// Signed F(h, D_test) after the op.
+  double metric = 0.0;
+  double accuracy = 0.0;
+  int64_t rows_live = 0;
+  /// True when this op triggered a FUME re-search (drift or checkpoint).
+  bool searched = false;
+  /// Ops applied since the serving explanation was last refreshed
+  /// (0 right after a search).
+  int64_t staleness_ops = 0;
+  double apply_seconds = 0.0;
+  double search_seconds = 0.0;
+};
+
+class StreamEngine {
+ public:
+  /// Trains the initial forest on `initial_train`, primes the prediction
+  /// cache against `test`, and runs the first search (unless |F| is below
+  /// config.fume.min_original_bias — then the engine starts with an empty
+  /// explanation and searches once a violation appears).
+  static Result<StreamEngine> Create(const Dataset& initial_train,
+                                     Dataset test, StreamEngineConfig config);
+
+  /// Applies one op. Ops must arrive with strictly increasing seq.
+  Result<OpOutcome> Apply(const StreamOp& op);
+
+  /// Convenience: applies every op in order, returning per-op outcomes.
+  Result<std::vector<OpOutcome>> Replay(const std::vector<StreamOp>& ops);
+
+  // ---- serving state -------------------------------------------------
+  int64_t last_seq() const { return last_seq_; }
+  /// Signed F(h, D_test) of the current model.
+  double current_metric() const { return metric_; }
+  double current_accuracy() const { return accuracy_; }
+  /// F at the last search — the drift reference.
+  double metric_at_last_search() const { return metric_at_last_search_; }
+  /// Ops applied since the last search (the staleness annotation).
+  int64_t staleness() const { return staleness_ops_; }
+  /// Cached explanation from the last search; nullptr when the model
+  /// satisfied the metric at every search so far. Valid until the next
+  /// Apply() that searches.
+  const FumeResult* explanation() const {
+    return explanation_.has_value() ? &*explanation_ : nullptr;
+  }
+  const DareForest& forest() const { return forest_; }
+  /// Surviving training rows, dense, in arrival order — what a cold
+  /// retrain would train on.
+  const Dataset& train_data() const { return train_data_; }
+  const Dataset& test_data() const { return test_; }
+  int64_t rows_live() const { return train_data_.num_rows(); }
+  /// Engine id (training-store id) of each live row, dense order.
+  const std::vector<RowId>& live_ids() const { return store_ids_; }
+
+  // ---- checkpoint / restore ------------------------------------------
+  /// Serializes forest + engine state (seq, metrics, drift reference,
+  /// live-id map, cached top-k). Search statistics and all_candidates are
+  /// not persisted — a restored engine serves the same top-k but reports
+  /// empty stats until its next search.
+  Status SaveCheckpoint(std::ostream& out) const;
+  Status SaveCheckpointToFile(const std::string& path) const;
+
+  /// Rebuilds an engine from a checkpoint. `schema` must be the training
+  /// schema the original engine was created with (the checkpoint stores
+  /// codes, not category names); `test` and `config` likewise. Replaying
+  /// the ops with seq > last_seq() afterwards reproduces the uninterrupted
+  /// engine's state exactly.
+  static Result<StreamEngine> Restore(std::istream& in, const Schema& schema,
+                                      Dataset test, StreamEngineConfig config);
+  static Result<StreamEngine> RestoreFromFile(const std::string& path,
+                                              const Schema& schema,
+                                              Dataset test,
+                                              StreamEngineConfig config);
+
+ private:
+  StreamEngine(Dataset test, StreamEngineConfig config);
+
+  Status ApplyInsert(const StreamOp& op);
+  Status ApplyDelete(const StreamOp& op);
+  /// Recomputes metric_ / accuracy_ from the prediction cache.
+  void RefreshMetric();
+  /// Runs the FUME search against the current model (or records "no
+  /// violation" when |F| is below the configured floor).
+  Status RunSearch();
+  void RebuildLiveIndex();
+
+  Dataset test_;
+  StreamEngineConfig config_;
+  DareForest forest_;
+  Dataset train_data_;
+  /// store_ids_[dense row] = engine/store id; parallel to train_data_.
+  std::vector<RowId> store_ids_;
+  /// Inverse of store_ids_ for delete lookups.
+  std::unordered_map<RowId, int64_t> dense_of_id_;
+  TestPredictionCache cache_;
+
+  int64_t last_seq_ = -1;
+  double metric_ = 0.0;
+  double accuracy_ = 0.0;
+  double metric_at_last_search_ = 0.0;
+  int64_t staleness_ops_ = 0;
+  std::optional<FumeResult> explanation_;
+};
+
+}  // namespace stream
+}  // namespace fume
+
+#endif  // FUME_STREAM_ENGINE_H_

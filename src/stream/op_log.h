@@ -1,0 +1,89 @@
+// OpLog: the ordered stream of training-set mutations a StreamEngine
+// consumes. Each operation carries a strictly increasing sequence number so
+// a log is replayable from any checkpoint: restore the engine, then re-read
+// the log skipping everything at or below the checkpoint's sequence.
+//
+// Line-delimited text format (docs/streaming.md), one operation per line:
+//
+//   I <seq> <label>:<code>,<code>,...  [<label>:<codes> ...]   insert batch
+//   D <seq> <row-id> [<row-id> ...]                            delete batch
+//   C <seq>                                                    checkpoint
+//
+// Row ids name rows by their engine-assigned id: the initial training rows
+// occupy [0, n0) and every inserted row gets the next id in arrival order —
+// exactly the DaRE training-store ids, stable for the engine's lifetime.
+// Blank lines and lines starting with '#' are ignored.
+
+#ifndef FUME_STREAM_OP_LOG_H_
+#define FUME_STREAM_OP_LOG_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "forest/training_store.h"
+#include "util/result.h"
+
+namespace fume {
+namespace stream {
+
+enum class OpKind : uint8_t {
+  kInsert,
+  kDelete,
+  kCheckpoint,
+};
+
+const char* OpKindName(OpKind kind);
+
+/// One training row in transit: category codes plus the binary label.
+struct StreamRow {
+  std::vector<int32_t> codes;
+  int label = 0;
+
+  friend bool operator==(const StreamRow& a, const StreamRow& b) {
+    return a.label == b.label && a.codes == b.codes;
+  }
+};
+
+/// One op-log entry. Exactly one payload is meaningful per kind:
+/// rows for kInsert, row_ids for kDelete, neither for kCheckpoint.
+struct StreamOp {
+  int64_t seq = 0;
+  OpKind kind = OpKind::kCheckpoint;
+  std::vector<StreamRow> rows;
+  std::vector<RowId> row_ids;
+
+  static StreamOp Insert(int64_t seq, std::vector<StreamRow> rows);
+  static StreamOp Delete(int64_t seq, std::vector<RowId> row_ids);
+  static StreamOp Checkpoint(int64_t seq);
+
+  friend bool operator==(const StreamOp& a, const StreamOp& b) {
+    return a.seq == b.seq && a.kind == b.kind && a.rows == b.rows &&
+           a.row_ids == b.row_ids;
+  }
+};
+
+/// Renders one op as its log line (no trailing newline).
+std::string FormatOp(const StreamOp& op);
+
+/// Parses one log line. Fails on malformed syntax; sequencing is checked by
+/// ReadOpLog, not here.
+Result<StreamOp> ParseOp(const std::string& line);
+
+/// Writes ops as one line each, preceded by a `# fume-oplog v1` header.
+Status WriteOpLog(const std::vector<StreamOp>& ops, std::ostream& out);
+Status WriteOpLogFile(const std::vector<StreamOp>& ops,
+                      const std::string& path);
+
+/// Reads a whole log, skipping comments/blanks and any op with
+/// seq <= after_seq (pass the checkpoint's sequence to resume; -1 reads
+/// everything). Fails on malformed lines or non-increasing sequence numbers.
+Result<std::vector<StreamOp>> ReadOpLog(std::istream& in,
+                                        int64_t after_seq = -1);
+Result<std::vector<StreamOp>> ReadOpLogFile(const std::string& path,
+                                            int64_t after_seq = -1);
+
+}  // namespace stream
+}  // namespace fume
+
+#endif  // FUME_STREAM_OP_LOG_H_

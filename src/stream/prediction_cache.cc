@@ -1,0 +1,107 @@
+#include "stream/prediction_cache.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace fume {
+namespace stream {
+
+void TestPredictionCache::WalkTree(const DareForest& forest,
+                                   const Dataset& test, int t) {
+  const int64_t n_rows = test.num_rows();
+  auto& leaves = leaf_[static_cast<size_t>(t)];
+  auto& probs = prob_[static_cast<size_t>(t)];
+  leaves.resize(static_cast<size_t>(n_rows));
+  probs.resize(static_cast<size_t>(n_rows));
+  const TreeNode* root = forest.tree(t).root();
+  for (int64_t r = 0; r < n_rows; ++r) {
+    const TreeNode* n = root;
+    if (n != nullptr && n->count != 0) {
+      while (!n->is_leaf()) {
+        n = test.Code(r, n->attr) <= n->threshold ? n->left.get()
+                                                  : n->right.get();
+      }
+    }
+    leaves[static_cast<size_t>(r)] = n;
+    probs[static_cast<size_t>(r)] =
+        (n == nullptr || n->count == 0)
+            ? 0.5
+            : static_cast<double>(n->pos) / static_cast<double>(n->count);
+  }
+}
+
+void TestPredictionCache::ResumeTree(const Dataset& test, int t) {
+  auto& leaves = leaf_[static_cast<size_t>(t)];
+  auto& probs = prob_[static_cast<size_t>(t)];
+  for (size_t r = 0; r < leaves.size(); ++r) {
+    const TreeNode* n = leaves[r];
+    if (n != nullptr && n->count != 0 && !n->is_leaf()) {
+      // An insert rebuilt this leaf into a split in place (same address);
+      // the row still reaches it, so finish the walk from here.
+      do {
+        n = test.Code(static_cast<int64_t>(r), n->attr) <= n->threshold
+                ? n->left.get()
+                : n->right.get();
+      } while (!n->is_leaf());
+      leaves[r] = n;
+    }
+    probs[r] = (n == nullptr || n->count == 0)
+                   ? 0.5
+                   : static_cast<double>(n->pos) /
+                         static_cast<double>(n->count);
+  }
+}
+
+void TestPredictionCache::Finalize(const DareForest& forest) {
+  const size_t n_rows = pred_.size();
+  const double num_trees = static_cast<double>(forest.num_trees());
+  for (size_t r = 0; r < n_rows; ++r) {
+    double sum = 0.0;
+    for (int t = 0; t < forest.num_trees(); ++t) {
+      sum += prob_[static_cast<size_t>(t)][r];
+    }
+    mean_prob_[r] = sum / num_trees;
+    pred_[r] = mean_prob_[r] >= 0.5 ? 1 : 0;
+  }
+}
+
+void TestPredictionCache::Rebuild(const DareForest& forest,
+                                  const Dataset& test) {
+  obs::TraceSpan span("stream.predcache.rebuild",
+                      {{"trees", forest.num_trees()},
+                       {"rows", test.num_rows()}});
+  leaf_.assign(static_cast<size_t>(forest.num_trees()), {});
+  prob_.assign(static_cast<size_t>(forest.num_trees()), {});
+  mean_prob_.assign(static_cast<size_t>(test.num_rows()), 0.0);
+  pred_.assign(static_cast<size_t>(test.num_rows()), 0);
+  for (int t = 0; t < forest.num_trees(); ++t) WalkTree(forest, test, t);
+  Finalize(forest);
+}
+
+void TestPredictionCache::Update(const DareForest& forest, const Dataset& test,
+                                 const std::vector<bool>& tree_dirty) {
+  FUME_CHECK_EQ(tree_dirty.size(), leaf_.size());
+  FUME_CHECK_EQ(static_cast<size_t>(forest.num_trees()), leaf_.size());
+  static obs::Counter* rewalked =
+      obs::GetCounter("stream.predcache.trees_rewalked");
+  static obs::Counter* resumed =
+      obs::GetCounter("stream.predcache.trees_refreshed");
+  obs::TraceSpan span("stream.predcache.update");
+  int64_t walked = 0;
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    if (tree_dirty[static_cast<size_t>(t)]) {
+      WalkTree(forest, test, t);
+      ++walked;
+    } else {
+      ResumeTree(test, t);
+    }
+  }
+  rewalked->Inc(walked);
+  resumed->Inc(forest.num_trees() - walked);
+  span.AddArg("rewalked", walked);
+  Finalize(forest);
+}
+
+}  // namespace stream
+}  // namespace fume

@@ -1,0 +1,43 @@
+// Deterministic op-log synthesis for tests, the fume_stream CLI and the
+// streaming bench: interleaves insert batches drawn from a held-out row
+// pool with deletes of currently-live rows, dropping a checkpoint every
+// few ops.
+
+#ifndef FUME_STREAM_WORKLOAD_H_
+#define FUME_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "stream/op_log.h"
+
+namespace fume {
+namespace stream {
+
+struct WorkloadOptions {
+  /// Total operations to emit (checkpoints count toward this).
+  int num_ops = 100;
+  /// Rows per insert op.
+  int insert_batch = 5;
+  /// Rows per delete op.
+  int delete_batch = 3;
+  /// Probability that a non-checkpoint op is a delete rather than an
+  /// insert (inserts also take over whenever the pool runs dry).
+  double delete_fraction = 0.4;
+  /// Emit a Checkpoint op every this many ops (0 = only the final one).
+  int checkpoint_every = 25;
+  uint64_t seed = 17;
+};
+
+/// Builds an op-log against an engine whose live rows are currently
+/// [0, initial_rows). Insert ops consume `pool` rows in order; delete ops
+/// remove uniformly chosen live rows (initial or previously inserted). The
+/// log always ends with a Checkpoint. Deterministic in (pool, options).
+Result<std::vector<StreamOp>> SynthesizeOpLog(const Dataset& pool,
+                                              int64_t initial_rows,
+                                              const WorkloadOptions& options);
+
+}  // namespace stream
+}  // namespace fume
+
+#endif  // FUME_STREAM_WORKLOAD_H_

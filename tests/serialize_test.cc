@@ -76,6 +76,33 @@ TEST(SerializeTest, DeleteBeforeSaveIsPreserved) {
   EXPECT_EQ(loaded->num_training_rows(), 496);
 }
 
+TEST(SerializeTest, DeletionStatsSurviveMixedOpsRoundTrip) {
+  // v2 pins the unlearning work counters: a forest that has absorbed a mix
+  // of adds and deletes must round-trip its DeletionStats exactly, and keep
+  // unlearning identically afterwards.
+  DareForest forest = TrainedForest(7, ThresholdMode::kExact);
+  auto extra = synth::MakeParametric(40, 6, 4, 99);
+  ASSERT_TRUE(extra.ok());
+  auto added = forest.AddData(extra->data);
+  ASSERT_TRUE(added.ok());
+  ASSERT_TRUE(forest.DeleteRows({2, 17, 130, (*added)[5], (*added)[20]}).ok());
+  ASSERT_NE(forest.deletion_stats(), DeletionStats{});
+
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(forest, out).ok());
+  std::istringstream in(out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_EQ(loaded->deletion_stats(), forest.deletion_stats());
+
+  // Continued ops on both copies accrue identical counters.
+  ASSERT_TRUE(forest.DeleteRows({5, 200, 333}).ok());
+  ASSERT_TRUE(loaded->DeleteRows({5, 200, 333}).ok());
+  EXPECT_TRUE(loaded->StructurallyEquals(forest));
+  EXPECT_EQ(loaded->deletion_stats(), forest.deletion_stats());
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   DareForest forest = TrainedForest(5, ThresholdMode::kExact);
   const std::string path = "/tmp/fume_forest_test.bin";

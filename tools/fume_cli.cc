@@ -110,6 +110,7 @@ Observability (docs/observability.md; --flag=value also accepted):
   --metrics-out FILE    write all counters/histograms as JSON
   --trace-out FILE      record trace spans and write Chrome trace-event
                         JSON (open in chrome://tracing or Perfetto)
+  --help, -h            this text
 )";
 }
 

@@ -1,0 +1,445 @@
+// fume_stream: drive a streaming FUME engine over an insert/delete op-log.
+//
+//   # synthesize a workload over the german-credit stream and watch the
+//   # fairness metric + explanation evolve
+//   fume_stream --dataset german-credit --ops 100 --checkpoint-every 25
+//
+//   # persist the op-log and engine checkpoints, then resume mid-log
+//   fume_stream --dataset german-credit --oplog-out=/tmp/log.ops
+//               --checkpoint=/tmp/engine.ckpt
+//   fume_stream --dataset german-credit --oplog=/tmp/log.ops
+//               --resume=/tmp/engine.ckpt
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/report.h"
+#include "data/split.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/engine.h"
+#include "stream/workload.h"
+#include "synth/registry.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace fume;
+
+struct CliOptions {
+  // Data.
+  std::string dataset = "german-credit";
+  int64_t rows = 0;
+  uint64_t seed = 4;
+  double test_fraction = 0.3;
+  // Model.
+  int trees = 10;
+  int depth = 8;
+  int random_depth = 2;
+  uint64_t model_seed = 31;
+  // Search.
+  FairnessMetric metric = FairnessMetric::kStatisticalParity;
+  int top_k = 5;
+  double support_min = 0.05;
+  double support_max = 0.15;
+  int literals = 2;
+  int threads = 1;
+  // Stream.
+  std::string oplog;
+  std::string oplog_out;
+  int ops = 100;
+  int insert_batch = 5;
+  int delete_batch = 3;
+  int checkpoint_every = 25;
+  uint64_t workload_seed = 17;
+  std::string checkpoint;
+  std::string resume;
+  double drift_abs = 0.01;
+  double drift_rel = 0.10;
+  bool no_search_on_checkpoint = false;
+  // Observability.
+  bool print_metrics = false;
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+void PrintUsage() {
+  std::cout << R"(fume_stream — incremental FUME over an insert/delete op-log
+
+Data (initial training set + insert pool come from one synthetic dataset):
+  --dataset NAME        built-in synthetic dataset (default german-credit)
+  --rows N              override dataset size
+  --seed N              data seed (default 4)
+  --test-fraction F     test split fraction (default 0.3)
+
+Model:
+  --trees N             forest size (default 10)
+  --depth N             max tree depth (default 8)
+  --random-depth N      DaRE random upper levels (default 2)
+  --model-seed N        forest seed (default 31)
+
+Search:
+  --metric M            statistical-parity | equalized-odds |
+                        predictive-parity | equal-opportunity |
+                        disparate-impact (default statistical-parity)
+  --k N                 top-k subsets (default 5)
+  --support-min F       Rule 2 lower bound (default 0.05)
+  --support-max F       Rule 2 upper bound (default 0.15)
+  --literals N          Rule 3 max literals (default 2)
+  --threads N           parallel attribution workers (default 1)
+
+Stream:
+  --oplog FILE          replay ops from FILE instead of synthesizing
+  --oplog-out FILE      write the synthesized op-log to FILE
+  --ops N               synthesized op count (default 100)
+  --insert-batch N      rows per synthesized insert (default 5)
+  --delete-batch N      ids per synthesized delete (default 3)
+  --checkpoint-every N  synthesized checkpoint cadence (default 25)
+  --workload-seed N     synthesized workload seed (default 17)
+  --checkpoint FILE     (re)write an engine checkpoint at every C op
+  --resume FILE         restore the engine from FILE and replay only ops
+                        with seq past the checkpoint
+  --drift-abs F         re-search when |dF| >= F (default 0.01)
+  --drift-rel F         ... or >= F * |F_last| (default 0.10)
+  --no-search-on-checkpoint
+                        serve possibly-stale top-k at checkpoints too
+
+Observability (docs/observability.md):
+  --metrics             print a metrics summary after the run
+  --metrics-out FILE    write all counters/histograms as JSON
+  --trace-out FILE      write Chrome trace-event JSON
+  --help, -h            this text
+)";
+}
+
+std::optional<FairnessMetric> ParseMetric(const std::string& name) {
+  if (name == "statistical-parity") return FairnessMetric::kStatisticalParity;
+  if (name == "equalized-odds") return FairnessMetric::kEqualizedOdds;
+  if (name == "predictive-parity") return FairnessMetric::kPredictiveParity;
+  if (name == "equal-opportunity") return FairnessMetric::kEqualOpportunity;
+  if (name == "disparate-impact") return FairnessMetric::kDisparateImpact;
+  return std::nullopt;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
+  std::string inline_value;
+  bool has_inline = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto need_value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      *want_help = true;
+      return true;
+    } else if (flag == "--no-search-on-checkpoint") {
+      opts->no_search_on_checkpoint = true;
+    } else if (flag == "--metrics") {
+      opts->print_metrics = true;
+    } else if (flag == "--metrics-out") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->metrics_out = v;
+    } else if (flag == "--trace-out") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->trace_out = v;
+    } else if (flag == "--dataset") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->dataset = v;
+    } else if (flag == "--oplog") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->oplog = v;
+    } else if (flag == "--oplog-out") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->oplog_out = v;
+    } else if (flag == "--checkpoint") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->checkpoint = v;
+    } else if (flag == "--resume") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->resume = v;
+    } else if (flag == "--metric") {
+      if ((v = need_value()) == nullptr) return false;
+      auto metric = ParseMetric(v);
+      if (!metric) {
+        std::cerr << "unknown metric '" << v << "'\n";
+        return false;
+      }
+      opts->metric = *metric;
+    } else {
+      static const std::set<std::string> kNumericFlags = {
+          "--rows",          "--seed",          "--test-fraction",
+          "--trees",         "--depth",         "--random-depth",
+          "--model-seed",    "--k",             "--support-min",
+          "--support-max",   "--literals",      "--threads",
+          "--ops",           "--insert-batch",  "--delete-batch",
+          "--checkpoint-every", "--workload-seed", "--drift-abs",
+          "--drift-rel"};
+      if (kNumericFlags.count(flag) == 0) {
+        std::cerr << "unknown flag: " << flag << " (see --help)\n";
+        return false;
+      }
+      if ((v = need_value()) == nullptr) return false;
+      int iv = 0;
+      double dv = 0.0;
+      const bool is_int = ParseInt(v, &iv);
+      const bool is_double = ParseDouble(v, &dv);
+      if (flag == "--rows" && is_int) opts->rows = iv;
+      else if (flag == "--seed" && is_int) opts->seed = static_cast<uint64_t>(iv);
+      else if (flag == "--test-fraction" && is_double) opts->test_fraction = dv;
+      else if (flag == "--trees" && is_int) opts->trees = iv;
+      else if (flag == "--depth" && is_int) opts->depth = iv;
+      else if (flag == "--random-depth" && is_int) opts->random_depth = iv;
+      else if (flag == "--model-seed" && is_int) opts->model_seed = static_cast<uint64_t>(iv);
+      else if (flag == "--k" && is_int) opts->top_k = iv;
+      else if (flag == "--support-min" && is_double) opts->support_min = dv;
+      else if (flag == "--support-max" && is_double) opts->support_max = dv;
+      else if (flag == "--literals" && is_int) opts->literals = iv;
+      else if (flag == "--threads" && is_int) opts->threads = iv;
+      else if (flag == "--ops" && is_int) opts->ops = iv;
+      else if (flag == "--insert-batch" && is_int) opts->insert_batch = iv;
+      else if (flag == "--delete-batch" && is_int) opts->delete_batch = iv;
+      else if (flag == "--checkpoint-every" && is_int) opts->checkpoint_every = iv;
+      else if (flag == "--workload-seed" && is_int) opts->workload_seed = static_cast<uint64_t>(iv);
+      else if (flag == "--drift-abs" && is_double) opts->drift_abs = dv;
+      else if (flag == "--drift-rel" && is_double) opts->drift_rel = dv;
+      else {
+        std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Mirrors fume_cli's end-of-run metrics/trace dump.
+struct ObsOutputs {
+  const CliOptions& opts;
+
+  explicit ObsOutputs(const CliOptions& options) : opts(options) {
+    if (!opts.trace_out.empty()) obs::StartTracing();
+  }
+
+  ~ObsOutputs() {
+    if (!opts.trace_out.empty()) {
+      obs::StopTracing();
+      if (obs::WriteTraceJsonFile(opts.trace_out)) {
+        std::cout << "trace written to " << opts.trace_out << "\n";
+      } else {
+        std::cerr << "could not write trace to " << opts.trace_out << "\n";
+      }
+    }
+    if (opts.print_metrics || !opts.metrics_out.empty()) {
+      const obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Global().Snapshot();
+      if (opts.print_metrics) {
+        std::cout << "\n--- metrics ---\n";
+        snapshot.PrintText(std::cout);
+      }
+      if (!opts.metrics_out.empty()) {
+        std::ofstream out(opts.metrics_out);
+        if (out << snapshot.ToJson() << "\n") {
+          std::cout << "metrics written to " << opts.metrics_out << "\n";
+        } else {
+          std::cerr << "could not write metrics to " << opts.metrics_out
+                    << "\n";
+        }
+      }
+    }
+  }
+};
+
+void PrintTimelineRow(const stream::OpOutcome& outcome) {
+  std::printf("%6lld  %-10s %7lld  %+8.4f  %6.1f ms %s",
+              static_cast<long long>(outcome.seq),
+              stream::OpKindName(outcome.kind),
+              static_cast<long long>(outcome.rows_live), outcome.metric,
+              outcome.apply_seconds * 1e3,
+              outcome.searched
+                  ? ("searched (" +
+                     std::to_string(
+                         static_cast<int>(outcome.search_seconds * 1e3)) +
+                     " ms)")
+                        .c_str()
+                  : "");
+  if (!outcome.searched && outcome.staleness_ops > 0) {
+    std::printf(" stale x%lld", static_cast<long long>(outcome.staleness_ops));
+  }
+  std::printf("\n");
+}
+
+int Run(const CliOptions& opts) {
+  ObsOutputs obs_outputs(opts);
+
+  auto registered = synth::FindDataset(opts.dataset);
+  if (!registered.ok()) {
+    std::cerr << registered.status().ToString() << "\n";
+    return 1;
+  }
+  synth::SynthOptions synth_opts;
+  synth_opts.num_rows = opts.rows;
+  synth_opts.seed = opts.seed;
+  auto bundle = registered->make(synth_opts);
+  if (!bundle.ok()) {
+    std::cerr << bundle.status().ToString() << "\n";
+    return 1;
+  }
+  SplitOptions split_opts;
+  split_opts.test_fraction = opts.test_fraction;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  if (!split.ok()) {
+    std::cerr << split.status().ToString() << "\n";
+    return 1;
+  }
+
+  // A third of the training half is held back as the insert pool; the
+  // engine starts from the rest.
+  const int64_t pool_rows = split->train.num_rows() / 3;
+  std::vector<int64_t> tail, head;
+  for (int64_t r = 0; r < split->train.num_rows(); ++r) {
+    (r < split->train.num_rows() - pool_rows ? head : tail).push_back(r);
+  }
+  const Dataset initial_train = split->train.DropRows(tail);
+  const Dataset pool = split->train.DropRows(head);
+
+  stream::StreamEngineConfig config;
+  config.forest.num_trees = opts.trees;
+  config.forest.max_depth = opts.depth;
+  config.forest.random_depth = opts.random_depth;
+  config.forest.seed = opts.model_seed;
+  config.fume.top_k = opts.top_k;
+  config.fume.support_min = opts.support_min;
+  config.fume.support_max = opts.support_max;
+  config.fume.max_literals = opts.literals;
+  config.fume.num_threads = opts.threads;
+  config.fume.metric = opts.metric;
+  config.fume.group = bundle->group;
+  config.drift.abs_threshold = opts.drift_abs;
+  config.drift.rel_threshold = opts.drift_rel;
+  config.search_on_checkpoint = !opts.no_search_on_checkpoint;
+  config.checkpoint_path = opts.checkpoint;
+
+  // The op-log: read from file, or synthesize (and maybe persist).
+  std::vector<stream::StreamOp> ops;
+  if (!opts.oplog.empty()) {
+    auto read = stream::ReadOpLogFile(opts.oplog);
+    if (!read.ok()) {
+      std::cerr << read.status().ToString() << "\n";
+      return 1;
+    }
+    ops = std::move(*read);
+  } else {
+    stream::WorkloadOptions w;
+    w.num_ops = opts.ops;
+    w.insert_batch = opts.insert_batch;
+    w.delete_batch = opts.delete_batch;
+    w.checkpoint_every = opts.checkpoint_every;
+    w.seed = opts.workload_seed;
+    auto synthesized =
+        stream::SynthesizeOpLog(pool, initial_train.num_rows(), w);
+    if (!synthesized.ok()) {
+      std::cerr << synthesized.status().ToString() << "\n";
+      return 1;
+    }
+    ops = std::move(*synthesized);
+    if (!opts.oplog_out.empty()) {
+      Status st = stream::WriteOpLogFile(ops, opts.oplog_out);
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "op-log written to " << opts.oplog_out << "\n";
+    }
+  }
+
+  // The engine: cold-start, or restore from a checkpoint and fast-forward.
+  std::optional<stream::StreamEngine> engine;
+  if (!opts.resume.empty()) {
+    auto restored = stream::StreamEngine::RestoreFromFile(
+        opts.resume, initial_train.schema(), split->test, config);
+    if (!restored.ok()) {
+      std::cerr << restored.status().ToString() << "\n";
+      return 1;
+    }
+    engine.emplace(std::move(*restored));
+    const size_t before = ops.size();
+    std::erase_if(ops, [&](const stream::StreamOp& op) {
+      return op.seq <= engine->last_seq();
+    });
+    std::cout << "restored from " << opts.resume << " at seq "
+              << engine->last_seq() << "; skipping " << before - ops.size()
+              << " already-applied ops\n";
+  } else {
+    auto created =
+        stream::StreamEngine::Create(initial_train, split->test, config);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      return 1;
+    }
+    engine.emplace(std::move(*created));
+  }
+
+  std::cout << "dataset: " << bundle->name << ", " << engine->rows_live()
+            << " live training rows, " << split->test.num_rows()
+            << " test rows\ninitial " << FairnessMetricName(opts.metric)
+            << ": " << FormatDouble(engine->current_metric(), 4)
+            << ", accuracy " << FormatPercent(engine->current_accuracy())
+            << "\n\n   seq  kind          live    metric      apply\n";
+
+  for (const stream::StreamOp& op : ops) {
+    auto outcome = engine->Apply(op);
+    if (!outcome.ok()) {
+      std::cerr << "op seq " << op.seq << ": " << outcome.status().ToString()
+                << "\n";
+      return 1;
+    }
+    PrintTimelineRow(*outcome);
+  }
+
+  std::cout << "\nfinal " << FairnessMetricName(opts.metric) << ": "
+            << FormatDouble(engine->current_metric(), 4) << ", accuracy "
+            << FormatPercent(engine->current_accuracy()) << ", staleness "
+            << engine->staleness() << " ops\n";
+  if (engine->explanation() != nullptr) {
+    std::cout << "\n";
+    PrintTopK(*engine->explanation(), initial_train.schema(), "S", std::cout);
+  } else {
+    std::cout << "no fairness violation at the last search — nothing to "
+                 "explain\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  bool want_help = false;
+  if (!ParseArgs(argc, argv, &opts, &want_help)) return 2;
+  if (want_help) {
+    PrintUsage();
+    return 0;
+  }
+  return Run(opts);
+}
