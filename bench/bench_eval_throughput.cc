@@ -1,0 +1,261 @@
+// What-if evaluation throughput: the seed deep-copy + full-rescore path vs
+// CoW clones + delta-aware rescoring (docs/performance.md), on the
+// parametric forests of the Figure 5 efficiency study.
+//
+// An UnlearnRemovalMethod evaluation is clone + DeleteRows + rescore; the
+// CoW pipeline optimizes the clone and rescore legs, while DeleteRows does
+// identical work on either path. The bench therefore sweeps the deletion
+// batch size: small batches isolate the optimized legs (the streaming
+// engine's common case), the largest batch approximates the search's
+// support-range row sets where unlearning work dominates both paths.
+// Reports evaluations/sec and bytes cloned per evaluation per cell, plus
+// full top-k searches at 1/4/8 threads whose outputs are checked identical
+// across every strategy x thread cell. Artifacts: eval_throughput.csv (+
+// metrics snapshot) and BENCH_eval.json in bench_artifacts/.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/metrics.h"
+#include "synth/datasets.h"
+
+namespace {
+
+using namespace fume;
+using namespace fume::bench;
+
+struct Setup {
+  int64_t rows = 0;
+  Dataset train;
+  Dataset test;
+  GroupSpec group;
+  DareForest model;
+};
+
+Setup MakeSetup(int64_t rows) {
+  auto bundle = synth::MakeParametric(rows, 10, 2, 7);
+  FUME_ABORT_NOT_OK(bundle.status());
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+  ForestConfig forest_config;  // the Figure 5 forest
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 8;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  auto model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(model.status());
+  return Setup{rows, std::move(split->train), std::move(split->test),
+               bundle->group, std::move(*model)};
+}
+
+// Deterministic spread-out batches of live training rows; every evaluation
+// clones the pristine model, so batches never compound.
+std::vector<std::vector<RowId>> MakeBatches(const Setup& s, int batch_size,
+                                            int num_batches) {
+  const int64_t n = s.model.num_training_rows();
+  std::vector<std::vector<RowId>> batches;
+  batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<RowId> rows;
+    rows.reserve(static_cast<size_t>(batch_size));
+    for (int j = 0; j < batch_size; ++j) {
+      const uint64_t key = static_cast<uint64_t>(b) * 131 +
+                           static_cast<uint64_t>(j) * 977;
+      rows.push_back(static_cast<RowId>(key % static_cast<uint64_t>(n)));
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    batches.push_back(std::move(rows));
+  }
+  return batches;
+}
+
+struct Throughput {
+  int64_t evaluations = 0;
+  double seconds = 0.0;
+  double evals_per_sec = 0.0;
+  int64_t clone_bytes_per_eval = 0;
+};
+
+// Serial evaluation loop. The warm-up evaluation (which also seeds the CoW
+// base prediction cache, a one-off cost amortized across a search) is
+// excluded, matching how a search amortizes it.
+Throughput Measure(const Setup& s,
+                   const std::vector<std::vector<RowId>>& batches,
+                   bool cow_delta) {
+  UnlearnRemovalMethod removal(&s.model, &s.test, s.group,
+                               FairnessMetric::kStatisticalParity,
+                               UnlearnRemovalMethod::Options{cow_delta});
+  auto warmup = removal.EvaluateWithout(batches.front());
+  FUME_ABORT_NOT_OK(warmup.status());
+
+  obs::Counter* copied = obs::GetCounter("forest.unlearn.cow_nodes_copied");
+  const int64_t copied_before = copied->Value();
+  Throughput t;
+  Stopwatch watch;
+  for (const auto& rows : batches) {
+    auto eval = removal.EvaluateWithout(rows);
+    FUME_ABORT_NOT_OK(eval.status());
+    ++t.evaluations;
+  }
+  t.seconds = watch.ElapsedSeconds();
+  t.evals_per_sec = t.seconds > 0.0
+                        ? static_cast<double>(t.evaluations) / t.seconds
+                        : 0.0;
+  const int64_t forest_bytes = s.model.ApproxHeapBytes();
+  if (cow_delta) {
+    // CoW copies individual nodes; charge each the forest's mean node size.
+    const int64_t nodes = s.model.num_nodes();
+    const int64_t node_bytes = nodes > 0 ? forest_bytes / nodes : 0;
+    t.clone_bytes_per_eval = t.evaluations > 0
+                                 ? (copied->Value() - copied_before) *
+                                       node_bytes / t.evaluations
+                                 : 0;
+  } else {
+    t.clone_bytes_per_eval = forest_bytes;  // every eval copies everything
+  }
+  return t;
+}
+
+std::string TopKSignature(const FumeResult& result, const Schema& schema) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& s : result.top_k) {
+    os << s.predicate.ToString(schema) << '|' << s.attribution << '|'
+       << s.new_fairness << '|' << s.new_accuracy << '\n';
+  }
+  os << result.stats.attribution_evaluations;
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = FullMode(argc, argv);
+  PrintBanner("What-if evaluation throughput: deep-copy vs CoW + delta",
+              "docs/performance.md / Figure 5 forests");
+
+  const std::vector<int64_t> sizes =
+      full ? std::vector<int64_t>{5000, 10000, 20000, 50000}
+           : std::vector<int64_t>{2000, 5000, 10000, 20000};
+  const int64_t mid_size = sizes[sizes.size() / 2];
+  // 1/4: streaming-style single-op what-ifs (the clone + rescore legs
+  // dominate); 64/1024: toward the search's support-range subsets where
+  // shared unlearning work dominates both strategies.
+  const std::vector<int> batch_sizes = {1, 4, 64, 1024};
+  const int kHeadlineBatch = 4;
+  const int num_batches = full ? 96 : 48;
+
+  TablePrinter table({"rows", "batch", "strategy", "evals", "evals/sec",
+                      "clone KiB/eval", "speedup"});
+  std::vector<std::vector<std::string>> artifact;
+  double mid_speedup = 0.0;
+
+  for (int64_t rows : sizes) {
+    Setup s = MakeSetup(rows);
+    for (int batch : batch_sizes) {
+      const auto batches = MakeBatches(s, batch, num_batches);
+      const Throughput deep = Measure(s, batches, /*cow_delta=*/false);
+      const Throughput cow = Measure(s, batches, /*cow_delta=*/true);
+      const double speedup =
+          deep.evals_per_sec > 0.0 ? cow.evals_per_sec / deep.evals_per_sec
+                                   : 0.0;
+      if (rows == mid_size && batch == kHeadlineBatch) mid_speedup = speedup;
+      for (const auto* t : {&deep, &cow}) {
+        const bool is_cow = t == &cow;
+        table.AddRow(
+            {std::to_string(rows), std::to_string(batch),
+             is_cow ? "cow-delta" : "deep-copy",
+             std::to_string(t->evaluations),
+             FormatDouble(t->evals_per_sec, 1),
+             FormatDouble(
+                 static_cast<double>(t->clone_bytes_per_eval) / 1024.0, 1),
+             is_cow ? FormatDouble(speedup, 2) + "x" : "1.00x"});
+        artifact.push_back(
+            {std::to_string(rows), std::to_string(batch),
+             is_cow ? "cow-delta" : "deep-copy",
+             std::to_string(t->evaluations), FormatDouble(t->seconds, 4),
+             FormatDouble(t->evals_per_sec, 2),
+             std::to_string(t->clone_bytes_per_eval),
+             FormatDouble(is_cow ? speedup : 1.0, 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  WriteArtifact("eval_throughput",
+                {"rows", "batch_rows", "strategy", "evaluations", "seconds",
+                 "evals_per_sec", "clone_bytes_per_eval", "speedup_vs_deep"},
+                artifact);
+
+  // Full searches: every strategy x thread cell must produce the same top-k
+  // (the CoW pipeline's exactness claim, end to end).
+  std::cout << "\nSearch identity check (mid-size forest, " << mid_size
+            << " rows)\n";
+  Setup s = MakeSetup(mid_size);
+  FumeConfig config = BenchFumeConfig(s.group);
+  std::string reference;
+  bool identical = true;
+  TablePrinter search_table({"strategy", "threads", "search sec"});
+  for (const bool cow : {false, true}) {
+    for (const int threads : {1, 4, 8}) {
+      UnlearnRemovalMethod removal(&s.model, &s.test, s.group, config.metric,
+                                   UnlearnRemovalMethod::Options{cow});
+      config.num_threads = threads;
+      Stopwatch watch;
+      auto result =
+          ExplainWithRemoval(s.model, s.train, s.test, config, &removal);
+      const double seconds = watch.ElapsedSeconds();
+      FUME_ABORT_NOT_OK(result.status());
+      const std::string sig = TopKSignature(*result, s.train.schema());
+      if (reference.empty()) {
+        reference = sig;
+      } else if (sig != reference) {
+        identical = false;
+      }
+      search_table.AddRow({cow ? "cow-delta" : "deep-copy",
+                           std::to_string(threads),
+                           FormatDouble(seconds, 3)});
+    }
+  }
+  search_table.Print(std::cout);
+  std::cout << "top-k identical across all cells: "
+            << (identical ? "yes" : "NO — exactness violation") << '\n'
+            << "cow-delta speedup at " << mid_size << " rows, batch "
+            << kHeadlineBatch
+            << ", 1 thread: " << FormatDouble(mid_speedup, 2) << "x\n";
+
+  std::ofstream json("bench_artifacts/BENCH_eval.json");
+  if (json) {
+    json.precision(6);
+    json << "{\n  \"bench\": \"eval_throughput\",\n"
+         << "  \"forest\": \"figure5-parametric (10 trees, depth 8)\",\n"
+         << "  \"mid_size_rows\": " << mid_size << ",\n"
+         << "  \"headline_batch_rows\": " << kHeadlineBatch << ",\n"
+         << "  \"topk_identical\": " << (identical ? "true" : "false")
+         << ",\n"
+         << "  \"cow_speedup_1thread_mid\": " << mid_speedup << ",\n"
+         << "  \"cells\": [\n";
+    for (size_t i = 0; i < artifact.size(); ++i) {
+      const auto& row = artifact[i];
+      json << "    {\"rows\": " << row[0] << ", \"batch_rows\": " << row[1]
+           << ", \"strategy\": \"" << row[2]
+           << "\", \"evaluations\": " << row[3] << ", \"seconds\": " << row[4]
+           << ", \"evals_per_sec\": " << row[5]
+           << ", \"clone_bytes_per_eval\": " << row[6]
+           << ", \"speedup_vs_deep\": " << row[7] << '}'
+           << (i + 1 < artifact.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote bench_artifacts/BENCH_eval.json\n";
+  } else {
+    std::cout << "could not write bench_artifacts/BENCH_eval.json\n";
+  }
+  return identical ? 0 : 1;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # AddressSanitizer (+UBSan) sweep: the same harness as run_tsan_tests.sh
-# with FUME_SANITIZE=address pinned. The stream engine caches raw TreeNode
-# pointers across forest mutations (src/stream/prediction_cache.h), so this
-# sweep is the use-after-free tripwire for that contract. Usage:
+# with FUME_SANITIZE=address pinned. The prediction cache holds raw TreeNode
+# pointers across forest mutations (src/forest/prediction_cache.h), and CoW
+# clones share refcounted nodes across forests, so this sweep is the
+# use-after-free tripwire for both contracts. Usage:
 #
 #   scripts/run_asan_tests.sh            # ASan+UBSan
 #

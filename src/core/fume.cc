@@ -1,16 +1,16 @@
 #include "core/fume.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <thread>
+#include <memory>
 #include <unordered_map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace fume {
 
@@ -104,7 +104,17 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
   // level, attributed to that level's stats row.
   int64_t pending_rule1 = 0;
 
+  // One persistent pool serves every level of the search (a caller-supplied
+  // pool additionally serves every search sharing it); per-level thread
+  // spawning is gone.
   const int num_threads = std::max(1, config.num_threads);
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  util::ThreadPool* pool = config.pool;
+  if (pool == nullptr && num_threads > 1) {
+    owned_pool = std::make_unique<util::ThreadPool>(num_threads);
+    pool = owned_pool.get();
+  }
+  const int num_workers = pool != nullptr ? pool->num_threads() : 1;
 
   for (int level = 1; level <= config.max_literals; ++level) {
     Stopwatch level_watch;
@@ -151,14 +161,13 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       fates[i] = NodeFate::kEvaluate;
       keys[i].rows = node.rows.ToRows();
       if (config.cache_by_rowset && memo.count(keys[i]) > 0) continue;
+      // Duplicate row sets within a level always share one job: the
+      // evaluation is a pure function of the row set, so re-running it can
+      // only waste work (cache_by_rowset additionally memoizes results
+      // across levels).
       auto [it, inserted] = job_index.emplace(keys[i], jobs.size());
       if (inserted) {
         jobs.push_back(EvalJob{keys[i], ModelEval{}, Status::OK()});
-        created_job[i] = 1;
-      } else if (!config.cache_by_rowset) {
-        // Without the cache, duplicates are evaluated independently.
-        jobs.push_back(EvalJob{keys[i], ModelEval{}, Status::OK()});
-        it->second = jobs.size() - 1;
         created_job[i] = 1;
       }
       job_of_node[i] = it->second;
@@ -171,35 +180,25 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       obs::TraceSpan eval_span("fume.evaluate",
                                {{"level", level},
                                 {"jobs", static_cast<int64_t>(jobs.size())},
-                                {"threads", num_threads}});
-      auto run_job = [&](EvalJob& job) {
+                                {"threads", num_workers}});
+      auto run_job = [&](int worker, EvalJob& job) {
         std::vector<RowId> rows(job.key.rows.begin(), job.key.rows.end());
-        auto eval = removal->EvaluateWithout(rows);
+        auto eval = removal->EvaluateWithoutOn(worker, rows);
         if (eval.ok()) {
           job.eval = *eval;
         } else {
           job.status = eval.status();
         }
       };
-      if (num_threads <= 1 || jobs.size() < 2) {
-        for (EvalJob& job : jobs) run_job(job);
+      removal->BeginParallel(num_workers);
+      if (pool == nullptr || jobs.size() < 2) {
+        for (EvalJob& job : jobs) run_job(0, job);
       } else {
-        std::atomic<size_t> next{0};
-        std::vector<std::thread> workers;
-        const int spawn =
-            std::min<int>(num_threads, static_cast<int>(jobs.size()));
-        workers.reserve(static_cast<size_t>(spawn));
-        for (int t = 0; t < spawn; ++t) {
-          workers.emplace_back([&]() {
-            while (true) {
-              const size_t i = next.fetch_add(1);
-              if (i >= jobs.size()) return;
-              run_job(jobs[i]);
-            }
-          });
-        }
-        for (auto& worker : workers) worker.join();
+        pool->ParallelFor(jobs.size(), [&](int worker, size_t i) {
+          run_job(worker, jobs[i]);
+        });
       }
+      removal->EndParallel();
       metrics.evaluations->Inc(static_cast<int64_t>(jobs.size()));
       for (EvalJob& job : jobs) {
         FUME_RETURN_NOT_OK(job.status);
@@ -227,16 +226,17 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
         auto it = memo.find(keys[i]);
         FUME_CHECK(it != memo.end());
         eval = it->second;
-        // A node that did not create its own job reused a prior level's
-        // memo entry or another node's identical row set.
-        if (!created_job[i]) {
-          ++result.stats.cache_hits;
-          metrics.cache_hit->Inc();
-        } else {
-          metrics.cache_miss->Inc();
-        }
       } else {
         eval = jobs[job_of_node[i]].eval;
+      }
+      // A node that did not create its own job shared another node's
+      // identical row set this level or (with the memo) reused a prior
+      // level's entry; either way the evaluation was saved.
+      if (!created_job[i]) {
+        ++result.stats.cache_hits;
+        metrics.cache_hit->Inc();
+      } else {
+        metrics.cache_miss->Inc();
       }
       ++level_stats.explored;
 

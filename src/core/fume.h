@@ -17,6 +17,10 @@
 
 namespace fume {
 
+namespace util {
+class ThreadPool;
+}  // namespace util
+
 /// Hyperparameters of the search (paper §5 and §6.1).
 struct FumeConfig {
   /// Number of subsets to report (paper default 5).
@@ -49,6 +53,13 @@ struct FumeConfig {
   /// With > 1, the RemovalMethod's EvaluateWithout must be thread-safe
   /// (both built-in methods are).
   int num_threads = 1;
+
+  /// Optional shared evaluation pool. When set, its workers run the level
+  /// evaluations and `num_threads` is ignored; when null, the search
+  /// creates its own pool once (if num_threads > 1) and reuses it across
+  /// levels. Long-lived callers (stream engine, bench harness) share one
+  /// pool across many searches to pay thread start-up exactly once.
+  util::ThreadPool* pool = nullptr;
 
   /// Maximum Jaccard overlap (|A intersect B| / |A union B|) allowed between
   /// the row sets of any two reported top-k subsets. 1.0 disables the

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
 
 namespace fume {
 
@@ -9,35 +10,120 @@ UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
                                            const Dataset* test,
                                            GroupSpec group,
                                            FairnessMetric metric)
-    : model_(model), test_(test), group_(group), metric_(metric) {}
+    : UnlearnRemovalMethod(model, test, group, metric, Options{}) {}
+
+UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
+                                           const Dataset* test,
+                                           GroupSpec group,
+                                           FairnessMetric metric,
+                                           Options options)
+    : model_(model),
+      test_(test),
+      group_(group),
+      metric_(metric),
+      options_(options) {}
+
+UnlearnRemovalMethod::Worker& UnlearnRemovalMethod::WorkerSlot(int worker) {
+  FUME_CHECK_GE(worker, 0);
+  if (!in_parallel_ && static_cast<size_t>(worker) >= workers_.size()) {
+    // Serial use without a BeginParallel bracket: grow on demand. Inside a
+    // bracket the slots are pre-sized, so growth (a data race) cannot occur.
+    workers_.resize(static_cast<size_t>(worker) + 1);
+  }
+  FUME_CHECK(static_cast<size_t>(worker) < workers_.size());
+  auto& slot = workers_[static_cast<size_t>(worker)];
+  if (slot == nullptr) slot = std::make_unique<Worker>();
+  return *slot;
+}
+
+const TestPredictionCache& UnlearnRemovalMethod::BaseCache() {
+  // Seeded lazily at the first CoW evaluation: one full prediction pass
+  // over the base model, amortized across every subsequent what-if.
+  std::call_once(base_cache_once_,
+                 [this] { base_cache_.Rebuild(*model_, *test_); });
+  return base_cache_;
+}
+
+void UnlearnRemovalMethod::BeginParallel(int num_workers) {
+  FUME_CHECK_GE(num_workers, 1);
+  FUME_CHECK(!in_parallel_);
+  if (workers_.size() < static_cast<size_t>(num_workers)) {
+    workers_.resize(static_cast<size_t>(num_workers));
+  }
+  for (auto& slot : workers_) {
+    if (slot == nullptr) slot = std::make_unique<Worker>();
+  }
+  if (options_.cow_delta) BaseCache();  // seed before threads fan out
+  in_parallel_ = true;
+}
+
+void UnlearnRemovalMethod::EndParallel() {
+  FUME_CHECK(in_parallel_);
+  in_parallel_ = false;
+  // The level barrier has passed: merge the contention-free per-worker
+  // accumulators in slot order (deterministic, no per-evaluation mutex).
+  for (auto& slot : workers_) {
+    if (slot == nullptr) continue;
+    deletion_stats_.Add(slot->stats);
+    slot->stats = DeletionStats{};
+  }
+}
 
 Result<ModelEval> UnlearnRemovalMethod::EvaluateWithout(
     const std::vector<RowId>& rows) {
+  return EvaluateWithoutOn(0, rows);
+}
+
+Result<ModelEval> UnlearnRemovalMethod::EvaluateWithoutOn(
+    int worker, const std::vector<RowId>& rows) {
   static obs::Counter* evals = obs::GetCounter("removal.unlearn.evaluations");
   static obs::Histogram* rows_hist =
       obs::GetHistogram("removal.unlearn.rows_per_evaluation");
+  static obs::Counter* cow_evals =
+      obs::GetCounter("removal.unlearn.cow_evaluations");
+  static obs::Counter* cow_rows_rescored =
+      obs::GetCounter("removal.unlearn.cow_rows_rescored");
+  static obs::Counter* cow_trees_changed =
+      obs::GetCounter("removal.unlearn.cow_trees_changed");
   evals->Inc();
   rows_hist->Record(static_cast<int64_t>(rows.size()));
   obs::TraceSpan span("removal.unlearn.evaluate",
                       {{"rows", static_cast<int64_t>(rows.size())}});
-  DareForest what_if = model_->Clone();
+  Worker& w = WorkerSlot(worker);
+  DareForest what_if =
+      options_.cow_delta ? model_->Clone() : model_->DeepClone();
   FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    deletion_stats_.Add(what_if.deletion_stats());
-  }
-  // One prediction pass serves both the fairness metric and accuracy.
-  const std::vector<int> preds = what_if.PredictAll(*test_);
+  w.stats.Add(what_if.deletion_stats());
+
   ModelEval eval;
-  eval.fairness = ComputeFairness(*test_, preds, group_, metric_);
+  const std::vector<int>* preds = nullptr;
+  std::vector<int> full_preds;
+  if (options_.cow_delta) {
+    cow_evals->Inc();
+    // Rescore only test rows whose cached descent crosses a region the
+    // deletion actually mutated (CoW sharing identifies those regions by
+    // node identity); results are byte-identical to PredictAll.
+    BaseCache().ScoreWhatIf(*model_, what_if, *test_, &w.scratch);
+    cow_rows_rescored->Inc(w.scratch.rows_rescored);
+    cow_trees_changed->Inc(w.scratch.trees_changed);
+    preds = &w.scratch.preds;
+  } else {
+    full_preds = what_if.PredictAll(*test_);
+    preds = &full_preds;
+  }
+  eval.fairness = ComputeFairness(*test_, *preds, group_, metric_);
   int64_t correct = 0;
   for (int64_t r = 0; r < test_->num_rows(); ++r) {
-    if (preds[static_cast<size_t>(r)] == test_->Label(r)) ++correct;
+    if ((*preds)[static_cast<size_t>(r)] == test_->Label(r)) ++correct;
   }
   eval.accuracy = test_->num_rows() == 0
                       ? 0.0
                       : static_cast<double>(correct) /
                             static_cast<double>(test_->num_rows());
+  if (!in_parallel_) {
+    deletion_stats_.Add(w.stats);
+    w.stats = DeletionStats{};
+  }
   return eval;
 }
 

@@ -8,11 +8,13 @@
 #define FUME_CORE_REMOVAL_METHOD_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "fairness/metrics.h"
 #include "forest/forest.h"
+#include "forest/prediction_cache.h"
 #include "util/result.h"
 
 namespace fume {
@@ -28,36 +30,92 @@ struct ModelEval {
 /// the given training rows.
 ///
 /// Implementations used with FumeConfig::num_threads > 1 must make
-/// EvaluateWithout safe to call concurrently (both built-in methods are).
+/// EvaluateWithout / EvaluateWithoutOn safe to call concurrently (both
+/// built-in methods are).
 class RemovalMethod {
  public:
   virtual ~RemovalMethod() = default;
   virtual Result<ModelEval> EvaluateWithout(
       const std::vector<RowId>& rows) = 0;
+
+  /// Worker-aware variant used by the parallel search: `worker` names the
+  /// per-thread scratch slot reserved by BeginParallel, in
+  /// [0, num_workers). The search guarantees at most one in-flight call per
+  /// worker id, so implementations may keep lock-free per-worker state.
+  /// Defaults to plain EvaluateWithout.
+  virtual Result<ModelEval> EvaluateWithoutOn(int worker,
+                                              const std::vector<RowId>& rows) {
+    (void)worker;
+    return EvaluateWithout(rows);
+  }
+
+  /// Brackets a batch of concurrent EvaluateWithoutOn calls. BeginParallel
+  /// sizes per-worker state for ids [0, num_workers); EndParallel (called
+  /// with no evaluation in flight) merges it back. Defaults are no-ops.
+  virtual void BeginParallel(int num_workers) { (void)num_workers; }
+  virtual void EndParallel() {}
+
   virtual const char* name() const = 0;
 };
 
 /// \brief Machine unlearning removal: clones the trained DaRE forest and
 /// exactly deletes the rows — no retraining pass over the data.
+///
+/// By default the clone is copy-on-write and the test set is rescored
+/// delta-aware: only nodes on mutated paths are copied, and only test rows
+/// whose descent crosses a mutated region are re-walked (the base model's
+/// per-tree predictions are cached once, lazily, at the first evaluation).
+/// Results are byte-identical to the deep-copy + full-PredictAll reference
+/// path, which Options::cow_delta = false restores for tests and benches.
 class UnlearnRemovalMethod : public RemovalMethod {
  public:
-  /// Pointers must outlive this object.
+  struct Options {
+    /// Use CoW clones + delta-aware rescoring (false = deep copy + full
+    /// prediction pass, the pre-optimization reference behaviour).
+    bool cow_delta = true;
+  };
+
+  /// Pointers must outlive this object. The model must not be mutated
+  /// while evaluations run (the base prediction cache is seeded from it).
   UnlearnRemovalMethod(const DareForest* model, const Dataset* test,
                        GroupSpec group, FairnessMetric metric);
+  UnlearnRemovalMethod(const DareForest* model, const Dataset* test,
+                       GroupSpec group, FairnessMetric metric,
+                       Options options);
 
   Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override;
+  Result<ModelEval> EvaluateWithoutOn(
+      int worker, const std::vector<RowId>& rows) override;
+  void BeginParallel(int num_workers) override;
+  void EndParallel() override;
   const char* name() const override { return "dare-unlearn"; }
 
-  /// Unlearning work counters accumulated across evaluations. Do not call
-  /// while evaluations are in flight on other threads.
+  /// Unlearning work counters accumulated across evaluations. Outside a
+  /// BeginParallel/EndParallel bracket this is up to date after every
+  /// evaluation; inside one, per-worker counters are merged at EndParallel
+  /// (do not call while evaluations are in flight).
   const DeletionStats& deletion_stats() const { return deletion_stats_; }
 
  private:
+  /// Per-worker state: contention-free deletion-stat accumulation plus
+  /// reusable rescoring scratch. unique_ptr keeps slots cache-isolated.
+  struct Worker {
+    DeletionStats stats;
+    TestPredictionCache::WhatIfScratch scratch;
+  };
+
+  Worker& WorkerSlot(int worker);
+  const TestPredictionCache& BaseCache();
+
   const DareForest* model_;
   const Dataset* test_;
   GroupSpec group_;
   FairnessMetric metric_;
-  std::mutex stats_mutex_;
+  Options options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool in_parallel_ = false;
+  std::once_flag base_cache_once_;
+  TestPredictionCache base_cache_;
   DeletionStats deletion_stats_;
 };
 

@@ -217,6 +217,12 @@ double DareForest::Accuracy(const Dataset& data) const {
   return static_cast<double>(correct) / static_cast<double>(data.num_rows());
 }
 
+DareForest::~DareForest() {
+#ifndef NDEBUG
+  for (const auto& tree : trees_) tree.DebugCheckCowConsistency();
+#endif
+}
+
 DareForest DareForest::Clone() const {
   DareForest out;
   out.store_ = store_;
@@ -225,6 +231,15 @@ DareForest DareForest::Clone() const {
   // performed on this instance.
   out.trees_.reserve(trees_.size());
   for (const auto& tree : trees_) out.trees_.push_back(tree.Clone());
+  return out;
+}
+
+DareForest DareForest::DeepClone() const {
+  DareForest out;
+  out.store_ = store_;
+  out.config_ = config_;
+  out.trees_.reserve(trees_.size());
+  for (const auto& tree : trees_) out.trees_.push_back(tree.DeepClone());
   return out;
 }
 
@@ -258,6 +273,12 @@ DareForest DareForest::FromParts(std::shared_ptr<TrainingStore> store,
 int64_t DareForest::num_nodes() const {
   int64_t total = 0;
   for (const auto& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+int64_t DareForest::ApproxHeapBytes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.ApproxHeapBytes();
   return total;
 }
 

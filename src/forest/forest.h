@@ -26,6 +26,13 @@ namespace fume {
 class DareForest {
  public:
   DareForest() = default;
+  /// Debug builds audit the CoW node graph on destruction
+  /// (DareTree::DebugCheckCowConsistency); release builds do nothing.
+  ~DareForest();
+  DareForest(const DareForest&) = default;
+  DareForest& operator=(const DareForest&) = default;
+  DareForest(DareForest&&) = default;
+  DareForest& operator=(DareForest&&) = default;
 
   /// Trains on an all-categorical dataset. Every tree sees all rows (DaRE
   /// forests do not bootstrap — deletion must remove a row from every tree);
@@ -70,8 +77,15 @@ class DareForest {
   /// Fraction of rows of `data` predicted correctly.
   double Accuracy(const Dataset& data) const;
 
-  /// Deep copy (shares the immutable training snapshot).
+  /// Copy-on-write copy: O(num_trees), shares every node refcounted (and the
+  /// immutable training snapshot). Mutating either forest privately copies
+  /// just the nodes the mutation touches, so clones stay fully independent in
+  /// behaviour. This is what FUME's what-if evaluations use.
   DareForest Clone() const;
+
+  /// Eager copy of every node — the pre-CoW Clone() behaviour, kept as the
+  /// reference path for exactness tests and the eval-throughput bench.
+  DareForest DeepClone() const;
 
   bool StructurallyEquals(const DareForest& other) const;
   /// Revalidates every cached node statistic in every tree.
@@ -80,6 +94,9 @@ class DareForest {
   int num_trees() const { return static_cast<int>(trees_.size()); }
   const DareTree& tree(int i) const { return trees_[i]; }
   int64_t num_nodes() const;
+  /// Approximate heap footprint of all node graphs — what DeepClone() has to
+  /// allocate and copy and what Clone() avoids.
+  int64_t ApproxHeapBytes() const;
   /// Rows still learned (after deletions).
   int64_t num_training_rows() const;
   const ForestConfig& config() const { return config_; }

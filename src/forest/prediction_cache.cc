@@ -1,0 +1,210 @@
+#include "forest/prediction_cache.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace fume {
+
+void TestPredictionCache::WalkTree(const DareForest& forest,
+                                   const Dataset& test, int t) {
+  const int64_t n_rows = test.num_rows();
+  auto& leaves = leaf_[static_cast<size_t>(t)];
+  auto& probs = prob_[static_cast<size_t>(t)];
+  leaves.resize(static_cast<size_t>(n_rows));
+  probs.resize(static_cast<size_t>(n_rows));
+  const TreeNode* root = forest.tree(t).root();
+  for (int64_t r = 0; r < n_rows; ++r) {
+    const TreeNode* n = root;
+    if (n != nullptr && n->count != 0) {
+      while (!n->is_leaf()) {
+        n = test.Code(r, n->attr) <= n->threshold ? n->left.get()
+                                                  : n->right.get();
+      }
+    }
+    leaves[static_cast<size_t>(r)] = n;
+    probs[static_cast<size_t>(r)] =
+        (n == nullptr || n->count == 0)
+            ? 0.5
+            : static_cast<double>(n->pos) / static_cast<double>(n->count);
+  }
+}
+
+void TestPredictionCache::ResumeTree(const Dataset& test, int t) {
+  auto& leaves = leaf_[static_cast<size_t>(t)];
+  auto& probs = prob_[static_cast<size_t>(t)];
+  for (size_t r = 0; r < leaves.size(); ++r) {
+    const TreeNode* n = leaves[r];
+    if (n != nullptr && n->count != 0 && !n->is_leaf()) {
+      // An insert rebuilt this leaf into a split in place (same address);
+      // the row still reaches it, so finish the walk from here.
+      do {
+        n = test.Code(static_cast<int64_t>(r), n->attr) <= n->threshold
+                ? n->left.get()
+                : n->right.get();
+      } while (!n->is_leaf());
+      leaves[r] = n;
+    }
+    probs[r] = (n == nullptr || n->count == 0)
+                   ? 0.5
+                   : static_cast<double>(n->pos) /
+                         static_cast<double>(n->count);
+  }
+}
+
+void TestPredictionCache::Finalize(const DareForest& forest) {
+  const size_t n_rows = pred_.size();
+  const double num_trees = static_cast<double>(forest.num_trees());
+  for (size_t r = 0; r < n_rows; ++r) {
+    double sum = 0.0;
+    for (int t = 0; t < forest.num_trees(); ++t) {
+      sum += prob_[static_cast<size_t>(t)][r];
+    }
+    mean_prob_[r] = sum / num_trees;
+    pred_[r] = mean_prob_[r] >= 0.5 ? 1 : 0;
+  }
+}
+
+void TestPredictionCache::Rebuild(const DareForest& forest,
+                                  const Dataset& test) {
+  obs::TraceSpan span("stream.predcache.rebuild",
+                      {{"trees", forest.num_trees()},
+                       {"rows", test.num_rows()}});
+  leaf_.assign(static_cast<size_t>(forest.num_trees()), {});
+  prob_.assign(static_cast<size_t>(forest.num_trees()), {});
+  mean_prob_.assign(static_cast<size_t>(test.num_rows()), 0.0);
+  pred_.assign(static_cast<size_t>(test.num_rows()), 0);
+  for (int t = 0; t < forest.num_trees(); ++t) WalkTree(forest, test, t);
+  Finalize(forest);
+}
+
+void TestPredictionCache::Update(const DareForest& forest, const Dataset& test,
+                                 const std::vector<bool>& tree_dirty) {
+  FUME_CHECK_EQ(tree_dirty.size(), leaf_.size());
+  FUME_CHECK_EQ(static_cast<size_t>(forest.num_trees()), leaf_.size());
+  static obs::Counter* rewalked =
+      obs::GetCounter("stream.predcache.trees_rewalked");
+  static obs::Counter* resumed =
+      obs::GetCounter("stream.predcache.trees_refreshed");
+  obs::TraceSpan span("stream.predcache.update");
+  int64_t walked = 0;
+  for (int t = 0; t < forest.num_trees(); ++t) {
+    if (tree_dirty[static_cast<size_t>(t)]) {
+      WalkTree(forest, test, t);
+      ++walked;
+    } else {
+      ResumeTree(test, t);
+    }
+  }
+  rewalked->Inc(walked);
+  resumed->Inc(forest.num_trees() - walked);
+  span.AddArg("rewalked", walked);
+  Finalize(forest);
+}
+
+void TestPredictionCache::DiffWalk(const TreeNode* base,
+                                   const TreeNode* changed,
+                                   const Dataset& test, int t, size_t begin,
+                                   size_t end, WhatIfScratch* s) const {
+  // A shared node means the what-if tree reuses the base subtree verbatim:
+  // every row routed here keeps its cached probability. This prune is the
+  // whole point — a CoW mutation unshares only the path it touched.
+  if (base == changed || begin == end) return;
+  if (base != nullptr && changed != nullptr && !base->is_leaf() &&
+      !changed->is_leaf() && base->attr == changed->attr &&
+      base->threshold == changed->threshold) {
+    // Same routing decision on both sides: partition the row range in place
+    // (order within a side is irrelevant) and recurse into each side.
+    size_t mid = begin;
+    for (size_t i = begin; i < end; ++i) {
+      if (test.Code(s->order[i], changed->attr) <= changed->threshold) {
+        std::swap(s->order[i], s->order[mid++]);
+      }
+    }
+    DiffWalk(base->left.get(), changed->left.get(), test, t, begin, mid, s);
+    DiffWalk(base->right.get(), changed->right.get(), test, t, mid, end, s);
+    return;
+  }
+  // Structurally changed region: finish each row's descent in the what-if
+  // tree. The null/empty checks coincide with PredictProb's at the real
+  // root and are vacuous below it (the builder never produces an empty
+  // internal node), so the probability matches PredictProb bit for bit.
+  auto& probs = s->tree_prob[static_cast<size_t>(t)];
+  for (size_t i = begin; i < end; ++i) {
+    const int64_t r = s->order[i];
+    const TreeNode* n = changed;
+    double p = 0.5;
+    if (n != nullptr && n->count != 0) {
+      while (!n->is_leaf()) {
+        n = test.Code(r, n->attr) <= n->threshold ? n->left.get()
+                                                  : n->right.get();
+      }
+      if (n->count != 0) {
+        p = static_cast<double>(n->pos) / static_cast<double>(n->count);
+      }
+    }
+    probs[static_cast<size_t>(r)] = p;
+    if (s->row_epoch[static_cast<size_t>(r)] != s->epoch) {
+      s->row_epoch[static_cast<size_t>(r)] = s->epoch;
+      s->touched.push_back(r);
+    }
+  }
+}
+
+void TestPredictionCache::ScoreWhatIf(const DareForest& base,
+                                      const DareForest& what_if,
+                                      const Dataset& test,
+                                      WhatIfScratch* s) const {
+  const size_t num_trees = leaf_.size();
+  FUME_CHECK_EQ(static_cast<size_t>(base.num_trees()), num_trees);
+  FUME_CHECK_EQ(static_cast<size_t>(what_if.num_trees()), num_trees);
+  const size_t n_rows = mean_prob_.size();
+  FUME_CHECK_EQ(static_cast<size_t>(test.num_rows()), n_rows);
+
+  // Epoch bump takes the place of clearing the per-tree/per-row markers;
+  // on (unlikely) wrap-around, reset them for real.
+  if (++s->epoch == 0) {
+    s->tree_epoch.assign(s->tree_epoch.size(), 0);
+    s->row_epoch.assign(s->row_epoch.size(), 0);
+    s->epoch = 1;
+  }
+  s->tree_epoch.resize(num_trees, 0);
+  s->row_epoch.resize(n_rows, 0);
+  s->tree_prob.resize(num_trees);
+  s->touched.clear();
+  s->trees_changed = 0;
+
+  for (size_t t = 0; t < num_trees; ++t) {
+    const TreeNode* broot = base.tree(static_cast<int>(t)).root();
+    const TreeNode* nroot = what_if.tree(static_cast<int>(t)).root();
+    if (broot == nroot) continue;  // whole tree still shared
+    ++s->trees_changed;
+    s->tree_epoch[t] = s->epoch;
+    // Seed with the base probabilities so rows pruned at a shared subtree
+    // keep their cached value; DiffWalk overwrites only rescored rows.
+    s->tree_prob[t] = prob_[t];
+    s->order.resize(n_rows);
+    for (size_t i = 0; i < n_rows; ++i) {
+      s->order[i] = static_cast<int64_t>(i);
+    }
+    DiffWalk(broot, nroot, test, static_cast<int>(t), 0, n_rows, s);
+  }
+
+  // Re-sum each rescored row over every tree in tree order — the same
+  // order and arithmetic as Finalize/PredictProb, so the result is
+  // byte-identical to what_if.PredictAll(test).
+  s->preds = pred_;
+  const double tree_count = static_cast<double>(num_trees);
+  for (int64_t r : s->touched) {
+    double sum = 0.0;
+    for (size_t t = 0; t < num_trees; ++t) {
+      sum += s->tree_epoch[t] == s->epoch
+                 ? s->tree_prob[t][static_cast<size_t>(r)]
+                 : prob_[t][static_cast<size_t>(r)];
+    }
+    s->preds[static_cast<size_t>(r)] = sum / tree_count >= 0.5 ? 1 : 0;
+  }
+  s->rows_rescored = static_cast<int64_t>(s->touched.size());
+}
+
+}  // namespace fume

@@ -1,0 +1,109 @@
+// Per-tree test-set prediction cache.
+//
+// A DaRE op (add/delete) leaves most trees structurally intact: existing
+// nodes keep their addresses and their split decisions; the only events
+// that free nodes are counted subtree retrains (DeletionStats::
+// subtrees_retrained — a split decision flipped and `*node =
+// std::move(*rebuilt)` replaced the subtree, dangling its descendants).
+// This cache exploits that: it remembers, per tree, the node each test row
+// lands in. After an op it re-walks a tree from the root only if that tree
+// retrained a subtree; otherwise it *resumes* each row's descent from the
+// cached node — a no-op when the node is still a leaf (deletion never
+// grows leaves), and a short walk into the grown subtree when an insert
+// rebuilt the leaf into a split in place (same address, fresh children).
+//
+// ScoreWhatIf() serves a second consumer: FUME's what-if evaluations. A
+// copy-on-write clone of the base forest shares every node it did not
+// mutate, so diffing base vs. clone by node identity finds the changed
+// regions without visiting them, and only test rows routed into a changed
+// region are re-scored (see docs/performance.md).
+//
+// Exactness: probabilities and hard predictions are byte-identical to
+// DareForest::PredictProbAll / PredictAll — per-row tree probabilities are
+// summed in tree order before one division, mirroring PredictProb.
+
+#ifndef FUME_FOREST_PREDICTION_CACHE_H_
+#define FUME_FOREST_PREDICTION_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/forest.h"
+
+namespace fume {
+
+class TestPredictionCache {
+ public:
+  /// Reusable working memory for ScoreWhatIf. One instance per worker
+  /// thread; after the first evaluation no allocations occur in steady
+  /// state (epoch counters take the place of clearing).
+  struct WhatIfScratch {
+    /// Hard predictions for the what-if forest, byte-identical to
+    /// what_if.PredictAll(test). Valid after ScoreWhatIf returns, until
+    /// the next call on this scratch.
+    std::vector<int> preds;
+    /// Test rows whose prediction path crossed a mutated region (their
+    /// hard prediction did not necessarily flip).
+    int64_t rows_rescored = 0;
+    /// Trees whose root handle differed from the base forest's.
+    int64_t trees_changed = 0;
+
+   private:
+    friend class TestPredictionCache;
+    std::vector<std::vector<double>> tree_prob;  // [t][r] where tree dirty
+    std::vector<uint32_t> tree_epoch;
+    std::vector<uint32_t> row_epoch;
+    std::vector<int64_t> touched;  // rows rescored this evaluation
+    std::vector<int64_t> order;    // row-index buffer, partitioned in place
+    uint32_t epoch = 0;
+  };
+
+  /// Full walk of every tree for every test row. Call after building,
+  /// loading or replacing the forest.
+  void Rebuild(const DareForest& forest, const Dataset& test);
+
+  /// Incrementally refreshes after one forest op. `tree_dirty[t]` must be
+  /// true when tree t may have freed nodes during the op (any subtree
+  /// retrain) — those trees are re-walked from the root; the rest resume
+  /// from their cached nodes.
+  void Update(const DareForest& forest, const Dataset& test,
+              const std::vector<bool>& tree_dirty);
+
+  /// Scores a copy-on-write clone of the forest this cache was seeded
+  /// from, re-walking only test rows whose cached descent crosses a
+  /// mutated region. `base` must be that seed forest (alive, unmutated
+  /// since Rebuild/Update); `what_if` a Clone() of it, arbitrarily
+  /// mutated. Fills scratch->preds with predictions byte-identical to
+  /// what_if.PredictAll(test). Thread-safe for concurrent calls on one
+  /// cache with distinct scratches.
+  void ScoreWhatIf(const DareForest& base, const DareForest& what_if,
+                   const Dataset& test, WhatIfScratch* scratch) const;
+
+  /// Mean forest probability per test row; byte-identical to
+  /// forest.PredictProbAll(test).
+  const std::vector<double>& probs() const { return mean_prob_; }
+  /// Hard predictions at the 0.5 threshold; byte-identical to PredictAll.
+  const std::vector<int>& predictions() const { return pred_; }
+
+  int num_trees() const { return static_cast<int>(leaf_.size()); }
+
+ private:
+  void WalkTree(const DareForest& forest, const Dataset& test, int t);
+  void ResumeTree(const Dataset& test, int t);
+  void Finalize(const DareForest& forest);
+  void DiffWalk(const TreeNode* base, const TreeNode* changed,
+                const Dataset& test, int t, size_t begin, size_t end,
+                WhatIfScratch* scratch) const;
+
+  // leaf_[t][r]: the leaf of tree t that test row r reaches (nullptr when
+  // the tree has no root). prob_[t][r]: that leaf's positive fraction.
+  std::vector<std::vector<const TreeNode*>> leaf_;
+  std::vector<std::vector<double>> prob_;
+  std::vector<double> mean_prob_;
+  std::vector<int> pred_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_PREDICTION_CACHE_H_

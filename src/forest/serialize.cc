@@ -75,9 +75,9 @@ void WriteNode(std::ostream& out, const TreeNode* node) {
   WriteNode(out, node->right.get());
 }
 
-Result<std::unique_ptr<TreeNode>> ReadNode(std::istream& in, int depth) {
+Result<std::shared_ptr<TreeNode>> ReadNode(std::istream& in, int depth) {
   if (depth > 64) return Status::IOError("forest file: tree too deep");
-  auto node = std::make_unique<TreeNode>();
+  auto node = std::make_shared<TreeNode>();
   uint8_t is_leaf = 0;
   if (!ReadPod(in, &is_leaf) || !ReadPod(in, &node->count) ||
       !ReadPod(in, &node->pos)) {
@@ -241,7 +241,7 @@ Result<DareForest> LoadForest(std::istream& in) {
     if (!ReadPod(in, &tree_id) || !ReadPod(in, &has_root)) {
       return Status::IOError("forest file: truncated tree header");
     }
-    std::unique_ptr<TreeNode> root;
+    std::shared_ptr<TreeNode> root;
     if (has_root != 0) {
       FUME_ASSIGN_OR_RETURN(root, ReadNode(in, 0));
     }

@@ -1,6 +1,7 @@
 #include "forest/tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <unordered_set>
 
@@ -9,6 +10,32 @@
 #include "util/check.h"
 
 namespace fume {
+
+namespace cow_debug {
+
+#ifndef NDEBUG
+namespace {
+std::atomic<int64_t> g_live_tree_nodes{0};
+}  // namespace
+
+NodeTally::NodeTally() {
+  g_live_tree_nodes.fetch_add(1, std::memory_order_relaxed);
+}
+NodeTally::NodeTally(const NodeTally&) {
+  g_live_tree_nodes.fetch_add(1, std::memory_order_relaxed);
+}
+NodeTally::~NodeTally() {
+  g_live_tree_nodes.fetch_sub(1, std::memory_order_relaxed);
+}
+
+int64_t LiveTreeNodes() {
+  return g_live_tree_nodes.load(std::memory_order_relaxed);
+}
+#else
+int64_t LiveTreeNodes() { return 0; }
+#endif
+
+}  // namespace cow_debug
 
 namespace {
 
@@ -24,6 +51,10 @@ struct UnlearnMetrics {
       obs::GetCounter("forest.unlearn.subtrees_retrained");
   obs::Counter* rows_retrained =
       obs::GetCounter("forest.unlearn.rows_retrained");
+  /// Nodes privately copied because a mutation hit a node shared with a
+  /// CoW clone. Zero while a forest has no live clones.
+  obs::Counter* cow_nodes_copied =
+      obs::GetCounter("forest.unlearn.cow_nodes_copied");
   /// Retrains of nodes in the random upper levels ("resampled" random
   /// splits) vs. greedy nodes below them.
   obs::Counter* retrain_random_nodes =
@@ -73,9 +104,9 @@ DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
   return tree;
 }
 
-std::unique_ptr<TreeNode> DareTree::BuildNode(const std::vector<RowId>& rows,
+std::shared_ptr<TreeNode> DareTree::BuildNode(const std::vector<RowId>& rows,
                                               int depth, uint64_t path_key) {
-  auto node = std::make_unique<TreeNode>();
+  auto node = std::make_shared<TreeNode>();
   NodeStats stats;
   stats.ComputeFromRows(
       *store_, rows,
@@ -118,19 +149,34 @@ void DareTree::CollectLeafRows(const TreeNode* node, std::vector<RowId>* out) {
   CollectLeafRows(node->right.get(), out);
 }
 
+TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
+  // use_count() == 1 means this tree holds the only reference: another
+  // forest can neither reach the node nor (being confined to its own
+  // thread) resurrect a reference to it, so in-place mutation is safe and
+  // keeps the node's address stable. A concurrent release by a clone being
+  // destroyed can at worst leave a stale >1, which only costs a spurious
+  // private copy.
+  if ((*slot).use_count() > 1) {
+    UnlearnMetrics::Get().cow_nodes_copied->Inc();
+    *slot = std::make_shared<TreeNode>(**slot);  // shallow: children shared
+  }
+  return slot->get();
+}
+
 void DareTree::DeleteRows(const std::vector<RowId>& rows,
                           DeletionStats* stats_out) {
   if (rows.empty() || root_ == nullptr) return;
   DeletionStats local;
-  DeleteFromNode(root_.get(), rows, /*depth=*/0,
+  DeleteFromNode(&root_, rows, /*depth=*/0,
                  RootPathKey(config_.seed, tree_id_), &local);
   RecordBatch(local);
   if (stats_out != nullptr) stats_out->Add(local);
 }
 
-void DareTree::DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
-                              int depth, uint64_t path_key,
-                              DeletionStats* stats_out) {
+void DareTree::DeleteFromNode(std::shared_ptr<TreeNode>* slot,
+                              const std::vector<RowId>& rows, int depth,
+                              uint64_t path_key, DeletionStats* stats_out) {
+  TreeNode* node = Mutable(slot);
   ++stats_out->nodes_visited;
 
   if (node->is_leaf()) {
@@ -182,7 +228,7 @@ void DareTree::DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
                                    [&](RowId r) { return doomed.count(r); }),
                     remaining.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
-    std::unique_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
+    std::shared_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
     *node = std::move(*rebuilt);
     return;
   }
@@ -195,11 +241,11 @@ void DareTree::DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
         .push_back(r);
   }
   if (!left_rows.empty()) {
-    DeleteFromNode(node->left.get(), left_rows, depth + 1,
+    DeleteFromNode(&node->left, left_rows, depth + 1,
                    ChildPathKey(path_key, 0), stats_out);
   }
   if (!right_rows.empty()) {
-    DeleteFromNode(node->right.get(), right_rows, depth + 1,
+    DeleteFromNode(&node->right, right_rows, depth + 1,
                    ChildPathKey(path_key, 1), stats_out);
   }
 }
@@ -212,26 +258,30 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
     root_ = BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
     ++local.subtrees_retrained;
   } else {
-    AddToNode(root_.get(), rows, /*depth=*/0,
+    AddToNode(&root_, rows, /*depth=*/0,
               RootPathKey(config_.seed, tree_id_), &local);
   }
   if (stats_out != nullptr) stats_out->Add(local);
 }
 
-void DareTree::AddToNode(TreeNode* node, const std::vector<RowId>& rows,
-                         int depth, uint64_t path_key,
-                         DeletionStats* stats_out) {
+void DareTree::AddToNode(std::shared_ptr<TreeNode>* slot,
+                         const std::vector<RowId>& rows, int depth,
+                         uint64_t path_key, DeletionStats* stats_out) {
+  TreeNode* node = Mutable(slot);
   ++stats_out->nodes_visited;
 
   if (node->is_leaf()) {
     // Unlike deletion, addition can turn a leaf into a split (count grows,
     // purity can break). Rebuilding from the leaf's rows plus the additions
     // recomputes the decision from scratch — cheap, the set is leaf-sized.
+    // The rebuilt root is moved INTO the existing node so an exclusively
+    // owned leaf keeps its address (the stream prediction cache resumes
+    // descents from it).
     ++stats_out->leaves_updated;
     std::vector<RowId> merged = node->rows;
     merged.insert(merged.end(), rows.begin(), rows.end());
     stats_out->rows_retrained += static_cast<int64_t>(merged.size());
-    std::unique_ptr<TreeNode> rebuilt = BuildNode(merged, depth, path_key);
+    std::shared_ptr<TreeNode> rebuilt = BuildNode(merged, depth, path_key);
     *node = std::move(*rebuilt);
     return;
   }
@@ -255,7 +305,7 @@ void DareTree::AddToNode(TreeNode* node, const std::vector<RowId>& rows,
     CollectLeafRows(node, &remaining);
     remaining.insert(remaining.end(), rows.begin(), rows.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
-    std::unique_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
+    std::shared_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
     *node = std::move(*rebuilt);
     return;
   }
@@ -267,19 +317,19 @@ void DareTree::AddToNode(TreeNode* node, const std::vector<RowId>& rows,
         .push_back(r);
   }
   if (!left_rows.empty()) {
-    AddToNode(node->left.get(), left_rows, depth + 1, ChildPathKey(path_key, 0),
+    AddToNode(&node->left, left_rows, depth + 1, ChildPathKey(path_key, 0),
               stats_out);
   }
   if (!right_rows.empty()) {
-    AddToNode(node->right.get(), right_rows, depth + 1,
-              ChildPathKey(path_key, 1), stats_out);
+    AddToNode(&node->right, right_rows, depth + 1, ChildPathKey(path_key, 1),
+              stats_out);
   }
 }
 
 namespace {
 
-std::unique_ptr<TreeNode> CloneNode(const TreeNode* node) {
-  auto out = std::make_unique<TreeNode>();
+std::shared_ptr<TreeNode> DeepCloneNode(const TreeNode* node) {
+  auto out = std::make_shared<TreeNode>();
   out->count = node->count;
   out->pos = node->pos;
   out->attr = node->attr;
@@ -288,13 +338,14 @@ std::unique_ptr<TreeNode> CloneNode(const TreeNode* node) {
   out->stats = node->stats;
   out->rows = node->rows;
   if (!node->is_leaf()) {
-    out->left = CloneNode(node->left.get());
-    out->right = CloneNode(node->right.get());
+    out->left = DeepCloneNode(node->left.get());
+    out->right = DeepCloneNode(node->right.get());
   }
   return out;
 }
 
 bool NodesEqual(const TreeNode* a, const TreeNode* b) {
+  if (a == b) return true;  // CoW-shared subtrees are identical by identity
   if (a->count != b->count || a->pos != b->pos) return false;
   if (a->is_leaf() != b->is_leaf()) return false;
   if (a->is_leaf()) {
@@ -375,6 +426,38 @@ int Depth(const TreeNode* node) {
   return 1 + std::max(Depth(node->left.get()), Depth(node->right.get()));
 }
 
+int64_t NodeHeapBytes(const TreeNode* node) {
+  if (node == nullptr) return 0;
+  int64_t bytes = static_cast<int64_t>(sizeof(TreeNode));
+  bytes += static_cast<int64_t>(node->rows.capacity() * sizeof(RowId));
+  bytes += static_cast<int64_t>(node->stats.cand_attrs.capacity() *
+                                sizeof(int));
+  for (const auto& h : node->stats.hist_count) {
+    bytes += static_cast<int64_t>(h.capacity() * sizeof(int64_t));
+  }
+  for (const auto& h : node->stats.hist_pos) {
+    bytes += static_cast<int64_t>(h.capacity() * sizeof(int64_t));
+  }
+  return bytes + NodeHeapBytes(node->left.get()) +
+         NodeHeapBytes(node->right.get());
+}
+
+#ifndef NDEBUG
+void CheckCowNode(const TreeNode* node,
+                  std::unordered_set<const TreeNode*>* seen) {
+  // Within one tree the node graph must be a proper tree: a node reachable
+  // through two parents would be double-mutated by one DeleteRows pass.
+  FUME_CHECK(seen->insert(node).second);
+  FUME_CHECK((node->left == nullptr) == (node->right == nullptr));
+  if (node->left != nullptr) {
+    FUME_CHECK_GE(node->left.use_count(), 1);
+    FUME_CHECK_GE(node->right.use_count(), 1);
+    CheckCowNode(node->left.get(), seen);
+    CheckCowNode(node->right.get(), seen);
+  }
+}
+#endif
+
 }  // namespace
 
 DareTree DareTree::Clone() const {
@@ -382,7 +465,16 @@ DareTree DareTree::Clone() const {
   out.store_ = store_;
   out.config_ = config_;
   out.tree_id_ = tree_id_;
-  if (root_ != nullptr) out.root_ = CloneNode(root_.get());
+  out.root_ = root_;  // CoW: share the node graph, refcount keeps it alive
+  return out;
+}
+
+DareTree DareTree::DeepClone() const {
+  DareTree out;
+  out.store_ = store_;
+  out.config_ = config_;
+  out.tree_id_ = tree_id_;
+  if (root_ != nullptr) out.root_ = DeepCloneNode(root_.get());
   return out;
 }
 
@@ -398,9 +490,17 @@ bool DareTree::ValidateStats() const {
   return ValidateNode(root_.get(), *store_, &rows);
 }
 
+void DareTree::DebugCheckCowConsistency() const {
+#ifndef NDEBUG
+  if (root_ == nullptr) return;
+  std::unordered_set<const TreeNode*> seen;
+  CheckCowNode(root_.get(), &seen);
+#endif
+}
+
 DareTree DareTree::FromParts(std::shared_ptr<const TrainingStore> store,
                              const ForestConfig& config, int tree_id,
-                             std::unique_ptr<TreeNode> root) {
+                             std::shared_ptr<TreeNode> root) {
   DareTree tree;
   tree.store_ = std::move(store);
   tree.config_ = config;
@@ -412,5 +512,8 @@ DareTree DareTree::FromParts(std::shared_ptr<const TrainingStore> store,
 int64_t DareTree::num_nodes() const { return CountNodes(root_.get()); }
 int64_t DareTree::num_leaves() const { return CountLeaves(root_.get()); }
 int DareTree::depth() const { return Depth(root_.get()); }
+int64_t DareTree::ApproxHeapBytes() const {
+  return NodeHeapBytes(root_.get());
+}
 
 }  // namespace fume

@@ -1,5 +1,14 @@
 // DareTree: one tree of a DaRE forest. Supports exact unlearning of row
 // batches with minimal subtree retraining.
+//
+// Node storage is copy-on-write: children are held through refcounted
+// shared_ptrs, Clone() shares the whole node graph (O(1) per tree), and a
+// mutation unshares exactly the nodes on its path — a shared node is
+// replaced in the mutating tree by a private shallow copy before being
+// touched, so a what-if clone never perturbs the forest it was cloned
+// from. A node owned exclusively (refcount 1) is still mutated strictly in
+// place, preserving the address-stability contract the stream engine's
+// prediction cache relies on.
 
 #ifndef FUME_FOREST_TREE_H_
 #define FUME_FOREST_TREE_H_
@@ -13,8 +22,31 @@
 
 namespace fume {
 
+namespace cow_debug {
+
+/// Debug bookkeeping member: counts live TreeNodes process-wide so tests
+/// can assert that destroying a forest and all its CoW clones releases
+/// every refcounted node. Compiles to an empty no-op type under NDEBUG.
+struct NodeTally {
+#ifndef NDEBUG
+  NodeTally();
+  NodeTally(const NodeTally&);
+  NodeTally& operator=(const NodeTally&) { return *this; }
+  ~NodeTally();
+#endif
+};
+
+/// Number of TreeNode objects currently alive (always 0 under NDEBUG).
+int64_t LiveTreeNodes();
+
+}  // namespace cow_debug
+
 /// \brief A decision-tree node. Internal nodes cache NodeStats; leaves hold
 /// the ids of the training rows they contain.
+///
+/// Copying a TreeNode is shallow: scalar fields, stats and leaf rows are
+/// copied, children stay shared — that is exactly the CoW "unshare one
+/// node" step, never use it to deep-copy a subtree.
 struct TreeNode {
   int64_t count = 0;
   int64_t pos = 0;
@@ -23,10 +55,11 @@ struct TreeNode {
   int32_t threshold = -1;
   bool is_random = false;
   NodeStats stats;
-  std::unique_ptr<TreeNode> left;
-  std::unique_ptr<TreeNode> right;
+  std::shared_ptr<TreeNode> left;
+  std::shared_ptr<TreeNode> right;
   // Leaf field.
   std::vector<RowId> rows;
+  [[no_unique_address]] cow_debug::NodeTally tally;
 
   bool is_leaf() const { return left == nullptr; }
 };
@@ -47,6 +80,9 @@ class DareTree {
 
   /// Exactly unlearns the given rows (must currently be in the tree; caller
   /// ensures no duplicates). Appends work counters to *stats_out (nullable).
+  /// Nodes shared with other trees (CoW clones) are unshared before being
+  /// touched; exclusively-owned nodes are updated in place at a stable
+  /// address unless a subtree retrain replaces them.
   void DeleteRows(const std::vector<RowId>& rows, DeletionStats* stats_out);
 
   /// Exactly adds rows (already present in the store, not in the tree): the
@@ -66,11 +102,18 @@ class DareTree {
     return static_cast<double>(n->pos) / static_cast<double>(n->count);
   }
 
-  /// Deep copy sharing the (immutable) training store.
+  /// Copy-on-write copy: shares the whole refcounted node graph (and the
+  /// immutable training store) in O(1); a later mutation of either tree
+  /// privately copies just the nodes it touches.
   DareTree Clone() const;
 
+  /// Eager full copy of every node (the pre-CoW Clone behaviour). Kept as
+  /// the reference path for exactness tests and the eval-throughput bench.
+  DareTree DeepClone() const;
+
   /// Structural equality: same shape, same splits, same cached statistics,
-  /// same leaf membership (order-insensitive).
+  /// same leaf membership (order-insensitive). Shared subtrees short-circuit
+  /// by node identity.
   bool StructurallyEquals(const DareTree& other) const;
 
   /// Verifies every cached statistic against a recount of the instances
@@ -80,30 +123,47 @@ class DareTree {
   int64_t num_nodes() const;
   int64_t num_leaves() const;
   int depth() const;
+  /// Approximate heap footprint of the node graph (what a DeepClone would
+  /// have to allocate and copy); used by the eval-throughput bench.
+  int64_t ApproxHeapBytes() const;
   const TreeNode* root() const { return root_.get(); }
+  /// The refcounted root handle (node-identity diffing, e.g. the prediction
+  /// cache's what-if rescoring, compares these graphs by address).
+  const std::shared_ptr<TreeNode>& root_handle() const { return root_; }
   int tree_id() const { return tree_id_; }
   int64_t num_training_rows() const {
     return root_ == nullptr ? 0 : root_->count;
   }
 
+  /// Debug-only structural audit of the CoW graph: within this tree every
+  /// node is reachable exactly once (sharing happens across trees, never
+  /// inside one) and children come in pairs. FUME_CHECKs on violation;
+  /// no-op under NDEBUG. Called from ~DareForest.
+  void DebugCheckCowConsistency() const;
+
   /// Reassembles a tree from deserialized parts (forest/serialize.cc).
   static DareTree FromParts(std::shared_ptr<const TrainingStore> store,
                             const ForestConfig& config, int tree_id,
-                            std::unique_ptr<TreeNode> root);
+                            std::shared_ptr<TreeNode> root);
 
  private:
-  std::unique_ptr<TreeNode> BuildNode(const std::vector<RowId>& rows,
+  std::shared_ptr<TreeNode> BuildNode(const std::vector<RowId>& rows,
                                       int depth, uint64_t path_key);
-  void DeleteFromNode(TreeNode* node, const std::vector<RowId>& rows,
-                      int depth, uint64_t path_key, DeletionStats* stats_out);
-  void AddToNode(TreeNode* node, const std::vector<RowId>& rows, int depth,
-                 uint64_t path_key, DeletionStats* stats_out);
+  /// CoW unshare: returns a privately-owned, mutable view of *slot,
+  /// replacing a shared node with a shallow copy first.
+  TreeNode* Mutable(std::shared_ptr<TreeNode>* slot);
+  void DeleteFromNode(std::shared_ptr<TreeNode>* slot,
+                      const std::vector<RowId>& rows, int depth,
+                      uint64_t path_key, DeletionStats* stats_out);
+  void AddToNode(std::shared_ptr<TreeNode>* slot,
+                 const std::vector<RowId>& rows, int depth, uint64_t path_key,
+                 DeletionStats* stats_out);
   static void CollectLeafRows(const TreeNode* node, std::vector<RowId>* out);
 
   std::shared_ptr<const TrainingStore> store_;
   ForestConfig config_;
   int tree_id_ = 0;
-  std::unique_ptr<TreeNode> root_;
+  std::shared_ptr<TreeNode> root_;
 };
 
 }  // namespace fume

@@ -54,6 +54,10 @@ class MappedUnlearnRemoval : public RemovalMethod {
       : inner_(model, test, group, metric), dense_to_id_(dense_to_id) {}
 
   Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override {
+    return EvaluateWithoutOn(0, rows);
+  }
+  Result<ModelEval> EvaluateWithoutOn(
+      int worker, const std::vector<RowId>& rows) override {
     std::vector<RowId> mapped(rows.size());
     for (size_t i = 0; i < rows.size(); ++i) {
       const size_t dense = static_cast<size_t>(rows[i]);
@@ -63,8 +67,12 @@ class MappedUnlearnRemoval : public RemovalMethod {
       }
       mapped[i] = (*dense_to_id_)[dense];
     }
-    return inner_.EvaluateWithout(mapped);
+    return inner_.EvaluateWithoutOn(worker, mapped);
   }
+  void BeginParallel(int num_workers) override {
+    inner_.BeginParallel(num_workers);
+  }
+  void EndParallel() override { inner_.EndParallel(); }
   const char* name() const override { return "dare-unlearn-stream"; }
 
  private:
@@ -206,9 +214,18 @@ Status StreamEngine::RunSearch() {
   original.accuracy = accuracy_;
   MappedUnlearnRemoval removal(&forest_, &test_, &store_ids_,
                                config_.fume.group, config_.fume.metric);
+  // Every search of this engine's lifetime shares one worker pool, created
+  // at the first parallel search.
+  FumeConfig fume_config = config_.fume;
+  if (fume_config.pool == nullptr && fume_config.num_threads > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<util::ThreadPool>(fume_config.num_threads);
+    }
+    fume_config.pool = pool_.get();
+  }
   FUME_ASSIGN_OR_RETURN(
       FumeResult result,
-      ExplainWithRemoval(original, train_data_, config_.fume, &removal));
+      ExplainWithRemoval(original, train_data_, fume_config, &removal));
   explanation_ = std::move(result);
   return Status::OK();
 }

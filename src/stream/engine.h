@@ -18,6 +18,7 @@
 #define FUME_STREAM_ENGINE_H_
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,7 @@
 #include "stream/op_log.h"
 #include "stream/prediction_cache.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace fume {
 namespace stream {
@@ -153,6 +155,9 @@ class StreamEngine {
   /// Inverse of store_ids_ for delete lookups.
   std::unordered_map<RowId, int64_t> dense_of_id_;
   TestPredictionCache cache_;
+  /// Shared evaluation pool for every search this engine runs; created at
+  /// the first search with config_.fume.num_threads > 1.
+  std::unique_ptr<util::ThreadPool> pool_;
 
   int64_t last_seq_ = -1;
   double metric_ = 0.0;

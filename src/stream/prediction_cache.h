@@ -1,65 +1,16 @@
-// Per-tree test-set prediction cache for the stream engine.
-//
-// A DaRE op (add/delete) leaves most trees structurally intact: existing
-// nodes keep their addresses and their split decisions; the only events
-// that free nodes are counted subtree retrains (DeletionStats::
-// subtrees_retrained — a split decision flipped and `*node =
-// std::move(*rebuilt)` replaced the subtree, dangling its descendants).
-// This cache exploits that: it remembers, per tree, the node each test row
-// lands in. After an op it re-walks a tree from the root only if that tree
-// retrained a subtree; otherwise it *resumes* each row's descent from the
-// cached node — a no-op when the node is still a leaf (deletion never
-// grows leaves), and a short walk into the grown subtree when an insert
-// rebuilt the leaf into a split in place (same address, fresh children).
-//
-// Exactness: probabilities and hard predictions are byte-identical to
-// DareForest::PredictProbAll / PredictAll — per-row tree probabilities are
-// summed in tree order before one division, mirroring PredictProb.
+// Compatibility shim: TestPredictionCache moved to forest/prediction_cache.h
+// so FUME's what-if evaluations can share it with the stream engine. The
+// stream:: alias keeps existing includes and call sites working.
 
 #ifndef FUME_STREAM_PREDICTION_CACHE_H_
 #define FUME_STREAM_PREDICTION_CACHE_H_
 
-#include <vector>
-
-#include "data/dataset.h"
-#include "forest/forest.h"
+#include "forest/prediction_cache.h"
 
 namespace fume {
 namespace stream {
 
-class TestPredictionCache {
- public:
-  /// Full walk of every tree for every test row. Call after building,
-  /// loading or replacing the forest.
-  void Rebuild(const DareForest& forest, const Dataset& test);
-
-  /// Incrementally refreshes after one forest op. `tree_dirty[t]` must be
-  /// true when tree t may have freed nodes during the op (any subtree
-  /// retrain) — those trees are re-walked from the root; the rest resume
-  /// from their cached nodes.
-  void Update(const DareForest& forest, const Dataset& test,
-              const std::vector<bool>& tree_dirty);
-
-  /// Mean forest probability per test row; byte-identical to
-  /// forest.PredictProbAll(test).
-  const std::vector<double>& probs() const { return mean_prob_; }
-  /// Hard predictions at the 0.5 threshold; byte-identical to PredictAll.
-  const std::vector<int>& predictions() const { return pred_; }
-
-  int num_trees() const { return static_cast<int>(leaf_.size()); }
-
- private:
-  void WalkTree(const DareForest& forest, const Dataset& test, int t);
-  void ResumeTree(const Dataset& test, int t);
-  void Finalize(const DareForest& forest);
-
-  // leaf_[t][r]: the leaf of tree t that test row r reaches (nullptr when
-  // the tree has no root). prob_[t][r]: that leaf's positive fraction.
-  std::vector<std::vector<const TreeNode*>> leaf_;
-  std::vector<std::vector<double>> prob_;
-  std::vector<double> mean_prob_;
-  std::vector<int> pred_;
-};
+using ::fume::TestPredictionCache;
 
 }  // namespace stream
 }  // namespace fume

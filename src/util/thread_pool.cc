@@ -1,0 +1,88 @@
+#include "util/thread_pool.h"
+
+#include "obs/metrics.h"
+
+namespace fume {
+namespace util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int spawn = num_threads - 1;
+  if (spawn <= 0) return;
+  static obs::Counter* started = obs::GetCounter("pool.threads_started");
+  started->Inc(spawn);
+  threads_.reserve(static_cast<size_t>(spawn));
+  for (int t = 1; t <= spawn; ++t) {
+    threads_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::RunChunk(int worker) {
+  while (true) {
+    // The acquire RMW synchronizes with ParallelFor's release store of 0,
+    // so even a worker arriving late from the previous generation observes
+    // the current job_fn_/job_count_ before touching them.
+    const size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    const size_t count = job_count_.load(std::memory_order_relaxed);
+    if (i >= count) return;
+    (*job_fn_)(worker, i);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunChunk(worker);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(int, size_t)>& fn) {
+  if (n == 0) return;
+  static obs::Counter* calls = obs::GetCounter("pool.parallel_for.calls");
+  static obs::Counter* jobs = obs::GetCounter("pool.jobs_dispatched");
+  calls->Inc();
+  jobs->Inc(static_cast<int64_t>(n));
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_count_.store(n, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    // Published last: a straggler from the previous batch synchronizes on
+    // this store (see RunChunk) rather than on the mutex.
+    next_.store(0, std::memory_order_release);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunChunk(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) == n;
+  });
+  job_fn_ = nullptr;
+}
+
+}  // namespace util
+}  // namespace fume

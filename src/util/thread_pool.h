@@ -1,0 +1,69 @@
+// A persistent worker pool for level-synchronous fan-out.
+//
+// FUME's search evaluates one lattice level's jobs, applies the pruning
+// rules, and repeats — spawning fresh std::threads per level costs more
+// than the small levels it parallelizes. This pool keeps its workers
+// parked on a condition variable between ParallelFor calls, so a search
+// (or a whole stream-engine lifetime) pays thread creation exactly once.
+//
+// Determinism: ParallelFor only distributes loop indices; each index is
+// claimed by exactly one worker via an atomic counter, and every write a
+// worker makes is visible to the caller when ParallelFor returns. Callers
+// that keep per-index (not per-worker-order) outputs therefore produce
+// results independent of scheduling and thread count.
+
+#ifndef FUME_UTIL_THREAD_POOL_H_
+#define FUME_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fume {
+namespace util {
+
+class ThreadPool {
+ public:
+  /// A pool of `num_threads` total workers: `num_threads - 1` parked
+  /// threads plus the calling thread, which participates as worker 0 in
+  /// every ParallelFor. num_threads <= 1 creates no threads (ParallelFor
+  /// runs inline).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(worker, index) for every index in [0, n), distributing
+  /// indices across workers, and returns when all calls have completed.
+  /// `worker` is in [0, num_threads()); concurrent calls with the same
+  /// worker id never happen, so per-worker scratch needs no locking. Not
+  /// reentrant: fn must not call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(int, size_t)>& fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()) + 1; }
+
+ private:
+  void WorkerLoop(int worker);
+  void RunChunk(int worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // guarded by mutex_
+  bool stop_ = false;        // guarded by mutex_
+  const std::function<void(int, size_t)>* job_fn_ = nullptr;
+  std::atomic<size_t> job_count_{0};
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> completed_{0};
+};
+
+}  // namespace util
+}  // namespace fume
+
+#endif  // FUME_UTIL_THREAD_POOL_H_

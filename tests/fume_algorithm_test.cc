@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/fume.h"
 #include "core/report.h"
@@ -215,14 +218,96 @@ TEST(FumeTest, CacheDeduplicatesIdenticalRowSets) {
   config.cache_by_rowset = false;
   auto without = ExplainFairnessViolation(f.model, f.train, f.test, config);
   ASSERT_TRUE(with_cache.ok() && without.ok());
+  // Duplicate row sets within one level are deduplicated in both modes;
+  // the memo additionally spans levels, so it can only save evaluations.
+  const auto explored = [](const FumeResult& r) {
+    int64_t total = 0;
+    for (const LevelStats& level : r.stats.levels) total += level.explored;
+    return total;
+  };
   EXPECT_EQ(with_cache->stats.attribution_evaluations +
                 with_cache->stats.cache_hits,
-            without->stats.attribution_evaluations);
+            explored(*with_cache));
+  EXPECT_EQ(without->stats.attribution_evaluations +
+                without->stats.cache_hits,
+            explored(*without));
+  EXPECT_GE(without->stats.attribution_evaluations,
+            with_cache->stats.attribution_evaluations);
+  EXPECT_EQ(without->stats.cache_inserts, 0);
   // Same results either way.
   ASSERT_EQ(with_cache->top_k.size(), without->top_k.size());
   for (size_t i = 0; i < with_cache->top_k.size(); ++i) {
     EXPECT_DOUBLE_EQ(with_cache->top_k[i].attribution,
                      without->top_k[i].attribution);
+  }
+}
+
+// Regression: predicates over distinct attributes can still select the very
+// same training rows. Such duplicates within one level must share a single
+// evaluation even with the cross-level row-set memo disabled, and every
+// duplicate must report identical results. A dataset with a copied column
+// guarantees the collision; a counting removal observes the evaluations.
+TEST(FumeTest, DuplicateRowSetsEvaluatedOnceWithoutRowsetCache) {
+  class CountingRemoval : public RemovalMethod {
+   public:
+    Result<ModelEval> EvaluateWithout(
+        const std::vector<RowId>& rows) override {
+      ++counts_[rows];
+      ModelEval eval;
+      // Distinct per row set so duplicate predicates provably shared an
+      // evaluation (attribution 0.5 - fairness > 0 keeps Rule 5 happy).
+      eval.fairness = 0.1 + 1e-4 * static_cast<double>(rows.front());
+      eval.accuracy = 0.9;
+      return eval;
+    }
+    const char* name() const override { return "counting-mock"; }
+    std::map<std::vector<RowId>, int> counts_;
+  };
+
+  Schema schema;
+  ASSERT_TRUE(schema.AddCategorical("X", {"x0", "x1", "x2"}).ok());
+  ASSERT_TRUE(schema.AddCategorical("XCopy", {"x0", "x1", "x2"}).ok());
+  schema.set_label_name("Y");
+  Dataset data(schema);
+  for (int r = 0; r < 300; ++r) {
+    ASSERT_TRUE(data.AppendRow({r % 3, r % 3}, r % 2).ok());
+  }
+
+  FumeConfig config;
+  config.top_k = 6;
+  config.support_min = 0.2;
+  config.support_max = 0.5;
+  config.max_literals = 1;
+  config.cache_by_rowset = false;
+  ModelEval original;
+  original.fairness = 0.5;
+  original.accuracy = 0.9;
+
+  CountingRemoval removal;
+  auto result = ExplainWithRemoval(original, data, config, &removal);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // 6 literals (X/XCopy x 3 values) collapse onto 3 distinct row sets, each
+  // evaluated exactly once.
+  ASSERT_EQ(removal.counts_.size(), 3u);
+  for (const auto& [rows, count] : removal.counts_) {
+    EXPECT_EQ(count, 1) << "row set evaluated " << count << " times";
+  }
+  EXPECT_EQ(result->stats.attribution_evaluations, 3);
+  EXPECT_EQ(result->stats.cache_hits, 3);
+  EXPECT_EQ(result->stats.levels[0].explored, 6);
+
+  // Every X=v / XCopy=v pair reports identical numbers.
+  ASSERT_EQ(result->all_candidates.size(), 6u);
+  std::map<std::string, std::vector<double>> by_value;
+  for (const auto& s : result->all_candidates) {
+    const std::string name = s.predicate.ToString(data.schema());
+    by_value[name.substr(name.size() - 2)].push_back(s.new_fairness);
+  }
+  ASSERT_EQ(by_value.size(), 3u);
+  for (const auto& [value, fairness] : by_value) {
+    ASSERT_EQ(fairness.size(), 2u) << value;
+    EXPECT_EQ(fairness[0], fairness[1]) << value;
   }
 }
 
