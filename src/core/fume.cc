@@ -162,9 +162,9 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       keys[i].rows = node.rows.ToRows();
       if (config.cache_by_rowset && memo.count(keys[i]) > 0) continue;
       // Duplicate row sets within a level always share one job: the
-      // evaluation is a pure function of the row set, so re-running it can
-      // only waste work (cache_by_rowset additionally memoizes results
-      // across levels).
+      // RemovalMethod contract requires the evaluation to be a pure
+      // function of the row set, so re-running it could only waste work
+      // (cache_by_rowset additionally memoizes results across levels).
       auto [it, inserted] = job_index.emplace(keys[i], jobs.size());
       if (inserted) {
         jobs.push_back(EvalJob{keys[i], ModelEval{}, Status::OK()});

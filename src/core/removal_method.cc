@@ -26,7 +26,8 @@ UnlearnRemovalMethod::UnlearnRemovalMethod(const DareForest* model,
 UnlearnRemovalMethod::Worker& UnlearnRemovalMethod::WorkerSlot(int worker) {
   FUME_CHECK_GE(worker, 0);
   if (!in_parallel_ && static_cast<size_t>(worker) >= workers_.size()) {
-    // Serial use without a BeginParallel bracket: grow on demand. Inside a
+    // Use without a BeginParallel bracket: grow on demand — safe because
+    // serial_mutex_ serializes the whole non-bracketed evaluation. Inside a
     // bracket the slots are pre-sized, so growth (a data race) cannot occur.
     workers_.resize(static_cast<size_t>(worker) + 1);
   }
@@ -75,6 +76,20 @@ Result<ModelEval> UnlearnRemovalMethod::EvaluateWithout(
 }
 
 Result<ModelEval> UnlearnRemovalMethod::EvaluateWithoutOn(
+    int worker, const std::vector<RowId>& rows) {
+  if (!in_parallel_) {
+    // Outside a BeginParallel bracket every caller resolves to the same
+    // worker slot, so the interface's "safe to call concurrently" promise
+    // is kept by serializing the whole evaluation. The bracketed path
+    // (distinct worker ids, slots pre-sized, stats merged at EndParallel)
+    // never takes this lock.
+    std::lock_guard<std::mutex> lock(serial_mutex_);
+    return EvaluateOnSlot(worker, rows);
+  }
+  return EvaluateOnSlot(worker, rows);
+}
+
+Result<ModelEval> UnlearnRemovalMethod::EvaluateOnSlot(
     int worker, const std::vector<RowId>& rows) {
   static obs::Counter* evals = obs::GetCounter("removal.unlearn.evaluations");
   static obs::Histogram* rows_hist =

@@ -35,6 +35,13 @@ struct ModelEval {
 class RemovalMethod {
  public:
   virtual ~RemovalMethod() = default;
+
+  /// Must be a deterministic pure function of the row set (for fixed
+  /// construction state): FUME relies on this to evaluate each distinct
+  /// row set at most once per lattice level — duplicates within a level
+  /// share a single evaluation even with FumeConfig::cache_by_rowset off,
+  /// and the rowset cache additionally memoizes results across levels. A
+  /// stochastic implementation would make those reuses observable.
   virtual Result<ModelEval> EvaluateWithout(
       const std::vector<RowId>& rows) = 0;
 
@@ -106,6 +113,7 @@ class UnlearnRemovalMethod : public RemovalMethod {
 
   Worker& WorkerSlot(int worker);
   const TestPredictionCache& BaseCache();
+  Result<ModelEval> EvaluateOnSlot(int worker, const std::vector<RowId>& rows);
 
   const DareForest* model_;
   const Dataset* test_;
@@ -114,6 +122,10 @@ class UnlearnRemovalMethod : public RemovalMethod {
   Options options_;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool in_parallel_ = false;
+  /// Serializes evaluations outside a BeginParallel bracket (they all share
+  /// slot 0 and the global deletion_stats_), keeping the RemovalMethod
+  /// concurrency contract without taxing the bracketed per-worker path.
+  std::mutex serial_mutex_;
   std::once_flag base_cache_once_;
   TestPredictionCache base_cache_;
   DeletionStats deletion_stats_;

@@ -29,8 +29,11 @@ class DareForest {
   /// Debug builds audit the CoW node graph on destruction
   /// (DareTree::DebugCheckCowConsistency); release builds do nothing.
   ~DareForest();
-  DareForest(const DareForest&) = default;
-  DareForest& operator=(const DareForest&) = default;
+  // Copying is explicit — Clone() (CoW, cheap) or DeepClone() (eager) —
+  // so an accidental `DareForest f = other;` can't silently share node
+  // graphs and pay surprise CoW unshares later.
+  DareForest(const DareForest&) = delete;
+  DareForest& operator=(const DareForest&) = delete;
   DareForest(DareForest&&) = default;
   DareForest& operator=(DareForest&&) = default;
 

@@ -1,9 +1,21 @@
 #include "util/thread_pool.h"
 
 #include "obs/metrics.h"
+#include "util/check.h"
 
 namespace fume {
 namespace util {
+
+namespace {
+
+constexpr int kGenShift = 32;
+constexpr uint64_t kIndexMask = (uint64_t{1} << kGenShift) - 1;
+
+constexpr uint64_t GenTag(uint64_t generation) {
+  return generation & kIndexMask;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   const int spawn = num_threads - 1;
@@ -25,32 +37,56 @@ ThreadPool::~ThreadPool() {
   for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::RunChunk(int worker) {
+void ThreadPool::RunChunk(int worker, uint64_t gen,
+                          const std::function<void(int, size_t)>* fn,
+                          size_t count) {
+  // Every claim checks the generation tag before the CAS commits it, so a
+  // straggler still here after ParallelFor published a new batch backs off
+  // without consuming an index or double-counting completed_ — it re-parks
+  // in WorkerLoop and picks the new batch up through the mutex. (A tag
+  // collision would need the straggler to sleep across 2^32 batches.)
+  uint64_t t = ticket_.load(std::memory_order_acquire);
   while (true) {
-    // The acquire RMW synchronizes with ParallelFor's release store of 0,
-    // so even a worker arriving late from the previous generation observes
-    // the current job_fn_/job_count_ before touching them.
-    const size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
-    const size_t count = job_count_.load(std::memory_order_relaxed);
-    if (i >= count) return;
-    (*job_fn_)(worker, i);
+    if ((t >> kGenShift) != GenTag(gen)) return;  // new batch published
+    const uint64_t i = t & kIndexMask;
+    if (i >= count) return;  // batch fully claimed
+    if (!ticket_.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;  // t reloaded: re-check generation and bounds
+    }
+    (*fn)(worker, static_cast<size_t>(i));
+    // The acq_rel RMW chain makes every job's writes visible to
+    // ParallelFor's acquire load that observes completed_ == count.
     if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
       std::lock_guard<std::mutex> lock(mutex_);
       done_cv_.notify_all();
     }
+    t = ticket_.load(std::memory_order_acquire);
   }
 }
 
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t seen = 0;
   while (true) {
+    uint64_t gen;
+    const std::function<void(int, size_t)>* fn;
+    size_t count;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
+      // Snapshot the batch while holding the lock: the {fn, count,
+      // generation} triple is immutable for as long as this batch's
+      // indices are claimable, and the mutex orders it with ParallelFor's
+      // publication.
       seen = generation_;
+      gen = generation_;
+      fn = job_fn_;
+      count = job_count_;
     }
-    RunChunk(worker);
+    // fn is null when this worker woke only after the batch had fully
+    // completed (ParallelFor already cleared it): nothing left to claim.
+    if (fn != nullptr) RunChunk(worker, gen, fn, count);
   }
 }
 
@@ -65,18 +101,20 @@ void ThreadPool::ParallelFor(size_t n,
     for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
+  FUME_CHECK(n <= kIndexMask);  // index must fit beside the generation tag
+  uint64_t gen;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    gen = ++generation_;
     job_fn_ = &fn;
-    job_count_.store(n, std::memory_order_relaxed);
+    job_count_ = n;
     completed_.store(0, std::memory_order_relaxed);
-    // Published last: a straggler from the previous batch synchronizes on
-    // this store (see RunChunk) rather than on the mutex.
-    next_.store(0, std::memory_order_release);
-    ++generation_;
+    // Publishing the tagged ticket retires the previous batch: from here
+    // on, claims by stragglers of older generations fail their tag check.
+    ticket_.store(GenTag(gen) << kGenShift, std::memory_order_release);
   }
   work_cv_.notify_all();
-  RunChunk(0);  // the caller is worker 0
+  RunChunk(0, gen, &fn, n);  // the caller is worker 0
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] {
     return completed_.load(std::memory_order_acquire) == n;

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -49,7 +50,11 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int worker);
-  void RunChunk(int worker);
+  /// Drains batch `gen`'s indices. `fn`/`count` are the worker's own
+  /// snapshot of that batch, taken under mutex_ (parked workers) or by
+  /// being the publisher (worker 0) — never read from shared state here.
+  void RunChunk(int worker, uint64_t gen,
+                const std::function<void(int, size_t)>* fn, size_t count);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
@@ -57,9 +62,16 @@ class ThreadPool {
   std::condition_variable done_cv_;
   uint64_t generation_ = 0;  // guarded by mutex_
   bool stop_ = false;        // guarded by mutex_
+  // Current batch, guarded by mutex_. Workers snapshot these together with
+  // generation_ while holding the lock; nothing reads them lock-free.
   const std::function<void(int, size_t)>* job_fn_ = nullptr;
-  std::atomic<size_t> job_count_{0};
-  std::atomic<size_t> next_{0};
+  size_t job_count_ = 0;
+  /// Batch tag and claim counter in one word: generation_ (mod 2^32) in
+  /// the upper 32 bits, the next unclaimed index in the lower 32. Claims
+  /// are CAS increments that first verify the generation tag, so a
+  /// straggler from a previous batch can neither consume one of the new
+  /// batch's indices nor claim a stale index against the new batch.
+  std::atomic<uint64_t> ticket_{0};
   std::atomic<size_t> completed_{0};
 };
 
