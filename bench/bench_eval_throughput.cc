@@ -138,20 +138,23 @@ std::string TopKSignature(const FumeResult& result, const Schema& schema) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool full = FullMode(argc, argv);
+  const bool smoke = SmokeMode(argc, argv);
+  const bool full = !smoke && FullMode(argc, argv);
   PrintBanner("What-if evaluation throughput: deep-copy vs CoW + delta",
               "docs/performance.md / Figure 5 forests");
 
   const std::vector<int64_t> sizes =
-      full ? std::vector<int64_t>{5000, 10000, 20000, 50000}
-           : std::vector<int64_t>{2000, 5000, 10000, 20000};
+      smoke ? std::vector<int64_t>{2000}
+            : (full ? std::vector<int64_t>{5000, 10000, 20000, 50000}
+                    : std::vector<int64_t>{2000, 5000, 10000, 20000});
   const int64_t mid_size = sizes[sizes.size() / 2];
   // 1/4: streaming-style single-op what-ifs (the clone + rescore legs
   // dominate); 64/1024: toward the search's support-range subsets where
   // shared unlearning work dominates both strategies.
-  const std::vector<int> batch_sizes = {1, 4, 64, 1024};
+  const std::vector<int> batch_sizes =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 64, 1024};
   const int kHeadlineBatch = 4;
-  const int num_batches = full ? 96 : 48;
+  const int num_batches = smoke ? 8 : (full ? 96 : 48);
 
   TablePrinter table({"rows", "batch", "strategy", "evals", "evals/sec",
                       "clone KiB/eval", "speedup"});

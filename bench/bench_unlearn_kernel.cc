@@ -1,0 +1,330 @@
+// Deletion throughput: the batched unlearning kernel (DeletionScratch +
+// columnar NodeStats::RemoveRows + in-place route partitioning) vs the
+// per-row baseline (ForestConfig::batched_unlearn_kernel = false), on the
+// parametric Figure-5 substrates.
+//
+// Each measured deletion runs on a fresh CoW clone of the pristine model —
+// the what-if evaluation shape, where DeleteRows dominates — with the
+// kernel side reusing one DeletionScratch across all iterations (the
+// steady-state allocation-free path). Exactness is re-checked in-bench:
+// accumulated DeletionStats must agree per cell, a compounding deletion
+// run must leave both forests serialized byte-identical, and a full FUME
+// search at mid-size must report the same top-k with the kernel on and
+// off. Artifacts: unlearn_kernel.csv (+ metrics snapshot) and
+// BENCH_unlearn.json in bench_artifacts/.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "bench_util.h"
+#include "forest/deletion_scratch.h"
+#include "forest/serialize.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fume;
+using namespace fume::bench;
+
+struct Setup {
+  int64_t rows = 0;
+  Dataset train;
+  Dataset test;
+  GroupSpec group;
+  DareForest kernel_model;    // batched_unlearn_kernel = true
+  DareForest baseline_model;  // = false; structurally identical
+};
+
+Setup MakeSetup(int64_t rows) {
+  auto bundle = synth::MakeParametric(rows, 10, 2, 7);
+  FUME_ABORT_NOT_OK(bundle.status());
+  SplitOptions split_opts;
+  split_opts.test_fraction = 0.3;
+  split_opts.seed = 2;
+  auto split = SplitTrainTest(bundle->data, split_opts);
+  FUME_ABORT_NOT_OK(split.status());
+  ForestConfig forest_config;  // the Figure 5 forest
+  forest_config.num_trees = 10;
+  forest_config.max_depth = 8;
+  forest_config.random_depth = 2;
+  forest_config.seed = 31;
+  forest_config.batched_unlearn_kernel = true;
+  auto kernel_model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(kernel_model.status());
+  forest_config.batched_unlearn_kernel = false;
+  auto baseline_model = DareForest::Train(split->train, forest_config);
+  FUME_ABORT_NOT_OK(baseline_model.status());
+  return Setup{rows,
+               std::move(split->train),
+               std::move(split->test),
+               bundle->group,
+               std::move(*kernel_model),
+               std::move(*baseline_model)};
+}
+
+// Disjoint deterministic batches (slices of a keyed shuffle of the live
+// rows), so the same sequence can be applied compounding — every row is
+// deleted at most once across a measurement.
+std::vector<std::vector<RowId>> MakeBatches(int64_t num_rows, int batch_size,
+                                            int num_batches) {
+  std::vector<RowId> perm(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    perm[static_cast<size_t>(i)] = static_cast<RowId>(i);
+  }
+  Rng rng(177);
+  for (int64_t i = num_rows - 1; i > 0; --i) {
+    const int64_t j = rng.NextInt(0, static_cast<int>(i));
+    std::swap(perm[static_cast<size_t>(i)], perm[static_cast<size_t>(j)]);
+  }
+  // Never delete more than half the training data: the tail of such a run
+  // measures degenerate stumps, not unlearning.
+  const int64_t max_batches = num_rows / 2 / batch_size;
+  const int64_t take = std::min<int64_t>(num_batches, std::max<int64_t>(
+                                                          1, max_batches));
+  std::vector<std::vector<RowId>> batches;
+  batches.reserve(static_cast<size_t>(take));
+  for (int64_t b = 0; b < take; ++b) {
+    const auto begin = perm.begin() + b * batch_size;
+    std::vector<RowId> rows(begin, begin + batch_size);
+    std::sort(rows.begin(), rows.end());
+    batches.push_back(std::move(rows));
+  }
+  return batches;
+}
+
+struct Throughput {
+  int64_t rows_unlearned = 0;
+  double seconds = 0.0;
+  double rows_per_sec = 0.0;
+  DeletionStats work;  // exactness cross-check between the two strategies
+};
+
+// Compounding deletions on a privately-owned copy of the model: after the
+// (untimed) DeepClone every node has refcount 1, so the timed loop contains
+// pure deletion work — no CoW unshares, which are identical on both
+// strategies and would otherwise dilute the comparison. This is also the
+// stream engine's workload shape (ops mutate one long-lived forest).
+Throughput MeasureDelete(const DareForest& model,
+                         const std::vector<std::vector<RowId>>& batches,
+                         bool kernel) {
+  DeletionScratch scratch;
+  {
+    // Warm-up: faults in the store, sizes the scratch, seeds allocators.
+    DareForest warm = model.DeepClone();
+    FUME_ABORT_NOT_OK(warm.DeleteRows(batches.front(), nullptr,
+                                      kernel ? &scratch : nullptr));
+  }
+  DareForest victim = model.DeepClone();
+  Throughput t;
+  // Thread CPU time: the loop is single-threaded, and CPU time is immune
+  // to scheduler preemption on a loaded machine (wall time is not).
+  ThreadCpuStopwatch watch;
+  for (const auto& rows : batches) {
+    FUME_ABORT_NOT_OK(
+        victim.DeleteRows(rows, nullptr, kernel ? &scratch : nullptr));
+    t.rows_unlearned += static_cast<int64_t>(rows.size());
+  }
+  t.seconds = watch.ElapsedSeconds();
+  t.work = victim.deletion_stats();
+  t.rows_per_sec = t.seconds > 0.0
+                       ? static_cast<double>(t.rows_unlearned) / t.seconds
+                       : 0.0;
+  return t;
+}
+
+std::string SerializeForest(const DareForest& forest) {
+  std::ostringstream out;
+  FUME_ABORT_NOT_OK(SaveForest(forest, out));
+  return out.str();
+}
+
+// Compounding deletions (no re-clone between batches) applied through both
+// strategies must leave the forests serialized byte-identical.
+bool CompoundingRunsByteIdentical(const Setup& s,
+                                  const std::vector<std::vector<RowId>>& all) {
+  DareForest kernel = s.kernel_model.Clone();
+  DareForest baseline = s.baseline_model.Clone();
+  DeletionScratch scratch;
+  std::vector<uint8_t> gone(
+      static_cast<size_t>(s.kernel_model.store().num_rows()), 0);
+  for (size_t b = 0; b < all.size() && b < 8; ++b) {
+    std::vector<RowId> batch;
+    for (RowId r : all[b]) {
+      if (!gone[static_cast<size_t>(r)]) {
+        gone[static_cast<size_t>(r)] = 1;
+        batch.push_back(r);
+      }
+    }
+    if (batch.empty()) continue;
+    FUME_ABORT_NOT_OK(kernel.DeleteRows(batch, nullptr, &scratch));
+    FUME_ABORT_NOT_OK(baseline.DeleteRows(batch));
+  }
+  return SerializeForest(kernel) == SerializeForest(baseline);
+}
+
+std::string TopKSignature(const FumeResult& result, const Schema& schema) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& s : result.top_k) {
+    os << s.predicate.ToString(schema) << '|' << s.attribution << '|'
+       << s.new_fairness << '|' << s.new_accuracy << '\n';
+  }
+  os << result.stats.attribution_evaluations;
+  return os.str();
+}
+
+bool IsFiniteRow(const Throughput& t) {
+  return t.seconds == t.seconds && t.rows_per_sec == t.rows_per_sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const bool full = !smoke && FullMode(argc, argv);
+  PrintBanner("Unlearning kernel: batched scratch kernel vs per-row baseline",
+              "docs/performance.md / Figure 5 forests");
+
+  const std::vector<int64_t> sizes =
+      smoke ? std::vector<int64_t>{2000}
+            : (full ? std::vector<int64_t>{10000, 20000, 50000}
+                    : std::vector<int64_t>{5000, 10000, 20000});
+  const int64_t mid_size = sizes[sizes.size() / 2];
+  // 1: streaming-style single-row ops; 128: the search's what-if batches
+  // at typical support; 1024: Figure-5-scale support-range row sets.
+  const std::vector<int> batch_sizes =
+      smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 16, 128, 1024};
+  const int kHeadlineBatch = smoke ? 16 : 128;
+  const int num_batches = smoke ? 8 : (full ? 128 : 64);
+  // Each cell is measured several times with the strategies interleaved and
+  // reported as the fastest repetition — deletion work is deterministic
+  // (same batches on a fresh DeepClone each repetition), so the minimum
+  // time is the least-noise estimate and DeletionStats are identical
+  // across repetitions.
+  const int kReps = smoke ? 1 : 7;
+
+  TablePrinter table({"rows", "batch", "strategy", "rows unlearned",
+                      "rows/sec", "speedup"});
+  std::vector<std::vector<std::string>> artifact;
+  double headline_speedup = 0.0;
+  bool stats_identical = true;
+  bool bytes_identical = true;
+  bool all_finite = true;
+
+  for (int64_t rows : sizes) {
+    Setup s = MakeSetup(rows);
+    const int64_t train_rows = s.kernel_model.num_training_rows();
+    for (int batch : batch_sizes) {
+      const auto batches = MakeBatches(train_rows, batch, num_batches);
+      Throughput base, kern;
+      for (int rep = 0; rep < kReps; ++rep) {
+        const Throughput b =
+            MeasureDelete(s.baseline_model, batches, /*kernel=*/false);
+        const Throughput k =
+            MeasureDelete(s.kernel_model, batches, /*kernel=*/true);
+        if (rep == 0 || b.rows_per_sec > base.rows_per_sec) base = b;
+        if (rep == 0 || k.rows_per_sec > kern.rows_per_sec) kern = k;
+      }
+      all_finite = all_finite && IsFiniteRow(base) && IsFiniteRow(kern);
+      if (!(base.work == kern.work)) stats_identical = false;
+      const double speedup =
+          base.rows_per_sec > 0.0 ? kern.rows_per_sec / base.rows_per_sec
+                                  : 0.0;
+      if (rows == mid_size && batch == kHeadlineBatch) {
+        headline_speedup = speedup;
+      }
+      for (const auto* t : {&base, &kern}) {
+        const bool is_kernel = t == &kern;
+        table.AddRow({std::to_string(rows), std::to_string(batch),
+                      is_kernel ? "batched-kernel" : "per-row",
+                      std::to_string(t->rows_unlearned),
+                      FormatDouble(t->rows_per_sec, 0),
+                      is_kernel ? FormatDouble(speedup, 2) + "x" : "1.00x"});
+        artifact.push_back({std::to_string(rows), std::to_string(batch),
+                            is_kernel ? "batched-kernel" : "per-row",
+                            std::to_string(t->rows_unlearned),
+                            FormatDouble(t->seconds, 4),
+                            FormatDouble(t->rows_per_sec, 2),
+                            FormatDouble(is_kernel ? speedup : 1.0, 3)});
+      }
+    }
+    bytes_identical =
+        bytes_identical &&
+        CompoundingRunsByteIdentical(
+            s, MakeBatches(train_rows, kHeadlineBatch, 8));
+  }
+  table.Print(std::cout);
+  WriteArtifact("unlearn_kernel",
+                {"rows", "batch_rows", "strategy", "rows_unlearned",
+                 "seconds", "rows_per_sec", "speedup_vs_per_row"},
+                artifact);
+
+  // End-to-end: the search must report the same top-k with the kernel on
+  // and off (every what-if deletion flows through it).
+  std::cout << "\nSearch identity check (mid-size forest, " << mid_size
+            << " rows)\n";
+  Setup s = MakeSetup(mid_size);
+  FumeConfig config = BenchFumeConfig(s.group);
+  std::string kernel_sig, baseline_sig;
+  double kernel_sec = 0.0, baseline_sec = 0.0;
+  for (const bool kernel : {false, true}) {
+    const DareForest& model = kernel ? s.kernel_model : s.baseline_model;
+    Stopwatch watch;
+    auto result = ExplainFairnessViolation(model, s.train, s.test, config);
+    const double seconds = watch.ElapsedSeconds();
+    FUME_ABORT_NOT_OK(result.status());
+    (kernel ? kernel_sig : baseline_sig) =
+        TopKSignature(*result, s.train.schema());
+    (kernel ? kernel_sec : baseline_sec) = seconds;
+  }
+  const bool topk_identical = kernel_sig == baseline_sig;
+  std::cout << "search sec: per-row " << FormatDouble(baseline_sec, 3)
+            << ", kernel " << FormatDouble(kernel_sec, 3) << '\n'
+            << "top-k identical kernel on/off: "
+            << (topk_identical ? "yes" : "NO — exactness violation") << '\n'
+            << "DeletionStats identical in every cell: "
+            << (stats_identical ? "yes" : "NO") << '\n'
+            << "compounded forests byte-identical: "
+            << (bytes_identical ? "yes" : "NO") << '\n'
+            << "kernel speedup at " << mid_size << " rows, batch "
+            << kHeadlineBatch << ": " << FormatDouble(headline_speedup, 2)
+            << "x\n";
+
+  std::ofstream json("bench_artifacts/BENCH_unlearn.json");
+  if (json) {
+    json.precision(6);
+    json << "{\n  \"bench\": \"unlearn_kernel\",\n"
+         << "  \"forest\": \"figure5-parametric (10 trees, depth 8)\",\n"
+         << "  \"mid_size_rows\": " << mid_size << ",\n"
+         << "  \"headline_batch_rows\": " << kHeadlineBatch << ",\n"
+         << "  \"kernel_speedup_mid\": " << headline_speedup << ",\n"
+         << "  \"topk_identical\": " << (topk_identical ? "true" : "false")
+         << ",\n"
+         << "  \"deletion_stats_identical\": "
+         << (stats_identical ? "true" : "false") << ",\n"
+         << "  \"compounded_bytes_identical\": "
+         << (bytes_identical ? "true" : "false") << ",\n"
+         << "  \"cells\": [\n";
+    for (size_t i = 0; i < artifact.size(); ++i) {
+      const auto& row = artifact[i];
+      json << "    {\"rows\": " << row[0] << ", \"batch_rows\": " << row[1]
+           << ", \"strategy\": \"" << row[2]
+           << "\", \"rows_unlearned\": " << row[3]
+           << ", \"seconds\": " << row[4] << ", \"rows_per_sec\": " << row[5]
+           << ", \"speedup_vs_per_row\": " << row[6] << '}'
+           << (i + 1 < artifact.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    std::cout << "wrote bench_artifacts/BENCH_unlearn.json\n";
+  } else {
+    std::cout << "could not write bench_artifacts/BENCH_unlearn.json\n";
+  }
+
+  const bool exact = topk_identical && stats_identical && bytes_identical;
+  if (!all_finite) std::cout << "NaN detected in measurements\n";
+  return exact && all_finite ? 0 : 1;
+}

@@ -19,6 +19,14 @@ bool FullMode(int argc, char** argv) {
   return env != nullptr && std::strcmp(env, "1") == 0;
 }
 
+bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  const char* env = std::getenv("FUME_BENCH_SMOKE");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
 int64_t BenchRows(const synth::RegisteredDataset& dataset, bool full) {
   if (full) return dataset.paper_rows;
   // German is already small; scale the rest to container-friendly sizes.

@@ -42,6 +42,13 @@ struct Pipeline {
 /// True when --full was passed or FUME_BENCH_FULL=1 is set.
 bool FullMode(int argc, char** argv);
 
+/// True when --smoke was passed or FUME_BENCH_SMOKE=1 is set: benches that
+/// support it run only their smallest substrate with a handful of
+/// iterations — a crash/NaN tripwire for CI (scripts/run_bench_smoke.sh),
+/// not a measurement. Takes precedence over FullMode in benches honouring
+/// both.
+bool SmokeMode(int argc, char** argv);
+
 /// Rows to generate for a dataset in scaled/full mode.
 int64_t BenchRows(const synth::RegisteredDataset& dataset, bool full);
 

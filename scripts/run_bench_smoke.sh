@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# CI smoke for the perf benches: builds bench_unlearn_kernel and
+# bench_eval_throughput and runs both on the smallest substrate (--smoke),
+# failing on crash, on an in-bench exactness violation (the benches exit
+# non-zero when top-k / DeletionStats / serialized-bytes identity breaks or
+# a NaN shows up in a measurement), or on a non-finite value leaking into
+# the JSON artifacts. Takes ~a minute; no perf thresholds are asserted —
+# throughput numbers from a shared CI box are noise, identity is not.
+#
+# The benches write bench_artifacts/ relative to their CWD, so this script
+# runs them from a scratch directory inside the build tree — the repo's
+# committed full-run artifacts are never overwritten by smoke numbers.
+# Usage:
+#
+#   scripts/run_bench_smoke.sh           # default build dir: build-bench-smoke
+#   BUILD_DIR=build scripts/run_bench_smoke.sh   # reuse an existing tree
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-bench-smoke}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DFUME_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j --target bench_unlearn_kernel \
+  bench_eval_throughput
+
+BENCH_DIR="$(cd "${BUILD_DIR}" && pwd)/bench"
+SCRATCH="${BUILD_DIR}/bench-smoke"
+mkdir -p "${SCRATCH}"
+cd "${SCRATCH}"
+
+status=0
+for bench in bench_unlearn_kernel bench_eval_throughput; do
+  echo "=== ${bench} --smoke ==="
+  if ! "${BENCH_DIR}/${bench}" --smoke; then
+    echo "FAIL: ${bench} exited non-zero (crash or exactness violation)"
+    status=1
+  fi
+done
+
+# Belt and braces: no NaN/inf in the machine-readable artifacts.
+for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.json; do
+  if [ ! -f "${artifact}" ]; then
+    echo "FAIL: ${artifact} was not written"
+    status=1
+  elif grep -qiE 'nan|inf' "${artifact}"; then
+    echo "FAIL: non-finite value in ${artifact}"
+    status=1
+  fi
+done
+
+if [ "${status}" -eq 0 ]; then
+  echo "bench smoke OK"
+fi
+exit "${status}"

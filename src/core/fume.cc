@@ -157,7 +157,7 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
         ++level_stats.rule2_pruned_low;
         continue;
       }
-      if (node.rows.Count() == 0) continue;
+      if (node.support_count == 0) continue;
       fates[i] = NodeFate::kEvaluate;
       keys[i].rows = node.rows.ToRows();
       if (config.cache_by_rowset && memo.count(keys[i]) > 0) continue;
@@ -261,7 +261,7 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       AttributableSubset subset;
       subset.predicate = node.predicate;
       subset.support = node.support;
-      subset.num_rows = node.rows.Count();
+      subset.num_rows = node.support_count;
       subset.new_fairness = eval.fairness;
       subset.new_accuracy = eval.accuracy;
       subset.attribution = node.attribution;
@@ -324,7 +324,8 @@ Result<FumeResult> ExplainWithRemoval(const ModelEval& original,
       const int64_t size = rows.Count();
       bool too_close = false;
       for (const Bitmap& prev : picked_rows) {
-        const int64_t inter = Bitmap::Intersect(rows, prev).Count();
+        // Jaccard needs only counts — never materialize the intersection.
+        const int64_t inter = Bitmap::IntersectCount(rows, prev);
         const int64_t uni = size + prev.Count() - inter;
         if (uni > 0 && static_cast<double>(inter) / static_cast<double>(uni) >
                            config.max_row_overlap) {

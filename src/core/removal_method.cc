@@ -107,7 +107,8 @@ Result<ModelEval> UnlearnRemovalMethod::EvaluateOnSlot(
   Worker& w = WorkerSlot(worker);
   DareForest what_if =
       options_.cow_delta ? model_->Clone() : model_->DeepClone();
-  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows));
+  FUME_RETURN_NOT_OK(
+      what_if.DeleteRows(rows, /*per_tree=*/nullptr, &w.unlearn_scratch));
   w.stats.Add(what_if.deletion_stats());
 
   ModelEval eval;

@@ -105,10 +105,14 @@ class UnlearnRemovalMethod : public RemovalMethod {
 
  private:
   /// Per-worker state: contention-free deletion-stat accumulation plus
-  /// reusable rescoring scratch. unique_ptr keeps slots cache-isolated.
+  /// reusable rescoring and unlearning-kernel scratch. unique_ptr keeps
+  /// slots cache-isolated.
   struct Worker {
     DeletionStats stats;
     TestPredictionCache::WhatIfScratch scratch;
+    /// Reused by every what-if DeleteRows this worker performs, so
+    /// steady-state evaluations run the deletion kernel allocation-free.
+    DeletionScratch unlearn_scratch;
   };
 
   Worker& WorkerSlot(int worker);

@@ -43,7 +43,7 @@ Result<std::vector<Slice>> FindProblematicSlices(
       Slice slice;
       slice.predicate = node.predicate;
       slice.support = node.support;
-      slice.num_rows = node.rows.Count();
+      slice.num_rows = node.support_count;
       int64_t slice_wrong = 0;
       for (int32_t r : node.rows.ToRows()) {
         slice_wrong += wrong[static_cast<size_t>(r)];

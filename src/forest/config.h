@@ -40,6 +40,13 @@ struct ForestConfig {
   /// k': thresholds sampled per attribute in kSampled mode.
   int num_sampled_thresholds = 8;
   uint64_t seed = 42;
+  /// Run deletions/additions through the allocation-free batched kernel
+  /// (epoch-stamped DeletionScratch, columnar NodeStats::RemoveRows,
+  /// in-place route partitioning). false restores the per-row baseline —
+  /// byte-identical results, kept for exactness tests and the
+  /// bench_unlearn_kernel comparison. Not part of the serialized model
+  /// (a runtime execution knob, not model state).
+  bool batched_unlearn_kernel = true;
 };
 
 /// Counters describing the work done by one DeleteRows call; used by the

@@ -96,7 +96,8 @@ Result<DareForest> DareForest::Train(const Dataset& train,
 }
 
 Status DareForest::DeleteRows(const std::vector<RowId>& rows,
-                              std::vector<DeletionStats>* per_tree) {
+                              std::vector<DeletionStats>* per_tree,
+                              DeletionScratch* scratch) {
   if (per_tree != nullptr) {
     per_tree->assign(trees_.size(), DeletionStats{});
   }
@@ -109,23 +110,47 @@ Status DareForest::DeleteRows(const std::vector<RowId>& rows,
       obs::GetCounter("forest.unlearn.rows_deleted");
   static obs::Histogram* batch_rows =
       obs::GetHistogram("forest.unlearn.batch_rows");
+  static obs::Counter* scratch_reuse =
+      obs::GetCounter("forest.unlearn.scratch_reuse");
   deletes->Inc();
   deleted_rows->Inc(static_cast<int64_t>(rows.size()));
   batch_rows->Record(static_cast<int64_t>(rows.size()));
-  std::unordered_set<RowId> seen;
-  for (RowId r : rows) {
-    if (r < 0 || r >= store_->num_rows()) {
-      return Status::IndexError("row id " + std::to_string(r) +
-                                " out of range");
+  DeletionScratch local_scratch;
+  if (config_.batched_unlearn_kernel) {
+    // Duplicate/range validation doubles as the one batch-wide doomed-row
+    // marking pass every tree then shares — no per-batch unordered_set.
+    if (scratch == nullptr) scratch = &local_scratch;
+    if (scratch->BeginBatch(store_->num_rows())) scratch_reuse->Inc();
+    for (RowId r : rows) {
+      if (r < 0 || r >= store_->num_rows()) {
+        return Status::IndexError("row id " + std::to_string(r) +
+                                  " out of range");
+      }
+      if (!scratch->MarkDoomed(r)) {
+        return Status::Invalid("duplicate row id " + std::to_string(r) +
+                               " in deletion batch");
+      }
     }
-    if (!seen.insert(r).second) {
-      return Status::Invalid("duplicate row id " + std::to_string(r) +
-                             " in deletion batch");
+  } else {
+    std::unordered_set<RowId> seen;
+    for (RowId r : rows) {
+      if (r < 0 || r >= store_->num_rows()) {
+        return Status::IndexError("row id " + std::to_string(r) +
+                                  " out of range");
+      }
+      if (!seen.insert(r).second) {
+        return Status::Invalid("duplicate row id " + std::to_string(r) +
+                               " in deletion batch");
+      }
     }
   }
   for (size_t t = 0; t < trees_.size(); ++t) {
     DeletionStats local;
-    trees_[t].DeleteRows(rows, &local);
+    if (config_.batched_unlearn_kernel) {
+      trees_[t].DeleteRows(rows, &local, scratch);
+    } else {
+      trees_[t].DeleteRows(rows, &local);
+    }
     deletion_stats_.Add(local);
     if (per_tree != nullptr) (*per_tree)[t] = local;
   }
@@ -133,7 +158,8 @@ Status DareForest::DeleteRows(const std::vector<RowId>& rows,
 }
 
 Result<std::vector<RowId>> DareForest::AddData(
-    const Dataset& rows, std::vector<DeletionStats>* per_tree) {
+    const Dataset& rows, std::vector<DeletionStats>* per_tree,
+    DeletionScratch* scratch) {
   if (per_tree != nullptr) {
     per_tree->assign(trees_.size(), DeletionStats{});
   }
@@ -159,9 +185,17 @@ Result<std::vector<RowId>> DareForest::AddData(
     }
     new_ids.push_back(store_->Append(codes, rows.Label(r)));
   }
+  DeletionScratch local_scratch;
+  if (config_.batched_unlearn_kernel && scratch == nullptr) {
+    scratch = &local_scratch;
+  }
   for (size_t t = 0; t < trees_.size(); ++t) {
     DeletionStats local;
-    trees_[t].AddRows(new_ids, &local);
+    if (config_.batched_unlearn_kernel) {
+      trees_[t].AddRows(new_ids, &local, scratch);
+    } else {
+      trees_[t].AddRows(new_ids, &local);
+    }
     deletion_stats_.Add(local);
     if (per_tree != nullptr) (*per_tree)[t] = local;
   }

@@ -56,7 +56,19 @@ class DareForest {
   /// pointers into it (e.g. the stream engine's prediction cache) may keep
   /// them. Pass nullptr to skip the report.
   Status DeleteRows(const std::vector<RowId>& rows,
-                    std::vector<DeletionStats>* per_tree);
+                    std::vector<DeletionStats>* per_tree) {
+    return DeleteRows(rows, per_tree, nullptr);
+  }
+
+  /// As above with caller-owned kernel scratch. Long-lived callers (what-if
+  /// evaluation workers, the stream engine) pass the same scratch to every
+  /// call so steady-state deletions allocate nothing; a warm reuse bumps
+  /// forest.unlearn.scratch_reuse. nullptr uses call-local scratch. The
+  /// scratch is an execution resource only — results are byte-identical
+  /// whatever is passed (or with the kernel disabled entirely).
+  Status DeleteRows(const std::vector<RowId>& rows,
+                    std::vector<DeletionStats>* per_tree,
+                    DeletionScratch* scratch);
 
   /// Exactly adds new training instances: the updated forest equals Train()
   /// on the enlarged dataset (same config/seed). `rows` must be
@@ -68,7 +80,14 @@ class DareForest {
 
   /// As above with the per-tree work report of DeleteRows' overload.
   Result<std::vector<RowId>> AddData(const Dataset& rows,
-                                     std::vector<DeletionStats>* per_tree);
+                                     std::vector<DeletionStats>* per_tree) {
+    return AddData(rows, per_tree, nullptr);
+  }
+
+  /// As above with caller-owned kernel scratch (see DeleteRows).
+  Result<std::vector<RowId>> AddData(const Dataset& rows,
+                                     std::vector<DeletionStats>* per_tree,
+                                     DeletionScratch* scratch);
 
   /// P(label = 1): mean of per-tree leaf positive fractions.
   double PredictProb(const Dataset& data, int64_t row) const;

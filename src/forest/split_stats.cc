@@ -27,8 +27,15 @@ int NodeStats::CandIndex(int attr) const {
 void NodeStats::ComputeFromRows(const TrainingStore& store,
                                 const std::vector<RowId>& rows,
                                 std::vector<int> cand_attrs_sorted) {
+  ComputeFromRows(store, rows.data(), static_cast<int64_t>(rows.size()),
+                  std::move(cand_attrs_sorted));
+}
+
+void NodeStats::ComputeFromRows(const TrainingStore& store, const RowId* rows,
+                                int64_t n,
+                                std::vector<int> cand_attrs_sorted) {
   cand_attrs = std::move(cand_attrs_sorted);
-  count = static_cast<int64_t>(rows.size());
+  count = n;
   pos = 0;
   hist_count.assign(cand_attrs.size(), {});
   hist_pos.assign(cand_attrs.size(), {});
@@ -37,7 +44,8 @@ void NodeStats::ComputeFromRows(const TrainingStore& store,
     hist_count[i].assign(static_cast<size_t>(card), 0);
     hist_pos[i].assign(static_cast<size_t>(card), 0);
   }
-  for (RowId r : rows) {
+  for (int64_t k = 0; k < n; ++k) {
+    const RowId r = rows[k];
     const int y = store.label(r);
     pos += y;
     for (size_t i = 0; i < cand_attrs.size(); ++i) {
@@ -68,6 +76,70 @@ void NodeStats::AddRow(const TrainingStore& store, RowId row) {
     ++hist_count[i][static_cast<size_t>(v)];
     hist_pos[i][static_cast<size_t>(v)] += y;
   }
+}
+
+// Batch update order: rows outer, attributes inner. The store is row-major,
+// so each (scattered) row's cache line is touched exactly once, with its
+// label loaded once; the histograms are a few dozen entries and live in L1
+// across the whole batch. Integer increments commute, so the result is
+// byte-identical to n RemoveRow/AddRow calls in any order.
+void NodeStats::RemoveRows(const TrainingStore& store, const RowId* rows,
+                           int64_t n) {
+  const size_t num_attrs = cand_attrs.size();
+  for (int64_t k = 0; k < n; ++k) {
+    const RowId r = rows[k];
+    const int y = store.label(r);
+    pos -= y;
+    for (size_t i = 0; i < num_attrs; ++i) {
+      const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
+      --hist_count[i][v];
+      hist_pos[i][v] -= y;
+    }
+  }
+  count -= n;
+}
+
+void NodeStats::AddRows(const TrainingStore& store, const RowId* rows,
+                        int64_t n) {
+  const size_t num_attrs = cand_attrs.size();
+  for (int64_t k = 0; k < n; ++k) {
+    const RowId r = rows[k];
+    const int y = store.label(r);
+    pos += y;
+    for (size_t i = 0; i < num_attrs; ++i) {
+      const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
+      ++hist_count[i][v];
+      hist_pos[i][v] += y;
+    }
+  }
+  count += n;
+}
+
+RowId* NodeStats::RemoveRowsAndPartition(const TrainingStore& store,
+                                         RowId* begin, RowId* end, int attr,
+                                         int32_t threshold,
+                                         std::vector<RowId>* spill) {
+  const size_t num_attrs = cand_attrs.size();
+  spill->clear();
+  RowId* write = begin;
+  for (RowId* p = begin; p != end; ++p) {
+    const RowId r = *p;
+    const int y = store.label(r);
+    pos -= y;
+    for (size_t i = 0; i < num_attrs; ++i) {
+      const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
+      --hist_count[i][v];
+      hist_pos[i][v] -= y;
+    }
+    if (store.code(r, attr) <= threshold) {
+      *write++ = r;
+    } else {
+      spill->push_back(r);
+    }
+  }
+  count -= end - begin;
+  std::copy(spill->begin(), spill->end(), write);
+  return write;
 }
 
 bool NodeStats::Equals(const NodeStats& other) const {
@@ -220,18 +292,44 @@ SplitDecision DecideSplit(const NodeStats& stats, const TrainingStore& store,
 
   // Greedy: Gini argmax over candidate attributes and thresholds, ties
   // broken by ascending (attribute, threshold) via strict-improvement scan.
+  // Thresholds are visited ascending, so left-side counts accumulate in a
+  // running prefix instead of re-summing bins [0, t] per threshold, and the
+  // exact mode (every inter-bin threshold) enumerates candidates directly
+  // rather than materializing the CandidateThresholds vector — this is the
+  // hot path of every deletion's per-node decision re-check. Scores are
+  // computed from the same integer inputs in the same order as the scan it
+  // replaces, so decisions are bit-identical.
   SplitDecision best = leaf;
   double best_score = 0.0;
   bool have_best = false;
   for (size_t i = 0; i < stats.cand_attrs.size(); ++i) {
     const int attr = stats.cand_attrs[i];
-    const std::vector<int32_t> thresholds =
-        CandidateThresholds(path_key, attr, store.cardinality(attr), config);
-    for (int32_t t : thresholds) {
-      double score;
-      if (!ScoreSplit(stats, static_cast<int>(i), t, min_leaf, &score)) {
-        continue;
+    const int32_t num_thresholds = store.cardinality(attr) - 1;
+    if (num_thresholds <= 0) continue;
+    const bool exact = config.threshold_mode == ThresholdMode::kExact ||
+                       config.num_sampled_thresholds >= num_thresholds;
+    std::vector<int32_t> sampled;
+    if (!exact) {
+      sampled =
+          CandidateThresholds(path_key, attr, store.cardinality(attr), config);
+    }
+    const size_t num_cand =
+        exact ? static_cast<size_t>(num_thresholds) : sampled.size();
+    const auto& hc = stats.hist_count[i];
+    const auto& hp = stats.hist_pos[i];
+    SideCounts left;
+    int32_t bin = 0;
+    for (size_t k = 0; k < num_cand; ++k) {
+      const int32_t t = exact ? static_cast<int32_t>(k) : sampled[k];
+      for (; bin <= t; ++bin) {
+        left.count += hc[static_cast<size_t>(bin)];
+        left.pos += hp[static_cast<size_t>(bin)];
       }
+      const int64_t right_count = stats.count - left.count;
+      const int64_t right_pos = stats.pos - left.pos;
+      if (left.count < min_leaf || right_count < min_leaf) continue;
+      const double score =
+          WeightedGini(left.count, left.pos, right_count, right_pos);
       if (!have_best || score < best_score - 1e-12) {
         have_best = true;
         best_score = score;

@@ -140,6 +140,65 @@ std::shared_ptr<TreeNode> DareTree::BuildNode(const std::vector<RowId>& rows,
   return node;
 }
 
+std::shared_ptr<TreeNode> DareTree::BuildNodeKernel(RowId* begin, RowId* end,
+                                                    int depth,
+                                                    uint64_t path_key,
+                                                    DeletionScratch* scratch,
+                                                    NodeStats* seed_stats,
+                                                    int64_t pos_hint) {
+  auto node = std::make_shared<TreeNode>();
+  const int64_t n = end - begin;
+  int64_t pos = 0;
+  if (seed_stats != nullptr) {
+    FUME_DCHECK_EQ(seed_stats->count, n);
+    pos = seed_stats->pos;
+  } else if (pos_hint >= 0) {
+    pos = pos_hint;
+  } else {
+    for (RowId* p = begin; p != end; ++p) pos += store_->label(*p);
+  }
+  node->count = n;
+  node->pos = pos;
+  // Histogram-free leaf conditions — must mirror DecideSplit's first three
+  // checks (split_stats.cc) exactly: a node they force into a leaf never
+  // reads its histograms, so skipping ComputeFromRows cannot change bytes.
+  if (n < config_.min_samples_split || pos == 0 || pos == n ||
+      depth >= config_.max_depth) {
+    node->rows.assign(begin, end);
+    return node;
+  }
+
+  NodeStats stats;
+  if (seed_stats != nullptr) {
+    stats = std::move(*seed_stats);
+  } else {
+    stats.ComputeFromRows(
+        *store_, begin, n,
+        ChooseCandidateAttrs(path_key, store_->num_attrs(), depth, config_));
+  }
+  const SplitDecision decision =
+      DecideSplit(stats, *store_, depth, path_key, config_);
+  if (decision.is_leaf) {
+    node->rows.assign(begin, end);
+    return node;
+  }
+
+  node->attr = decision.attr;
+  node->threshold = decision.threshold;
+  node->is_random = decision.is_random;
+  node->stats = std::move(stats);
+
+  int64_t left_pos = 0;
+  RowId* mid = PartitionBySplit(node.get(), begin, end, scratch, &left_pos);
+  node->left = BuildNodeKernel(begin, mid, depth + 1,
+                               ChildPathKey(path_key, 0), scratch,
+                               /*seed_stats=*/nullptr, left_pos);
+  node->right = BuildNodeKernel(mid, end, depth + 1,
+                                ChildPathKey(path_key, 1), scratch,
+                                /*seed_stats=*/nullptr, pos - left_pos);
+  return node;
+}
+
 void DareTree::CollectLeafRows(const TreeNode* node, std::vector<RowId>* out) {
   if (node->is_leaf()) {
     out->insert(out->end(), node->rows.begin(), node->rows.end());
@@ -147,6 +206,24 @@ void DareTree::CollectLeafRows(const TreeNode* node, std::vector<RowId>* out) {
   }
   CollectLeafRows(node->left.get(), out);
   CollectLeafRows(node->right.get(), out);
+}
+
+int64_t DareTree::CollectLeafRowsFiltered(const TreeNode* node,
+                                          const DeletionScratch& scratch,
+                                          std::vector<RowId>* out) {
+  if (node->is_leaf()) {
+    int64_t dropped = 0;
+    for (RowId r : node->rows) {
+      if (scratch.IsDoomed(r)) {
+        ++dropped;
+      } else {
+        out->push_back(r);
+      }
+    }
+    return dropped;
+  }
+  return CollectLeafRowsFiltered(node->left.get(), scratch, out) +
+         CollectLeafRowsFiltered(node->right.get(), scratch, out);
 }
 
 TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
@@ -166,9 +243,39 @@ TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
 void DareTree::DeleteRows(const std::vector<RowId>& rows,
                           DeletionStats* stats_out) {
   if (rows.empty() || root_ == nullptr) return;
+  if (!config_.batched_unlearn_kernel) {
+    DeletionStats local;
+    DeleteFromNode(&root_, rows, /*depth=*/0,
+                   RootPathKey(config_.seed, tree_id_), &local);
+    RecordBatch(local);
+    if (stats_out != nullptr) stats_out->Add(local);
+    return;
+  }
+  DeletionScratch scratch;
+  scratch.BeginBatch(store_->num_rows());
+  for (RowId r : rows) FUME_CHECK(scratch.MarkDoomed(r));
+  DeleteRows(rows, stats_out, &scratch);
+}
+
+void DareTree::DeleteRows(const std::vector<RowId>& rows,
+                          DeletionStats* stats_out, DeletionScratch* scratch) {
+  if (rows.empty() || root_ == nullptr) return;
   DeletionStats local;
-  DeleteFromNode(&root_, rows, /*depth=*/0,
-                 RootPathKey(config_.seed, tree_id_), &local);
+  if (config_.batched_unlearn_kernel) {
+    scratch->route.assign(rows.begin(), rows.end());
+    scratch->settled = 0;
+    DeleteFromNodeKernel(&root_, scratch->route.data(),
+                         scratch->route.data() + scratch->route.size(),
+                         /*depth=*/0, RootPathKey(config_.seed, tree_id_),
+                         &local, scratch);
+    // Batch-level replacement for the baseline's per-leaf membership count:
+    // every doomed row must have been settled exactly once in this tree,
+    // either removed at a leaf or filtered out of a retrain collection.
+    FUME_CHECK_EQ(scratch->settled, static_cast<int64_t>(rows.size()));
+  } else {
+    DeleteFromNode(&root_, rows, /*depth=*/0,
+                   RootPathKey(config_.seed, tree_id_), &local);
+  }
   RecordBatch(local);
   if (stats_out != nullptr) stats_out->Add(local);
 }
@@ -250,13 +357,148 @@ void DareTree::DeleteFromNode(std::shared_ptr<TreeNode>* slot,
   }
 }
 
+RowId* DareTree::PartitionBySplit(const TreeNode* node, RowId* begin,
+                                  RowId* end, DeletionScratch* scratch,
+                                  int64_t* left_pos_out) const {
+  std::vector<RowId>& spill = scratch->partition_tmp;
+  spill.clear();
+  RowId* write = begin;
+  int64_t left_pos = 0;
+  for (RowId* p = begin; p != end; ++p) {
+    const RowId r = *p;
+    if (store_->code(r, node->attr) <= node->threshold) {
+      if (left_pos_out != nullptr) left_pos += store_->label(r);
+      *write++ = r;
+    } else {
+      spill.push_back(r);
+    }
+  }
+  std::copy(spill.begin(), spill.end(), write);
+  if (left_pos_out != nullptr) *left_pos_out = left_pos;
+  return write;
+}
+
+void DareTree::DeleteFromNodeKernel(std::shared_ptr<TreeNode>* slot,
+                                    RowId* begin, RowId* end, int depth,
+                                    uint64_t path_key,
+                                    DeletionStats* stats_out,
+                                    DeletionScratch* scratch) {
+  TreeNode* node = Mutable(slot);
+  ++stats_out->nodes_visited;
+  const int64_t n = end - begin;
+
+  if (node->is_leaf()) {
+    // A leaf can never become an internal node under deletion (leaf
+    // conditions are monotone in shrinking data; see DESIGN.md §6.1), so
+    // only the membership list and label counts change. Doomed membership
+    // comes from the batch-wide epoch stamps — no per-leaf set build.
+    ++stats_out->leaves_updated;
+    int64_t removed_pos = 0;
+    size_t kept = 0;
+    for (size_t i = 0; i < node->rows.size(); ++i) {
+      const RowId r = node->rows[i];
+      if (scratch->IsDoomed(r)) {
+        removed_pos += store_->label(r);
+      } else {
+        node->rows[kept++] = r;
+      }
+    }
+    const int64_t removed = static_cast<int64_t>(node->rows.size() - kept);
+    // Strict per-leaf form kept in debug builds; release builds rely on the
+    // per-tree settled tally in DeleteRows.
+    FUME_DCHECK_EQ(removed, n);
+    scratch->settled += removed;
+    node->rows.resize(kept);
+    node->count -= removed;
+    node->pos -= removed_pos;
+    return;
+  }
+
+  // Internal node: one fused pass decrements the cached statistics AND
+  // stable-partitions the routed span around the current split (each row's
+  // store line is touched exactly once), then the split decision is
+  // re-evaluated as usual. On the rare decision flip the partition work is
+  // discarded — the retrain rebuilds from the collected remaining rows and
+  // never re-reads the (reordered, abandoned) span.
+  ++stats_out->nodes_updated;
+  RowId* mid = node->stats.RemoveRowsAndPartition(
+      *store_, begin, end, node->attr, node->threshold,
+      &scratch->partition_tmp);
+  node->count = node->stats.count;
+  node->pos = node->stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(node->stats, *store_, depth, path_key, config_);
+  SplitDecision current;
+  current.is_leaf = false;
+  current.attr = node->attr;
+  current.threshold = node->threshold;
+  current.is_random = node->is_random;
+
+  if (!decision.SameSplit(current)) {
+    ++stats_out->subtrees_retrained;
+    RecordRetrain(depth, config_.random_depth);
+    std::vector<RowId>& remaining = scratch->remaining;
+    remaining.clear();
+    const int64_t filtered = CollectLeafRowsFiltered(node, *scratch, &remaining);
+    FUME_DCHECK_EQ(filtered, n);
+    scratch->settled += filtered;
+    stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
+    std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
+        remaining.data(), remaining.data() + remaining.size(), depth, path_key,
+        scratch, &node->stats);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  // Same split: the fused pass above already partitioned the span — the
+  // routed subsets (and their order) match the baseline's left/right
+  // vectors without allocating them.
+  if (mid != begin) {
+    DeleteFromNodeKernel(&node->left, begin, mid, depth + 1,
+                         ChildPathKey(path_key, 0), stats_out, scratch);
+  }
+  if (mid != end) {
+    DeleteFromNodeKernel(&node->right, mid, end, depth + 1,
+                         ChildPathKey(path_key, 1), stats_out, scratch);
+  }
+}
+
 void DareTree::AddRows(const std::vector<RowId>& rows,
                        DeletionStats* stats_out) {
+  if (!config_.batched_unlearn_kernel || rows.empty() || root_ == nullptr) {
+    // Legacy path; also covers empty batches and building a first root,
+    // which need no scratch.
+    if (rows.empty()) return;
+    DeletionStats local;
+    if (root_ == nullptr) {
+      root_ =
+          BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
+      ++local.subtrees_retrained;
+    } else {
+      AddToNode(&root_, rows, /*depth=*/0,
+                RootPathKey(config_.seed, tree_id_), &local);
+    }
+    if (stats_out != nullptr) stats_out->Add(local);
+    return;
+  }
+  DeletionScratch scratch;
+  AddRows(rows, stats_out, &scratch);
+}
+
+void DareTree::AddRows(const std::vector<RowId>& rows,
+                       DeletionStats* stats_out, DeletionScratch* scratch) {
   if (rows.empty()) return;
   DeletionStats local;
   if (root_ == nullptr) {
     root_ = BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
     ++local.subtrees_retrained;
+  } else if (config_.batched_unlearn_kernel) {
+    scratch->route.assign(rows.begin(), rows.end());
+    AddToNodeKernel(&root_, scratch->route.data(),
+                    scratch->route.data() + scratch->route.size(),
+                    /*depth=*/0, RootPathKey(config_.seed, tree_id_), &local,
+                    scratch);
   } else {
     AddToNode(&root_, rows, /*depth=*/0,
               RootPathKey(config_.seed, tree_id_), &local);
@@ -323,6 +565,73 @@ void DareTree::AddToNode(std::shared_ptr<TreeNode>* slot,
   if (!right_rows.empty()) {
     AddToNode(&node->right, right_rows, depth + 1, ChildPathKey(path_key, 1),
               stats_out);
+  }
+}
+
+void DareTree::AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
+                               RowId* end, int depth, uint64_t path_key,
+                               DeletionStats* stats_out,
+                               DeletionScratch* scratch) {
+  TreeNode* node = Mutable(slot);
+  ++stats_out->nodes_visited;
+  const int64_t n = end - begin;
+
+  if (node->is_leaf()) {
+    // Same rebuild-from-merged-rows step as the baseline, with the merge
+    // buffer reused across leaves and batches. The routed span kept batch
+    // order through the stable partition, so `merged` — and hence the
+    // rebuilt subtree's leaf lists — are byte-identical to the baseline's.
+    ++stats_out->leaves_updated;
+    std::vector<RowId>& merged = scratch->remaining;
+    merged.clear();
+    merged.insert(merged.end(), node->rows.begin(), node->rows.end());
+    merged.insert(merged.end(), begin, end);
+    stats_out->rows_retrained += static_cast<int64_t>(merged.size());
+    std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
+        merged.data(), merged.data() + merged.size(), depth, path_key,
+        scratch);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  // No fused update+partition here, unlike DeleteFromNodeKernel: an add
+  // retrain appends the routed span to the rebuild rows IN BATCH ORDER, so
+  // the span must not be reordered before the flip check.
+  ++stats_out->nodes_updated;
+  node->stats.AddRows(*store_, begin, n);
+  node->count = node->stats.count;
+  node->pos = node->stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(node->stats, *store_, depth, path_key, config_);
+  SplitDecision current;
+  current.is_leaf = false;
+  current.attr = node->attr;
+  current.threshold = node->threshold;
+  current.is_random = node->is_random;
+
+  if (!decision.SameSplit(current)) {
+    ++stats_out->subtrees_retrained;
+    std::vector<RowId>& remaining = scratch->remaining;
+    remaining.clear();
+    CollectLeafRows(node, &remaining);
+    remaining.insert(remaining.end(), begin, end);
+    stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
+    std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
+        remaining.data(), remaining.data() + remaining.size(), depth, path_key,
+        scratch, &node->stats);
+    *node = std::move(*rebuilt);
+    return;
+  }
+
+  RowId* mid = PartitionBySplit(node, begin, end, scratch);
+  if (mid != begin) {
+    AddToNodeKernel(&node->left, begin, mid, depth + 1,
+                    ChildPathKey(path_key, 0), stats_out, scratch);
+  }
+  if (mid != end) {
+    AddToNodeKernel(&node->right, mid, end, depth + 1,
+                    ChildPathKey(path_key, 1), stats_out, scratch);
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "forest/config.h"
+#include "forest/deletion_scratch.h"
 #include "forest/split_stats.h"
 #include "forest/training_store.h"
 
@@ -85,9 +86,25 @@ class DareTree {
   /// address unless a subtree retrain replaces them.
   void DeleteRows(const std::vector<RowId>& rows, DeletionStats* stats_out);
 
+  /// Scratch-kernel variant shared across the trees of one forest batch:
+  /// `scratch` must have the batch's rows marked doomed (BeginBatch +
+  /// MarkDoomed once per forest-level call). With
+  /// config.batched_unlearn_kernel the recursion routes rows by
+  /// partitioning scratch->route spans in place and answers doomed-row
+  /// membership from the epoch-stamped array — allocation-free when the
+  /// scratch is warm; otherwise falls back to the per-row baseline
+  /// (results byte-identical either way).
+  void DeleteRows(const std::vector<RowId>& rows, DeletionStats* stats_out,
+                  DeletionScratch* scratch);
+
   /// Exactly adds rows (already present in the store, not in the tree): the
   /// result equals Build() on the enlarged row set. Mirrors DeleteRows.
   void AddRows(const std::vector<RowId>& rows, DeletionStats* stats_out);
+
+  /// Scratch variant of AddRows (routing buffers only — additions need no
+  /// doomed marks, so any scratch works regardless of batch state).
+  void AddRows(const std::vector<RowId>& rows, DeletionStats* stats_out,
+               DeletionScratch* scratch);
 
   /// P(label=1) for an instance supplied via an accessor: codes(attr) must
   /// return the instance's code for `attr`.
@@ -149,16 +166,63 @@ class DareTree {
  private:
   std::shared_ptr<TreeNode> BuildNode(const std::vector<RowId>& rows,
                                       int depth, uint64_t path_key);
+  /// Span-based rebuild used by the batched kernel's retrain legs: rows are
+  /// partitioned in place (stable, via scratch->partition_tmp) instead of
+  /// being copied into per-node left/right vectors, and nodes that the
+  /// histogram-free DecideSplit conditions already force into leaves skip
+  /// the candidate-histogram pass entirely (a leaf discards its stats).
+  /// `seed_stats`, when non-null, must equal ComputeFromRows on [begin, end)
+  /// with this node's candidate attributes — the retrain call sites pass the
+  /// trigger node's just-updated histograms (that equality is the cached-
+  /// stats invariant ValidateStats checks), sparing the rebuild root's full
+  /// pass over the remaining rows; it is consumed by move. `pos_hint`, when
+  /// >= 0, is the positive count of [begin, end) (the recursion derives the
+  /// children's counts during partitioning, so only the rebuild root ever
+  /// runs a label pass). Byte-identical output to BuildNode on the same row
+  /// sequence.
+  std::shared_ptr<TreeNode> BuildNodeKernel(RowId* begin, RowId* end,
+                                            int depth, uint64_t path_key,
+                                            DeletionScratch* scratch,
+                                            NodeStats* seed_stats = nullptr,
+                                            int64_t pos_hint = -1);
   /// CoW unshare: returns a privately-owned, mutable view of *slot,
   /// replacing a shared node with a shallow copy first.
   TreeNode* Mutable(std::shared_ptr<TreeNode>* slot);
+  // Per-row baseline recursion (config.batched_unlearn_kernel = false):
+  // builds an unordered_set of doomed rows at every leaf/retrain and routes
+  // through freshly allocated per-node vectors. Kept verbatim as the
+  // exactness reference for the kernel.
   void DeleteFromNode(std::shared_ptr<TreeNode>* slot,
                       const std::vector<RowId>& rows, int depth,
                       uint64_t path_key, DeletionStats* stats_out);
   void AddToNode(std::shared_ptr<TreeNode>* slot,
                  const std::vector<RowId>& rows, int depth, uint64_t path_key,
                  DeletionStats* stats_out);
+  // Batched kernel recursion: operates on a span of scratch->route,
+  // partitioned in place at each split (stable, via scratch->partition_tmp,
+  // so leaf membership order — and hence serialized bytes — match the
+  // baseline exactly).
+  void DeleteFromNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
+                            RowId* end, int depth, uint64_t path_key,
+                            DeletionStats* stats_out, DeletionScratch* scratch);
+  void AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
+                       RowId* end, int depth, uint64_t path_key,
+                       DeletionStats* stats_out, DeletionScratch* scratch);
+  /// Stable split of [begin, end) around this node's split test; returns
+  /// the boundary. One forward pass plus a copy-back from
+  /// scratch->partition_tmp — no allocation once the buffer is warm. When
+  /// `left_pos_out` is non-null it receives the positive-label count of the
+  /// left side (fused with the routing pass; see BuildNodeKernel pos_hint).
+  RowId* PartitionBySplit(const TreeNode* node, RowId* begin, RowId* end,
+                          DeletionScratch* scratch,
+                          int64_t* left_pos_out = nullptr) const;
   static void CollectLeafRows(const TreeNode* node, std::vector<RowId>* out);
+  /// Kernel variant: collects leaf rows left-to-right while dropping doomed
+  /// rows in the same pass (same surviving order as CollectLeafRows +
+  /// stable remove_if). Returns the number of doomed rows dropped.
+  static int64_t CollectLeafRowsFiltered(const TreeNode* node,
+                                         const DeletionScratch& scratch,
+                                         std::vector<RowId>* out);
 
   std::shared_ptr<const TrainingStore> store_;
   ForestConfig config_;

@@ -238,7 +238,7 @@ Status StreamEngine::ApplyInsert(const StreamOp& op) {
   }
   std::vector<DeletionStats> per_tree;
   FUME_ASSIGN_OR_RETURN(std::vector<RowId> new_ids,
-                        forest_.AddData(batch, &per_tree));
+                        forest_.AddData(batch, &per_tree, &unlearn_scratch_));
   for (size_t i = 0; i < op.rows.size(); ++i) {
     // Validated above; appending to the mirror cannot fail now.
     FUME_CHECK(train_data_.AppendRow(op.rows[i].codes, op.rows[i].label).ok());
@@ -274,7 +274,8 @@ Status StreamEngine::ApplyDelete(const StreamOp& op) {
     dense_rows.push_back(it->second);
   }
   std::vector<DeletionStats> per_tree;
-  FUME_RETURN_NOT_OK(forest_.DeleteRows(op.row_ids, &per_tree));
+  FUME_RETURN_NOT_OK(
+      forest_.DeleteRows(op.row_ids, &per_tree, &unlearn_scratch_));
   train_data_ = train_data_.DropRows(dense_rows);
   // Drop the same dense positions from the id map, preserving order.
   std::vector<bool> doomed(store_ids_.size(), false);

@@ -149,6 +149,9 @@ class StreamEngine {
   Dataset test_;
   StreamEngineConfig config_;
   DareForest forest_;
+  /// Reused across every insert/delete op this engine applies, keeping the
+  /// unlearning kernel allocation-free in the steady state.
+  DeletionScratch unlearn_scratch_;
   Dataset train_data_;
   /// store_ids_[dense row] = engine/store id; parallel to train_data_.
   std::vector<RowId> store_ids_;

@@ -56,6 +56,44 @@ class Bitmap {
     return out;
   }
 
+  /// |a & b| without materializing the intersection — one fused AND +
+  /// popcount pass. The R2 support checks and the top-k overlap filter only
+  /// need the count, never the rowset.
+  static int64_t IntersectCount(const Bitmap& a, const Bitmap& b) {
+    FUME_DCHECK_EQ(a.size_, b.size_);
+    int64_t c = 0;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      c += std::popcount(a.words_[i] & b.words_[i]);
+    }
+    return c;
+  }
+
+  /// |a \ b| (bits set in a but not b) without materializing.
+  static int64_t AndNotCount(const Bitmap& a, const Bitmap& b) {
+    FUME_DCHECK_EQ(a.size_, b.size_);
+    int64_t c = 0;
+    for (size_t i = 0; i < a.words_.size(); ++i) {
+      c += std::popcount(a.words_[i] & ~b.words_[i]);
+    }
+    return c;
+  }
+
+  /// this = a & b, reusing this bitmap's storage when already sized, and
+  /// returns |a & b| from the same pass — one traversal where
+  /// copy + IntersectWith + Count take three.
+  int64_t AssignIntersect(const Bitmap& a, const Bitmap& b) {
+    FUME_DCHECK_EQ(a.size_, b.size_);
+    size_ = a.size_;
+    words_.resize(a.words_.size());
+    int64_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      const uint64_t w = a.words_[i] & b.words_[i];
+      words_[i] = w;
+      c += std::popcount(w);
+    }
+    return c;
+  }
+
   /// Indices of set bits, ascending.
   std::vector<int32_t> ToRows() const {
     std::vector<int32_t> out;

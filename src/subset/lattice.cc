@@ -50,10 +50,12 @@ std::vector<LatticeNode> Lattice::MakeLevel1() const {
   for (const Literal& lit : MakeLiterals()) {
     LatticeNode node;
     node.predicate = Predicate::Of(lit);
-    node.rows = index_.Match(lit);
-    node.support = num_rows_ == 0 ? 0.0
-                                  : static_cast<double>(node.rows.Count()) /
-                                        static_cast<double>(num_rows_);
+    node.rows = index_.LiteralBitmap(lit);
+    node.support_count = node.rows.Count();
+    node.support = num_rows_ == 0
+                       ? 0.0
+                       : static_cast<double>(node.support_count) /
+                             static_cast<double>(num_rows_);
     node.level = 1;
     nodes.push_back(std::move(node));
   }
@@ -76,6 +78,8 @@ std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
       obs::GetCounter("fume.prune.rule1_contradiction");
   static obs::Counter* degenerate_counter =
       obs::GetCounter("lattice.merge.degenerate");
+  static obs::Counter* derived_counter =
+      obs::GetCounter("lattice.rowset.derived");
   obs::TraceSpan span("lattice.merge",
                       {{"parents", static_cast<int64_t>(parents.size())}});
   LatticeMergeStats local;
@@ -118,10 +122,14 @@ std::vector<LatticeNode> Lattice::MergeLevel(std::vector<LatticeNode> parents,
 
       LatticeNode node;
       node.predicate = std::move(merged);
-      node.rows = Bitmap::Intersect(parents[i].rows, parents[j].rows);
+      // Child = parent ∩ parent, never a fresh posting-index scan; the AND
+      // pass also yields the support count, so no separate Count() walk.
+      derived_counter->Inc();
+      node.support_count =
+          node.rows.AssignIntersect(parents[i].rows, parents[j].rows);
       node.support = num_rows_ == 0
                          ? 0.0
-                         : static_cast<double>(node.rows.Count()) /
+                         : static_cast<double>(node.support_count) /
                                static_cast<double>(num_rows_);
       node.level = static_cast<int>(li.size()) + 1;
       // Rule 4 bookkeeping: remember the strongest known parent attribution.

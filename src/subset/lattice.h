@@ -19,6 +19,7 @@ namespace fume {
 struct LatticeNode {
   Predicate predicate;
   Bitmap rows;          // matching training rows
+  int64_t support_count = 0;  // |rows|, counted when rows was built
   double support = 0.0; // |rows| / |D|
   int level = 1;        // number of literals
 
@@ -69,7 +70,10 @@ class Lattice {
   /// are dropped. `parents` must be sorted by predicate (the join relies on
   /// the canonical order); MergeLevel sorts a copy if needed.
   ///
-  /// Each candidate's rows = intersection of its parents' bitmaps and
+  /// Each candidate's rows = intersection of its parents' bitmaps (a
+  /// level-l node IS parent ∩ its other parent's last literal — see
+  /// DESIGN.md §6.4 — so no candidate ever consults the posting index),
+  /// derived in one fused AND+popcount pass that also fills support_count.
   /// parent_attribution = max of the parents' known attributions.
   /// `stats` receives the pairs-considered / Rule 1 breakdown.
   std::vector<LatticeNode> MergeLevel(std::vector<LatticeNode> parents,

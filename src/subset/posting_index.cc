@@ -27,6 +27,20 @@ obs::Counter* BitmapIntersections() {
   static obs::Counter* c = obs::GetCounter("posting.bitmap.intersect");
   return c;
 }
+obs::Counter* LiteralCacheHits() {
+  static obs::Counter* c = obs::GetCounter("posting.literal_cache.hit");
+  return c;
+}
+obs::Counter* LiteralCacheMisses() {
+  static obs::Counter* c = obs::GetCounter("posting.literal_cache.miss");
+  return c;
+}
+// Predicate rowsets materialized from scratch (vs the lattice's
+// parent-derived path, lattice.rowset.derived).
+obs::Counter* ScratchRowsets() {
+  static obs::Counter* c = obs::GetCounter("lattice.rowset.scratch");
+  return c;
+}
 
 }  // namespace
 
@@ -57,8 +71,21 @@ const Bitmap& PostingIndex::EqualityBitmap(int attr, int32_t value) const {
   return maps_[static_cast<size_t>(attr)][static_cast<size_t>(value)];
 }
 
-Bitmap PostingIndex::Match(const Literal& literal) const {
+const Bitmap& PostingIndex::LiteralBitmap(const Literal& literal) const {
   LiteralMatches()->Inc();
+  // Equality literals ARE the precomputed posting lists — no union, no
+  // cache entry needed.
+  if (literal.op == LiteralOp::kEq) {
+    LiteralCacheHits()->Inc();
+    return EqualityBitmap(literal.attr, literal.value);
+  }
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->entries.find(literal);
+  if (it != cache_->entries.end()) {
+    LiteralCacheHits()->Inc();
+    return it->second;
+  }
+  LiteralCacheMisses()->Inc();
   const int32_t card = cards_[static_cast<size_t>(literal.attr)];
   Bitmap out(num_rows_);
   for (int32_t c = 0; c < card; ++c) {
@@ -68,34 +95,56 @@ Bitmap PostingIndex::Match(const Literal& literal) const {
                          [static_cast<size_t>(c)]);
     }
   }
-  return out;
+  return cache_->entries.emplace(literal, std::move(out)).first->second;
+}
+
+Bitmap PostingIndex::Match(const Literal& literal) const {
+  return LiteralBitmap(literal);
 }
 
 Bitmap PostingIndex::Match(const Predicate& predicate) const {
   PredicateMatches()->Inc();
-  Bitmap out(num_rows_);
+  ScratchRowsets()->Inc();
   if (predicate.empty()) {
+    Bitmap out(num_rows_);
     for (int64_t r = 0; r < num_rows_; ++r) out.Set(r);
     return out;
   }
-  bool first = true;
-  for (const Literal& lit : predicate.literals()) {
-    const Bitmap m = Match(lit);
-    if (first) {
-      out = m;
-      first = false;
-    } else {
-      BitmapIntersections()->Inc();
-      out.IntersectWith(m);
-    }
+  const auto& literals = predicate.literals();
+  Bitmap out = LiteralBitmap(literals.front());
+  for (size_t i = 1; i < literals.size(); ++i) {
+    BitmapIntersections()->Inc();
+    out.IntersectWith(LiteralBitmap(literals[i]));
   }
   return out;
 }
 
 double PostingIndex::Support(const Predicate& predicate) const {
   if (num_rows_ == 0) return 0.0;
-  return static_cast<double>(Match(predicate).Count()) /
-         static_cast<double>(num_rows_);
+  const auto& literals = predicate.literals();
+  int64_t count = 0;
+  if (literals.empty()) {
+    count = num_rows_;
+  } else if (literals.size() == 1) {
+    count = LiteralBitmap(literals[0]).Count();
+  } else if (literals.size() == 2) {
+    BitmapIntersections()->Inc();
+    count = Bitmap::IntersectCount(LiteralBitmap(literals[0]),
+                                   LiteralBitmap(literals[1]));
+  } else {
+    // Three or more literals need one intermediate; the final AND is fused
+    // with the count, so no full Match() bitmap is ever materialized.
+    Bitmap acc;
+    BitmapIntersections()->Inc();
+    acc.AssignIntersect(LiteralBitmap(literals[0]), LiteralBitmap(literals[1]));
+    for (size_t i = 2; i + 1 < literals.size(); ++i) {
+      BitmapIntersections()->Inc();
+      acc.IntersectWith(LiteralBitmap(literals[i]));
+    }
+    BitmapIntersections()->Inc();
+    count = Bitmap::IntersectCount(acc, LiteralBitmap(literals.back()));
+  }
+  return static_cast<double>(count) / static_cast<double>(num_rows_);
 }
 
 }  // namespace fume

@@ -1,9 +1,11 @@
-// Wall-clock stopwatch used by the runtime benchmarks (Table 8, Figure 5).
+// Wall-clock stopwatch used by the runtime benchmarks (Table 8, Figure 5),
+// plus a thread-CPU-time variant for single-threaded micro-comparisons.
 
 #ifndef FUME_UTIL_STOPWATCH_H_
 #define FUME_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace fume {
 
@@ -23,6 +25,35 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU-time stopwatch for the calling thread. Unlike wall time it is not
+/// inflated when the scheduler preempts the thread, so single-threaded
+/// A/B throughput comparisons (bench_unlearn_kernel) stay stable on a
+/// loaded machine. Meaningless across threads — time only the thread that
+/// constructed it.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+#endif
+  }
+
+  double start_;
 };
 
 }  // namespace fume

@@ -103,6 +103,24 @@ TEST(LatticeTest, ChildRowsAreParentIntersection) {
   }
 }
 
+TEST(LatticeTest, SupportCountMatchesRowsAtEveryLevel) {
+  // The fused parent∩literal derivation caches |rows| in support_count so
+  // downstream consumers never re-popcount; it must agree with the bitmap
+  // and the fraction-of-|D| support at every level.
+  Dataset data = LatticeData();
+  Lattice lattice(data, LatticeOptions{});
+  auto level = lattice.MakeLevel1();
+  for (int depth = 1; depth <= 3 && !level.empty(); ++depth) {
+    for (const auto& node : level) {
+      EXPECT_EQ(node.support_count, node.rows.Count());
+      EXPECT_DOUBLE_EQ(node.support,
+                       static_cast<double>(node.support_count) /
+                           static_cast<double>(data.num_rows()));
+    }
+    level = lattice.MergeLevel(level, nullptr);
+  }
+}
+
 TEST(LatticeTest, SupportIsAntiMonotone) {
   Dataset data = LatticeData();
   Lattice lattice(data, LatticeOptions{});

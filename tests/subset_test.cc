@@ -57,6 +57,24 @@ TEST(BitmapTest, IntersectAndUnion) {
   EXPECT_EQ(a.Count(), 4);
 }
 
+TEST(BitmapTest, CountingOpsMatchMaterializedEquivalents) {
+  Bitmap a(200), b(200);
+  for (int i = 0; i < 200; i += 3) a.Set(i);
+  for (int i = 0; i < 200; i += 5) b.Set(i);
+  EXPECT_EQ(Bitmap::IntersectCount(a, b), Bitmap::Intersect(a, b).Count());
+  EXPECT_EQ(Bitmap::AndNotCount(a, b),
+            a.Count() - Bitmap::Intersect(a, b).Count());
+  Bitmap fused;
+  const int64_t c = fused.AssignIntersect(a, b);
+  EXPECT_EQ(c, fused.Count());
+  EXPECT_EQ(fused.ToRows(), Bitmap::Intersect(a, b).ToRows());
+  // AssignIntersect must fully overwrite previous contents.
+  Bitmap reused(200);
+  reused.Set(1);
+  EXPECT_EQ(reused.AssignIntersect(a, b), c);
+  EXPECT_EQ(reused.ToRows(), fused.ToRows());
+}
+
 TEST(BitmapTest, EmptyBitmap) {
   Bitmap b(0);
   EXPECT_EQ(b.Count(), 0);
@@ -189,6 +207,40 @@ TEST(PostingIndexTest, EmptyPredicateMatchesEverything) {
   Dataset data = TestData();
   PostingIndex index = PostingIndex::Build(data);
   EXPECT_EQ(index.Match(Predicate()).Count(), data.num_rows());
+}
+
+TEST(PostingIndexTest, LiteralBitmapIsCachedAndStable) {
+  Dataset data = TestData();
+  PostingIndex index = PostingIndex::Build(data);
+  const Literal ge{0, LiteralOp::kGe, 1};
+  const Bitmap& first = index.LiteralBitmap(ge);
+  EXPECT_EQ(first.ToRows(), Predicate::Of(ge).MatchingRows(data));
+  // Populating other cache entries must not invalidate the reference.
+  for (int32_t v = 0; v < 3; ++v) {
+    index.LiteralBitmap(Literal{0, LiteralOp::kNe, v});
+    index.LiteralBitmap(Literal{2, LiteralOp::kLe, v});
+  }
+  const Bitmap& again = index.LiteralBitmap(ge);
+  EXPECT_EQ(&first, &again);  // same cache node, not a recompute
+  EXPECT_EQ(again.ToRows(), Predicate::Of(ge).MatchingRows(data));
+  // kEq literals come straight from the posting lists.
+  const Literal eq{1, LiteralOp::kEq, 0};
+  EXPECT_EQ(&index.LiteralBitmap(eq), &index.EqualityBitmap(1, 0));
+}
+
+TEST(PostingIndexTest, SupportIsAllocationFreeCountAtEveryWidth) {
+  Dataset data = TestData();
+  PostingIndex index = PostingIndex::Build(data);
+  const Literal l0{0, LiteralOp::kGe, 1};
+  const Literal l1{1, LiteralOp::kEq, 0};
+  const Literal l2{2, LiteralOp::kLe, 2};
+  const std::vector<Predicate> widths = {
+      Predicate(), Predicate::Of(l0), Predicate({l0, l1}),
+      Predicate({l0, l1, l2})};
+  for (const Predicate& p : widths) {
+    EXPECT_DOUBLE_EQ(index.Support(p), p.Support(data))
+        << p.ToString(data.schema());
+  }
 }
 
 }  // namespace

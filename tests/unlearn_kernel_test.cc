@@ -1,0 +1,272 @@
+// The batched unlearning kernel (DeletionScratch + columnar
+// NodeStats::RemoveRows + in-place route partitioning) must be
+// *byte-identical* to the per-row baseline it replaced: same serialized
+// forest, same DeletionStats, same end-to-end FUME top-k. Swept over
+// datasets, seeds and deletion patterns, with the baseline selected via
+// ForestConfig::batched_unlearn_kernel = false.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fume.h"
+#include "forest/deletion_scratch.h"
+#include "forest/forest.h"
+#include "forest/serialize.h"
+#include "synth/datasets.h"
+#include "util/rng.h"
+
+namespace fume {
+namespace {
+
+ForestConfig KernelForestConfig(bool kernel, uint64_t seed) {
+  ForestConfig config;
+  config.num_trees = 6;
+  config.max_depth = 7;
+  config.random_depth = 2;
+  config.seed = seed;
+  config.batched_unlearn_kernel = kernel;
+  return config;
+}
+
+std::string Serialize(const DareForest& forest) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveForest(forest, out).ok());
+  return out.str();
+}
+
+// Draws `k` distinct row ids from [0, n) (partial Fisher-Yates).
+std::vector<RowId> DrawRows(Rng* rng, int64_t n, int64_t k) {
+  std::vector<RowId> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) ids[static_cast<size_t>(i)] =
+      static_cast<RowId>(i);
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = rng->NextInt(static_cast<int32_t>(i),
+                                   static_cast<int32_t>(n - 1));
+    std::swap(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+  }
+  ids.resize(static_cast<size_t>(k));
+  return ids;
+}
+
+struct KernelIdentityCase {
+  const char* dataset;  // "german" or "planted"
+  uint64_t seed;
+};
+
+class KernelIdentityTest : public testing::TestWithParam<KernelIdentityCase> {
+};
+
+Dataset MakeData(const KernelIdentityCase& c) {
+  if (std::string(c.dataset) == "german") {
+    synth::SynthOptions opts;
+    opts.num_rows = 600;
+    opts.seed = c.seed;
+    auto bundle = synth::MakeGermanCredit(opts);
+    EXPECT_TRUE(bundle.ok());
+    return bundle->data;
+  }
+  synth::PlantedOptions opts;
+  opts.num_rows = 1200;
+  opts.seed = c.seed;
+  auto bundle = synth::MakePlantedBias(opts);
+  EXPECT_TRUE(bundle.ok());
+  return bundle->data;
+}
+
+// Random deletion batches applied to two forests that differ only in the
+// kernel flag must keep them byte-identical at every step. The kernel-on
+// forest additionally reuses one caller-owned scratch across all batches
+// (the steady-state allocation-free path).
+TEST_P(KernelIdentityTest, BatchedKernelMatchesPerRowBaselineByteForByte) {
+  const KernelIdentityCase c = GetParam();
+  const Dataset data = MakeData(c);
+
+  auto kernel_forest =
+      DareForest::Train(data, KernelForestConfig(true, c.seed + 11));
+  auto baseline_forest =
+      DareForest::Train(data, KernelForestConfig(false, c.seed + 11));
+  ASSERT_TRUE(kernel_forest.ok());
+  ASSERT_TRUE(baseline_forest.ok());
+  // The flag must not influence training (it only selects the deletion
+  // execution strategy), so the starting points are identical.
+  ASSERT_EQ(Serialize(*kernel_forest), Serialize(*baseline_forest));
+
+  Rng rng(c.seed * 97 + 3);
+  DeletionScratch scratch;
+  int64_t live = data.num_rows();
+  std::vector<uint8_t> deleted(static_cast<size_t>(data.num_rows()), 0);
+  const int64_t batch_sizes[] = {1, 7, 40, 150};
+  for (int64_t want : batch_sizes) {
+    // Draw `want` rows not yet deleted.
+    std::vector<RowId> batch;
+    while (static_cast<int64_t>(batch.size()) < want && live > 0) {
+      const RowId r = static_cast<RowId>(
+          rng.NextInt(0, static_cast<int32_t>(data.num_rows() - 1)));
+      if (deleted[static_cast<size_t>(r)]) continue;
+      deleted[static_cast<size_t>(r)] = 1;
+      batch.push_back(r);
+      --live;
+    }
+    if (batch.empty()) break;
+
+    std::vector<DeletionStats> kernel_per_tree, baseline_per_tree;
+    ASSERT_TRUE(
+        kernel_forest->DeleteRows(batch, &kernel_per_tree, &scratch).ok());
+    ASSERT_TRUE(baseline_forest->DeleteRows(batch, &baseline_per_tree).ok());
+
+    ASSERT_EQ(kernel_per_tree.size(), baseline_per_tree.size());
+    for (size_t t = 0; t < kernel_per_tree.size(); ++t) {
+      EXPECT_EQ(kernel_per_tree[t], baseline_per_tree[t])
+          << "per-tree DeletionStats diverged at tree " << t;
+    }
+    EXPECT_EQ(kernel_forest->deletion_stats(),
+              baseline_forest->deletion_stats());
+    EXPECT_TRUE(kernel_forest->StructurallyEquals(*baseline_forest));
+    ASSERT_EQ(Serialize(*kernel_forest), Serialize(*baseline_forest))
+        << "serialized forests diverged after a batch of " << batch.size();
+  }
+  EXPECT_TRUE(kernel_forest->ValidateStats());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndSeeds, KernelIdentityTest,
+    testing::Values(KernelIdentityCase{"german", 5},
+                    KernelIdentityCase{"german", 91},
+                    KernelIdentityCase{"planted", 5},
+                    KernelIdentityCase{"planted", 91}));
+
+// AddData through the kernel (batched NodeStats::AddRows + stable span
+// partitioning) must also match the baseline byte-for-byte.
+TEST(UnlearnKernelTest, AddDataMatchesBaselineByteForByte) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 1400;
+  opts.seed = 13;
+  auto bundle = synth::MakePlantedBias(opts);
+  ASSERT_TRUE(bundle.ok());
+  std::vector<int64_t> base_rows, extra_rows;
+  for (int64_t r = 0; r < bundle->data.num_rows(); ++r) {
+    (r < 1000 ? base_rows : extra_rows).push_back(r);
+  }
+  const Dataset base = bundle->data.Select(base_rows);
+  const Dataset extra = bundle->data.Select(extra_rows);
+
+  auto kernel_forest = DareForest::Train(base, KernelForestConfig(true, 31));
+  auto baseline_forest =
+      DareForest::Train(base, KernelForestConfig(false, 31));
+  ASSERT_TRUE(kernel_forest.ok());
+  ASSERT_TRUE(baseline_forest.ok());
+
+  DeletionScratch scratch;
+  std::vector<DeletionStats> kernel_per_tree, baseline_per_tree;
+  auto kernel_ids = kernel_forest->AddData(extra, &kernel_per_tree, &scratch);
+  auto baseline_ids = baseline_forest->AddData(extra, &baseline_per_tree);
+  ASSERT_TRUE(kernel_ids.ok());
+  ASSERT_TRUE(baseline_ids.ok());
+  EXPECT_EQ(*kernel_ids, *baseline_ids);
+  for (size_t t = 0; t < kernel_per_tree.size(); ++t) {
+    EXPECT_EQ(kernel_per_tree[t], baseline_per_tree[t]);
+  }
+  EXPECT_EQ(Serialize(*kernel_forest), Serialize(*baseline_forest));
+  EXPECT_TRUE(kernel_forest->ValidateStats());
+
+  // Interleave: delete some of the added rows again, with the same scratch.
+  std::vector<RowId> doomed(kernel_ids->begin(), kernel_ids->begin() + 120);
+  ASSERT_TRUE(kernel_forest->DeleteRows(doomed, nullptr, &scratch).ok());
+  ASSERT_TRUE(baseline_forest->DeleteRows(doomed).ok());
+  EXPECT_EQ(Serialize(*kernel_forest), Serialize(*baseline_forest));
+}
+
+// The end-to-end search must report the identical top-k whether what-if
+// deletions run through the kernel or the baseline.
+TEST(UnlearnKernelTest, EndToEndTopKIdenticalKernelOnVsOff) {
+  synth::PlantedOptions opts;
+  opts.num_rows = 1500;
+  opts.seed = 1;
+  auto bundle = synth::MakePlantedBias(opts);
+  ASSERT_TRUE(bundle.ok());
+  std::vector<int64_t> train_rows, test_rows;
+  for (int64_t r = 0; r < bundle->data.num_rows(); ++r) {
+    (r % 10 < 7 ? train_rows : test_rows).push_back(r);
+  }
+  const Dataset train = bundle->data.Select(train_rows);
+  const Dataset test = bundle->data.Select(test_rows);
+
+  FumeConfig config;
+  config.top_k = 5;
+  config.support_min = 0.02;
+  config.support_max = 0.25;
+  config.max_literals = 2;
+  config.group = bundle->group;
+  config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
+
+  FumeResult results[2];
+  for (int kernel = 0; kernel < 2; ++kernel) {
+    auto model =
+        DareForest::Train(train, KernelForestConfig(kernel == 1, 23));
+    ASSERT_TRUE(model.ok());
+    auto result = ExplainFairnessViolation(*model, train, test, config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results[kernel] = std::move(*result);
+  }
+
+  const FumeResult& off = results[0];
+  const FumeResult& on = results[1];
+  EXPECT_EQ(off.original_fairness, on.original_fairness);
+  ASSERT_EQ(off.top_k.size(), on.top_k.size());
+  for (size_t i = 0; i < off.top_k.size(); ++i) {
+    EXPECT_EQ(off.top_k[i].predicate, on.top_k[i].predicate);
+    EXPECT_EQ(off.top_k[i].phi, on.top_k[i].phi);
+    EXPECT_EQ(off.top_k[i].num_rows, on.top_k[i].num_rows);
+    EXPECT_EQ(off.top_k[i].new_fairness, on.top_k[i].new_fairness);
+  }
+  EXPECT_EQ(off.stats.attribution_evaluations,
+            on.stats.attribution_evaluations);
+  EXPECT_EQ(off.all_candidates.size(), on.all_candidates.size());
+}
+
+// DeletionScratch unit behaviour: duplicate detection, epoch invalidation,
+// warm-vs-cold BeginBatch, and out-of-range queries.
+TEST(DeletionScratchTest, EpochSemantics) {
+  DeletionScratch scratch;
+  EXPECT_FALSE(scratch.BeginBatch(100));  // cold: array had to grow
+  EXPECT_TRUE(scratch.MarkDoomed(7));
+  EXPECT_FALSE(scratch.MarkDoomed(7));  // duplicate within the batch
+  EXPECT_TRUE(scratch.IsDoomed(7));
+  EXPECT_FALSE(scratch.IsDoomed(8));
+  EXPECT_FALSE(scratch.IsDoomed(5000));  // out of range, not doomed
+
+  EXPECT_TRUE(scratch.BeginBatch(100));  // warm: same store size
+  EXPECT_FALSE(scratch.IsDoomed(7));     // previous batch invalidated in O(1)
+  EXPECT_TRUE(scratch.MarkDoomed(7));    // markable again
+
+  EXPECT_FALSE(scratch.BeginBatch(200));  // store grew: cold again
+  EXPECT_TRUE(scratch.BeginBatch(150));   // smaller batch on big array: warm
+}
+
+// Deleting the same batch through a tree-level call with a caller scratch
+// must equal the forest-level path (covers the DareTree overloads the
+// forest threads the scratch through).
+TEST(UnlearnKernelTest, TreeLevelScratchOverloadMatchesConvenienceOverload) {
+  synth::SynthOptions opts;
+  opts.num_rows = 400;
+  opts.seed = 3;
+  auto bundle = synth::MakeGermanCredit(opts);
+  ASSERT_TRUE(bundle.ok());
+  auto a = DareForest::Train(bundle->data, KernelForestConfig(true, 7));
+  auto b = DareForest::Train(bundle->data, KernelForestConfig(true, 7));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  Rng rng(99);
+  const std::vector<RowId> batch = DrawRows(&rng, bundle->data.num_rows(), 37);
+  ASSERT_TRUE(a->DeleteRows(batch).ok());  // forest-level, call-local scratch
+  DeletionScratch scratch;
+  ASSERT_TRUE(b->DeleteRows(batch, nullptr, &scratch).ok());
+  EXPECT_EQ(Serialize(*a), Serialize(*b));
+}
+
+}  // namespace
+}  // namespace fume
