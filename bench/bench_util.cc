@@ -6,7 +6,10 @@
 #include <fstream>
 #include <iostream>
 
+#include "forest/tree.h"
 #include "obs/metrics.h"
+#include "obs/process.h"
+#include "obs/query_scope.h"
 
 namespace fume {
 namespace bench {
@@ -121,7 +124,9 @@ int RunTopKBench(const std::string& dataset_name, int argc, char** argv) {
 
   FumeConfig config = BenchFumeConfig(p.group);
   Stopwatch watch;
+  obs::QueryScope scope("search");
   auto result = ExplainFairnessViolation(p.model, p.train, p.test, config);
+  const obs::QueryCost cost = scope.Finish();
   if (!result.ok()) {
     std::cout << "FUME: " << result.status().ToString() << "\n";
     return 0;
@@ -132,7 +137,8 @@ int RunTopKBench(const std::string& dataset_name, int argc, char** argv) {
   PrintTopK(*result, p.train.schema(), p.index_prefix, std::cout);
   std::cout << "\n";
   PrintExplorationStats(result->stats, std::cout);
-  std::cout << "FUME wall time: " << FormatDouble(fume_seconds, 2) << " s\n\n";
+  std::cout << "FUME wall time: " << FormatDouble(fume_seconds, 2) << " s\n"
+            << "query cost: " << cost.CompactString() << "\n\n";
 
   auto baseline = RunDropUnprivUnfavor(p.train, p.test, p.forest_config,
                                        p.group, config.metric);
@@ -164,6 +170,10 @@ void WriteArtifact(const std::string& name,
 }
 
 void WriteMetricsSnapshot(const std::string& name) {
+  // Sample the process-level gauges first so every snapshot carries the
+  // run's peak RSS and live CoW node population.
+  obs::SetProcessGauges();
+  cow_debug::RefreshLiveNodesGauge();
   std::error_code ec;
   std::filesystem::create_directories("bench_artifacts", ec);
   const std::string path = "bench_artifacts/" + name + ".metrics.json";

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# CI smoke for the perf benches: builds bench_unlearn_kernel and
-# bench_eval_throughput and runs both on the smallest substrate (--smoke),
-# failing on crash, on an in-bench exactness violation (the benches exit
-# non-zero when top-k / DeletionStats / serialized-bytes identity breaks or
-# a NaN shows up in a measurement), or on a non-finite value leaking into
-# the JSON artifacts. Takes ~a minute; no perf thresholds are asserted —
-# throughput numbers from a shared CI box are noise, identity is not.
+# CI smoke for the perf benches: builds bench_unlearn_kernel,
+# bench_eval_throughput and bench_stream_throughput and runs each on the
+# smallest substrate (--smoke), failing on crash, on an in-bench exactness
+# violation (the benches exit non-zero when top-k / DeletionStats /
+# serialized-bytes identity breaks or a NaN shows up in a measurement), or
+# on a non-finite value leaking into the JSON artifacts. The artifacts are
+# then structurally validated by `bench_check --smoke` (parse, non-empty
+# cells, finite-positive throughput, exactness attestations true), and the
+# metric-name lint runs over the tree. Takes ~a minute; no perf thresholds
+# are asserted — throughput numbers from a shared CI box are noise,
+# identity is not. (Perf regressions are caught by running the benches at
+# full size and `bench_check --baseline-dir bench_artifacts` — see
+# docs/observability.md.)
 #
 # The benches write bench_artifacts/ relative to their CWD, so this script
 # runs them from a scratch directory inside the build tree — the repo's
@@ -23,15 +29,17 @@ BUILD_DIR="${BUILD_DIR:-build-bench-smoke}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
   -DFUME_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j --target bench_unlearn_kernel \
-  bench_eval_throughput
+  bench_eval_throughput bench_stream_throughput bench_check
 
+REPO_DIR="$(pwd)"
 BENCH_DIR="$(cd "${BUILD_DIR}" && pwd)/bench"
+TOOLS_DIR="$(cd "${BUILD_DIR}" && pwd)/tools"
 SCRATCH="${BUILD_DIR}/bench-smoke"
 mkdir -p "${SCRATCH}"
 cd "${SCRATCH}"
 
 status=0
-for bench in bench_unlearn_kernel bench_eval_throughput; do
+for bench in bench_unlearn_kernel bench_eval_throughput bench_stream_throughput; do
   echo "=== ${bench} --smoke ==="
   if ! "${BENCH_DIR}/${bench}" --smoke; then
     echo "FAIL: ${bench} exited non-zero (crash or exactness violation)"
@@ -40,7 +48,8 @@ for bench in bench_unlearn_kernel bench_eval_throughput; do
 done
 
 # Belt and braces: no NaN/inf in the machine-readable artifacts.
-for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.json; do
+for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.json \
+                bench_artifacts/BENCH_incremental.json; do
   if [ ! -f "${artifact}" ]; then
     echo "FAIL: ${artifact} was not written"
     status=1
@@ -49,6 +58,19 @@ for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.js
     status=1
   fi
 done
+
+# Structural validation of the freshly produced artifacts.
+echo "=== bench_check --smoke ==="
+if ! "${TOOLS_DIR}/bench_check" --smoke --fresh-dir bench_artifacts; then
+  echo "FAIL: bench_check --smoke rejected the artifacts"
+  status=1
+fi
+
+# Every metric name in the tree is well-formed and documented.
+echo "=== check_metric_names ==="
+if ! "${REPO_DIR}/scripts/check_metric_names.sh"; then
+  status=1
+fi
 
 if [ "${status}" -eq 0 ]; then
   echo "bench smoke OK"

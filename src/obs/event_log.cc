@@ -1,0 +1,117 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace fume {
+namespace obs {
+
+namespace {
+
+int64_t UnixMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendEscaped(const std::string& s, std::ostream& os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+EventLog::EventLog(const std::string& path) {
+  if (!path.empty()) out_.open(path);
+}
+
+EventLog::Builder::Builder(EventLog* log, const std::string& event)
+    : log_(log) {
+  line_ << "\"event\":\"";
+  AppendEscaped(event, line_);
+  line_ << '"';
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key,
+                                            const std::string& value) {
+  line_ << ",\"" << key << "\":\"";
+  AppendEscaped(value, line_);
+  line_ << '"';
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key,
+                                            const char* value) {
+  return Field(key, std::string(value));
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key, int64_t value) {
+  line_ << ",\"" << key << "\":" << value;
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  line_ << ",\"" << key << "\":" << buf;
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key, bool value) {
+  line_ << ",\"" << key << "\":" << (value ? "true" : "false");
+  return *this;
+}
+
+EventLog::Builder& EventLog::Builder::Field(const char* key,
+                                            const QueryCost& cost) {
+  line_ << ",\"" << key << "\":" << cost.ToJson();
+  return *this;
+}
+
+void EventLog::Builder::Write() {
+  if (log_ == nullptr) return;
+  log_->WriteLine(line_.str());
+  log_ = nullptr;
+}
+
+EventLog::Builder EventLog::Event(const std::string& event) {
+  return Builder(ok() ? this : nullptr, event);
+}
+
+void EventLog::WriteLine(const std::string& body) {
+  const int64_t ts_us = UnixMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  out_ << "{\"seq\":" << seq << ",\"ts_us\":" << ts_us << ',' << body
+       << "}\n";
+  out_.flush();
+}
+
+}  // namespace obs
+}  // namespace fume

@@ -74,6 +74,7 @@ void MetricsSnapshot::PrintText(std::ostream& os) const {
   for (const auto& [name, h] : histograms) {
     os << "histogram " << name << " count=" << h.count << " sum=" << h.sum
        << " p50<=" << h.QuantileUpperBound(0.5)
+       << " p90<=" << h.QuantileUpperBound(0.9)
        << " p99<=" << h.QuantileUpperBound(0.99) << "\n";
   }
 }
@@ -128,7 +129,13 @@ std::string MetricsSnapshot::ToJson() const {
   AppendJsonObject(gauges, os, [&](int64_t v) { os << v; });
   os << ",\"histograms\":";
   AppendJsonObject(histograms, os, [&](const HistogramSnapshot& h) {
-    os << "{\"count\":" << h.count << ",\"sum\":" << h.sum << ",\"buckets\":[";
+    // Quantile *upper bounds* (log2-bucket resolution, see
+    // QuantileUpperBound) so JSON consumers need not re-derive them from
+    // the raw buckets.
+    os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"p50\":" << h.QuantileUpperBound(0.5)
+       << ",\"p90\":" << h.QuantileUpperBound(0.9)
+       << ",\"p99\":" << h.QuantileUpperBound(0.99) << ",\"buckets\":[";
     bool first = true;
     for (const auto& [upper, n] : h.buckets) {
       if (!first) os << ',';

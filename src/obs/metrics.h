@@ -26,10 +26,40 @@
 namespace fume {
 namespace obs {
 
+class Counter;
+class Histogram;
+
+namespace internal {
+
+/// Per-query delta accumulator installed by obs::QueryScope
+/// (obs/query_scope.h). The hot-path contract: when no scope is active on
+/// the current thread the hook pointer is null and a metric update pays
+/// exactly one thread-local load and a not-taken branch on top of its
+/// relaxed atomic; when a scope is active, tracked metrics additionally
+/// add their delta into the scope (untracked ones fall through after a
+/// short pointer scan). Definition lives in query_scope.cc.
+struct ScopeHook;
+
+/// Innermost active scope of the current thread (null when none). Worker
+/// threads borrow the caller's hook for the duration of a ThreadPool batch
+/// via internal::ScopeAttachGuard.
+extern thread_local ScopeHook* tls_scope;
+
+void ScopeCounterAdd(ScopeHook* hook, const Counter* counter, int64_t n);
+void ScopeHistogramRecord(ScopeHook* hook, const Histogram* histogram,
+                          int64_t value);
+
+}  // namespace internal
+
 /// Monotonically increasing event count. All operations are lock-free.
 class Counter {
  public:
-  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Inc(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    if (internal::ScopeHook* hook = internal::tls_scope) {
+      internal::ScopeCounterAdd(hook, this, n);
+    }
+  }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -60,6 +90,9 @@ class Histogram {
     buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+    if (internal::ScopeHook* hook = internal::tls_scope) {
+      internal::ScopeHistogramRecord(hook, this, v < 0 ? 0 : v);
+    }
   }
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }

@@ -1,0 +1,32 @@
+#include "obs/process.h"
+
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace fume {
+namespace obs {
+
+int64_t PeakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+void SetProcessGauges() {
+  static Gauge* rss = GetGauge("proc.rss_peak_kb");
+  rss->Set(PeakRssKb());
+}
+
+}  // namespace obs
+}  // namespace fume

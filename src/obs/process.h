@@ -1,0 +1,27 @@
+// Process-level resource gauges.
+//
+// Counters and histograms in this registry are all incremental; peak RSS
+// is a property of the process the kernel tracks for us. These helpers
+// sample it on demand into the registry so metrics exports (CLI --metrics,
+// bench_artifacts/*.metrics.json) carry the memory context of the run —
+// call SetProcessGauges() immediately before snapshotting.
+
+#ifndef FUME_OBS_PROCESS_H_
+#define FUME_OBS_PROCESS_H_
+
+#include <cstdint>
+
+namespace fume {
+namespace obs {
+
+/// Peak resident set size of this process in kilobytes
+/// (getrusage(RUSAGE_SELF).ru_maxrss on Linux), or 0 when unavailable.
+int64_t PeakRssKb();
+
+/// Samples PeakRssKb() into the `proc.rss_peak_kb` gauge.
+void SetProcessGauges();
+
+}  // namespace obs
+}  // namespace fume
+
+#endif  // FUME_OBS_PROCESS_H_

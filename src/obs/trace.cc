@@ -7,10 +7,14 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace fume {
 namespace obs {
 
 namespace {
+
+constexpr int64_t kDefaultBufferCapacity = 1000000;
 
 int64_t NowNanos() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -21,7 +25,9 @@ int64_t NowNanos() {
 struct TraceEvent {
   const char* name;
   int64_t start_ns;
-  int64_t dur_ns;
+  int64_t dur_ns;    // complete events only
+  uint64_t flow_id;  // flow events only
+  char phase;        // 'X' complete, 's' flow start, 'f' flow finish
   int num_args;
   std::pair<const char*, int64_t> args[TraceSpan::kMaxArgs];
 };
@@ -38,6 +44,8 @@ struct ThreadBuffer {
 struct TraceSession {
   std::atomic<bool> enabled{false};
   std::atomic<int64_t> epoch_ns{0};
+  std::atomic<int64_t> capacity{kDefaultBufferCapacity};
+  std::atomic<uint64_t> next_flow_id{1};
   std::mutex mu;  // guards buffers (the vector, not the events)
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   std::atomic<uint32_t> next_tid{0};
@@ -58,6 +66,34 @@ ThreadBuffer& LocalBuffer() {
     return b;
   }();
   return *buffer;
+}
+
+// Appends `e` to the calling thread's buffer unless it is at capacity, in
+// which case the event is dropped and counted in obs.trace.dropped. The
+// counter pointer is cached function-local-static like every other hot
+// call site in this repo.
+void RecordEvent(const TraceEvent& e) {
+  const int64_t capacity = Session().capacity.load(std::memory_order_relaxed);
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (static_cast<int64_t>(buffer.events.size()) >= capacity) {
+    static Counter* dropped = GetCounter("obs.trace.dropped");
+    dropped->Inc();
+    return;
+  }
+  buffer.events.push_back(e);
+}
+
+void RecordFlowEvent(const char* name, uint64_t id, char phase) {
+  if (!Session().enabled.load(std::memory_order_relaxed)) return;
+  TraceEvent e;
+  e.name = name;
+  e.start_ns = NowNanos();
+  e.dur_ns = 0;
+  e.flow_id = id;
+  e.phase = phase;
+  e.num_args = 0;
+  RecordEvent(e);
 }
 
 }  // namespace
@@ -85,6 +121,29 @@ void ClearTrace() {
   }
 }
 
+void SetTraceBufferCapacity(int64_t max_events) {
+  Session().capacity.store(
+      max_events > 0 ? max_events : kDefaultBufferCapacity,
+      std::memory_order_relaxed);
+}
+
+int64_t TraceBufferCapacity() {
+  return Session().capacity.load(std::memory_order_relaxed);
+}
+
+uint64_t AllocateFlowIds(uint64_t count) {
+  return Session().next_flow_id.fetch_add(count == 0 ? 1 : count,
+                                          std::memory_order_relaxed);
+}
+
+void TraceFlowBegin(const char* name, uint64_t id) {
+  RecordFlowEvent(name, id, 's');
+}
+
+void TraceFlowEnd(const char* name, uint64_t id) {
+  RecordFlowEvent(name, id, 'f');
+}
+
 int64_t TraceEventCount() {
   TraceSession& s = Session();
   std::lock_guard<std::mutex> lock(s.mu);
@@ -107,11 +166,18 @@ void AppendMicros(int64_t ns, std::ostream& os) {
 
 void AppendEvent(const TraceEvent& e, uint32_t tid, int64_t epoch_ns,
                  std::ostream& os) {
-  os << "{\"ph\":\"X\",\"name\":\"" << e.name << "\",\"pid\":1,\"tid\":" << tid
-     << ",\"ts\":";
+  os << "{\"ph\":\"" << e.phase << "\",\"name\":\"" << e.name
+     << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
   AppendMicros(e.start_ns - epoch_ns, os);
-  os << ",\"dur\":";
-  AppendMicros(e.dur_ns, os);
+  if (e.phase == 'X') {
+    os << ",\"dur\":";
+    AppendMicros(e.dur_ns, os);
+  } else {
+    // Flow events: matching ids connect an "s" on one thread to an "f" on
+    // another; bp:"e" binds the finish to its enclosing span.
+    os << ",\"cat\":\"flow\",\"id\":" << e.flow_id;
+    if (e.phase == 'f') os << ",\"bp\":\"e\"";
+  }
   if (e.num_args > 0) {
     os << ",\"args\":{";
     for (int i = 0; i < e.num_args; ++i) {
@@ -181,15 +247,15 @@ void TraceSpan::AddArg(const char* key, int64_t value) {
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
   const int64_t end_ns = NowNanos();
-  ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
   TraceEvent e;
   e.name = name_;
   e.start_ns = start_ns_;
   e.dur_ns = end_ns - start_ns_;
+  e.flow_id = 0;
+  e.phase = 'X';
   e.num_args = num_args_;
   for (int i = 0; i < num_args_; ++i) e.args[i] = args_[i];
-  buffer.events.push_back(e);
+  RecordEvent(e);
 }
 
 }  // namespace obs

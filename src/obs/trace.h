@@ -43,6 +43,35 @@ void ClearTrace();
 /// Number of events recorded so far (for tests / sanity checks).
 int64_t TraceEventCount();
 
+/// Caps each per-thread trace buffer at `max_events` (default 1,000,000 ≈
+/// 80 MB across a busy pool). Once a thread's buffer is full, further
+/// events on that thread are dropped and counted in the cumulative
+/// `obs.trace.dropped` counter instead of growing memory without bound.
+/// Applies to events recorded after the call; <= 0 restores the default.
+void SetTraceBufferCapacity(int64_t max_events);
+int64_t TraceBufferCapacity();
+
+/// \name Flow events (cross-thread arrows)
+/// Chrome trace-event flow semantics: a "s" (start) event recorded inside
+/// an enclosing span on one thread and a matching-id "f" (finish, with
+/// bp:"e") recorded inside a span on another thread make Perfetto draw an
+/// arrow between the two spans. util::ThreadPool emits one flow per
+/// (batch, worker) — begin at enqueue on the caller, end inside the
+/// worker's `pool.worker` span — so a traced multi-threaded search shows
+/// a connected span tree instead of disconnected per-worker islands.
+/// All three no-op when tracing is disabled.
+/// @{
+
+/// Reserves `count` consecutive flow ids and returns the first (never 0).
+uint64_t AllocateFlowIds(uint64_t count);
+/// Records a flow start ("ph":"s") bound to the current thread's
+/// innermost open span. `name` must outlive the trace session.
+void TraceFlowBegin(const char* name, uint64_t id);
+/// Records a flow finish ("ph":"f", "bp":"e") bound to the current
+/// thread's innermost open span.
+void TraceFlowEnd(const char* name, uint64_t id);
+/// @}
+
 /// Serializes the recorded events as `{"traceEvents":[...]}` — the JSON
 /// object format accepted by chrome://tracing and Perfetto. Timestamps are
 /// microseconds relative to StartTracing().

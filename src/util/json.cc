@@ -1,0 +1,273 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fume {
+namespace util {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& member : object) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value : fallback;
+}
+
+bool JsonValue::BoolOr(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_value : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    FUME_RETURN_NOT_OK(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::Invalid("JSON parse error at offset " +
+                           std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseLiteral(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected '") + literal + "'");
+      }
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    FUME_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Copied through verbatim: none of our writers emit \u except
+          // for control characters, which tooling never needs decoded.
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          out->push_back('\\');
+          out->push_back('u');
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Error("malformed \\u escape");
+            }
+            out->push_back(text_[pos_++]);
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (!Consume('0')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                    nullptr);
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    Status st;
+    switch (text_[pos_]) {
+      case '{': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kObject;
+        SkipWhitespace();
+        if (!Consume('}')) {
+          while (true) {
+            SkipWhitespace();
+            std::string key;
+            FUME_RETURN_NOT_OK(ParseString(&key));
+            SkipWhitespace();
+            FUME_RETURN_NOT_OK(Expect(':'));
+            JsonValue value;
+            FUME_RETURN_NOT_OK(ParseValue(&value));
+            out->object.emplace_back(std::move(key), std::move(value));
+            SkipWhitespace();
+            if (Consume(',')) continue;
+            FUME_RETURN_NOT_OK(Expect('}'));
+            break;
+          }
+        }
+        st = Status::OK();
+        break;
+      }
+      case '[': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kArray;
+        SkipWhitespace();
+        if (!Consume(']')) {
+          while (true) {
+            JsonValue value;
+            FUME_RETURN_NOT_OK(ParseValue(&value));
+            out->array.push_back(std::move(value));
+            SkipWhitespace();
+            if (Consume(',')) continue;
+            FUME_RETURN_NOT_OK(Expect(']'));
+            break;
+          }
+        }
+        st = Status::OK();
+        break;
+      }
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        st = ParseString(&out->string_value);
+        break;
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        st = ParseLiteral("true");
+        break;
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        st = ParseLiteral("false");
+        break;
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        st = ParseLiteral("null");
+        break;
+      default:
+        st = ParseNumber(out);
+        break;
+    }
+    --depth_;
+    return st;
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError("error reading " + path);
+  return ParseJson(buffer.str());
+}
+
+}  // namespace util
+}  // namespace fume

@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include "obs/metrics.h"
+#include "obs/query_scope.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace fume {
@@ -71,22 +73,47 @@ void ThreadPool::WorkerLoop(int worker) {
     uint64_t gen;
     const std::function<void(int, size_t)>* fn;
     size_t count;
+    obs::internal::ScopeHook* scope;
+    uint64_t flow_base;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
       // Snapshot the batch while holding the lock: the {fn, count,
-      // generation} triple is immutable for as long as this batch's
-      // indices are claimable, and the mutex orders it with ParallelFor's
-      // publication.
+      // generation, scope, flow_base} tuple is immutable for as long as
+      // this batch's indices are claimable, and the mutex orders it with
+      // ParallelFor's publication.
       seen = generation_;
       gen = generation_;
       fn = job_fn_;
       count = job_count_;
+      scope = job_scope_;
+      flow_base = job_flow_base_;
+      if (fn != nullptr) ++active_workers_;
     }
     // fn is null when this worker woke only after the batch had fully
     // completed (ParallelFor already cleared it): nothing left to claim.
-    if (fn != nullptr) RunChunk(worker, gen, fn, count);
+    if (fn == nullptr) continue;
+    {
+      // Everything this worker does for the batch — metric deltas inside
+      // fn and this thread's CPU time — attributes to the query scope that
+      // was active on the enqueuing thread.
+      obs::internal::ScopeAttachGuard attach(scope);
+      if (flow_base != 0) {
+        obs::TraceSpan span("pool.worker", {{"worker", worker}});
+        obs::TraceFlowEnd("pool.batch",
+                          flow_base + static_cast<uint64_t>(worker) - 1);
+        RunChunk(worker, gen, fn, count);
+      } else {
+        RunChunk(worker, gen, fn, count);
+      }
+    }
+    {
+      // The detach above was this worker's last touch of the batch's scope;
+      // announce it so ParallelFor can let the scope owner destroy it.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
   }
 }
 
@@ -103,23 +130,41 @@ void ThreadPool::ParallelFor(size_t n,
   }
   FUME_CHECK(n <= kIndexMask);  // index must fit beside the generation tag
   uint64_t gen;
+  const uint64_t spawn = static_cast<uint64_t>(threads_.size());
+  const uint64_t flow_base =
+      obs::TracingEnabled() ? obs::AllocateFlowIds(spawn) : 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     gen = ++generation_;
     job_fn_ = &fn;
     job_count_ = n;
+    job_scope_ = obs::internal::tls_scope;
+    job_flow_base_ = flow_base;
     completed_.store(0, std::memory_order_relaxed);
     // Publishing the tagged ticket retires the previous batch: from here
     // on, claims by stragglers of older generations fail their tag check.
     ticket_.store(GenTag(gen) << kGenShift, std::memory_order_release);
   }
+  if (flow_base != 0) {
+    // One flow per parked worker, started at the enqueue site: the arrow
+    // runs from the caller's enclosing span to each worker's pool.worker
+    // span (an unmatched start — a worker that never woke — is harmless).
+    for (uint64_t w = 0; w < spawn; ++w) {
+      obs::TraceFlowBegin("pool.batch", flow_base + w);
+    }
+  }
   work_cv_.notify_all();
   RunChunk(0, gen, &fn, n);  // the caller is worker 0
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] {
-    return completed_.load(std::memory_order_acquire) == n;
+    // Both conditions matter: all indices done AND every worker detached
+    // from the batch's query scope (see active_workers_ in the header).
+    return completed_.load(std::memory_order_acquire) == n &&
+           active_workers_ == 0;
   });
   job_fn_ = nullptr;
+  job_scope_ = nullptr;
+  job_flow_base_ = 0;
 }
 
 }  // namespace util

@@ -25,6 +25,13 @@
 #include <vector>
 
 namespace fume {
+
+namespace obs {
+namespace internal {
+struct ScopeHook;
+}  // namespace internal
+}  // namespace obs
+
 namespace util {
 
 class ThreadPool {
@@ -44,6 +51,14 @@ class ThreadPool {
   /// `worker` is in [0, num_threads()); concurrent calls with the same
   /// worker id never happen, so per-worker scratch needs no locking. Not
   /// reentrant: fn must not call ParallelFor on the same pool.
+  ///
+  /// Observability: the caller's active obs::QueryScope (if any) is
+  /// propagated to every worker for the duration of its chunk, so metric
+  /// deltas inside fn attribute to the enqueuing query regardless of which
+  /// thread runs them; when tracing is enabled, a flow event connects the
+  /// enqueue site to each worker's `pool.worker` span. Both are fully
+  /// quiesced before ParallelFor returns — no worker touches the scope or
+  /// the trace on this batch's behalf afterwards.
   void ParallelFor(size_t n, const std::function<void(int, size_t)>& fn);
 
   int num_threads() const { return static_cast<int>(threads_.size()) + 1; }
@@ -66,6 +81,18 @@ class ThreadPool {
   // generation_ while holding the lock; nothing reads them lock-free.
   const std::function<void(int, size_t)>* job_fn_ = nullptr;
   size_t job_count_ = 0;
+  /// Query scope active on the enqueuing thread when the batch was
+  /// published; workers attach to it while running their chunk.
+  obs::internal::ScopeHook* job_scope_ = nullptr;
+  /// First flow id of the batch's reserved range (one id per parked
+  /// worker), or 0 when tracing was off at publication.
+  uint64_t job_flow_base_ = 0;
+  /// Parked workers currently inside the published batch (snapshot taken
+  /// through detach), guarded by mutex_. ParallelFor waits for this to hit
+  /// zero as well as for all indices to complete: a straggler that claims
+  /// no index still holds the batch's scope pointer until it detaches, and
+  /// the scope may be destroyed as soon as ParallelFor returns.
+  int active_workers_ = 0;
   /// Batch tag and claim counter in one word: generation_ (mod 2^32) in
   /// the upper 32 bits, the next unclaimed index in the lower 32. Claims
   /// are CAS increments that first verify the generation tag, so a

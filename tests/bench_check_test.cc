@@ -1,0 +1,255 @@
+// Tests for the bench regression guard (tools/bench_compare.h) and the
+// JSON parser underneath it (util/json.h): cell identity, throughput
+// field discovery, structural validation (the --smoke contract), and the
+// baseline-vs-fresh comparison — including the required case where a
+// doctored artifact with a lowered throughput number fails the check.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_compare.h"
+#include "util/json.h"
+
+namespace fume {
+namespace {
+
+using bench_check::ArtifactComparison;
+using bench_check::CellKey;
+using bench_check::CheckArtifactStructure;
+using bench_check::CompareArtifacts;
+using bench_check::CompareOptions;
+using bench_check::ThroughputField;
+using util::JsonValue;
+using util::ParseJson;
+
+JsonValue Parse(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return parsed.ok() ? std::move(*parsed) : JsonValue();
+}
+
+// A minimal well-formed artifact in the shape the benches emit.
+std::string Artifact(double eval_rate, double unlearn_rate) {
+  std::string json = R"({
+    "bench": "synthetic",
+    "topk_identical": true,
+    "cells": [
+      {"rows": 2000, "strategy": "cow-delta", "evals_per_sec": )";
+  json += std::to_string(eval_rate);
+  json += R"(},
+      {"rows": 2000, "batch_rows": 4, "strategy": "dare",
+       "rows_per_sec": )";
+  json += std::to_string(unlearn_rate);
+  json += R"(}
+    ]
+  })";
+  return json;
+}
+
+// ----------------------------------------------------------- util/json
+
+TEST(JsonParserTest, ParsesScalarsArraysAndObjects) {
+  const JsonValue v = Parse(
+      R"({"s":"a\"b","n":-1.5e2,"t":true,"f":false,"z":null,"a":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.StringOr("s", ""), "a\"b");
+  EXPECT_EQ(v.NumberOr("n", 0), -150.0);
+  EXPECT_TRUE(v.BoolOr("t", false));
+  EXPECT_FALSE(v.BoolOr("f", true));
+  ASSERT_NE(v.Find("z"), nullptr);
+  EXPECT_TRUE(v.Find("z")->is_null());
+  ASSERT_NE(v.Find("a"), nullptr);
+  ASSERT_EQ(v.Find("a")->array.size(), 3u);
+  EXPECT_EQ(v.Find("a")->array[2].number_value, 3.0);
+  // Missing keys fall back.
+  EXPECT_EQ(v.NumberOr("missing", 7.0), 7.0);
+}
+
+TEST(JsonParserTest, PreservesObjectSourceOrder) {
+  const JsonValue v = Parse(R"({"zeta":1,"alpha":2,"mid":3})");
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "zeta");
+  EXPECT_EQ(v.object[1].first, "alpha");
+  EXPECT_EQ(v.object[2].first, "mid");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{'a':1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  // NaN/inf are not JSON — the artifacts must never contain them.
+  EXPECT_FALSE(ParseJson("{\"x\":nan}").ok());
+  EXPECT_FALSE(ParseJson("{\"x\":inf}").ok());
+}
+
+TEST(JsonParserTest, ParseJsonFileReportsMissingFile) {
+  auto parsed = util::ParseJsonFile("/nonexistent/bench.json");
+  EXPECT_FALSE(parsed.ok());
+}
+
+// ---------------------------------------------------------- cell model
+
+TEST(BenchCheckTest, CellKeyJoinsIdentityFieldsInSourceOrder) {
+  const JsonValue cell = Parse(
+      R"({"rows": 2000, "strategy": "cow-delta", "batch_rows": 4,
+          "evals_per_sec": 123.4, "seconds": 1.5})");
+  // Strings and the integer size fields participate; measurements do not.
+  EXPECT_EQ(CellKey(cell), "rows=2000,strategy=cow-delta,batch_rows=4");
+  EXPECT_EQ(ThroughputField(cell), "evals_per_sec");
+
+  const JsonValue bare = Parse(R"({"mode": "incremental"})");
+  EXPECT_EQ(CellKey(bare), "mode=incremental");
+  EXPECT_EQ(ThroughputField(bare), "");
+}
+
+// --------------------------------------------------- structural checks
+
+TEST(BenchCheckTest, WellFormedArtifactPassesStructureCheck) {
+  const JsonValue artifact = Parse(Artifact(100.0, 200.0));
+  std::vector<std::string> problems;
+  CheckArtifactStructure(artifact, "BENCH_test.json", &problems);
+  EXPECT_TRUE(problems.empty())
+      << (problems.empty() ? "" : problems.front());
+}
+
+TEST(BenchCheckTest, StructureCheckRejectsBadShapes) {
+  std::vector<std::string> problems;
+
+  // Not an object.
+  CheckArtifactStructure(Parse("[1,2]"), "a", &problems);
+  EXPECT_FALSE(problems.empty());
+
+  // Empty cells array.
+  problems.clear();
+  CheckArtifactStructure(Parse(R"({"cells":[]})"), "a", &problems);
+  EXPECT_FALSE(problems.empty());
+
+  // False exactness attestation: a bench that detected an identity break
+  // must not pass the smoke gate.
+  problems.clear();
+  CheckArtifactStructure(
+      Parse(R"({"topk_identical": false,
+                "cells":[{"mode":"x","ops_per_sec":1.0}]})"),
+      "a", &problems);
+  EXPECT_FALSE(problems.empty());
+
+  // Cell without a throughput field.
+  problems.clear();
+  CheckArtifactStructure(Parse(R"({"cells":[{"mode":"x","seconds":2.0}]})"),
+                         "a", &problems);
+  EXPECT_FALSE(problems.empty());
+
+  // Non-positive throughput.
+  problems.clear();
+  CheckArtifactStructure(
+      Parse(R"({"cells":[{"mode":"x","ops_per_sec":0.0}]})"), "a", &problems);
+  EXPECT_FALSE(problems.empty());
+
+  // Cell with no identity fields at all.
+  problems.clear();
+  CheckArtifactStructure(Parse(R"({"cells":[{"ops_per_sec":5.0}]})"), "a",
+                         &problems);
+  EXPECT_FALSE(problems.empty());
+}
+
+// ------------------------------------------------------- comparison
+
+TEST(BenchCheckTest, IdenticalArtifactsCompareClean) {
+  const JsonValue baseline = Parse(Artifact(100.0, 200.0));
+  const JsonValue fresh = Parse(Artifact(100.0, 200.0));
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok()) << cmp.status().message();
+  EXPECT_TRUE(cmp->ok());
+  EXPECT_EQ(cmp->regressions, 0);
+  ASSERT_EQ(cmp->cells.size(), 2u);
+}
+
+TEST(BenchCheckTest, WithinToleranceSlowdownPasses) {
+  const JsonValue baseline = Parse(Artifact(100.0, 200.0));
+  // 25% slower with the default 30% tolerance: still fine.
+  const JsonValue fresh = Parse(Artifact(75.0, 150.0));
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(cmp->ok());
+}
+
+TEST(BenchCheckTest, DoctoredArtifactFailsBeyondTolerance) {
+  const JsonValue baseline = Parse(Artifact(100.0, 200.0));
+  // Doctored: the eval cell's throughput halved (beyond 30% tolerance),
+  // the unlearn cell untouched.
+  const JsonValue fresh = Parse(Artifact(50.0, 200.0));
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_FALSE(cmp->ok());
+  EXPECT_EQ(cmp->regressions, 1);
+  int flagged = 0;
+  for (const auto& cell : cmp->cells) {
+    if (!cell.regression) continue;
+    ++flagged;
+    EXPECT_EQ(cell.field, "evals_per_sec");
+    EXPECT_EQ(cell.baseline, 100.0);
+    EXPECT_EQ(cell.fresh, 50.0);
+    EXPECT_FALSE(cell.missing_in_fresh);
+  }
+  EXPECT_EQ(flagged, 1);
+
+  // A tolerance wide enough to cover the drop un-flags it.
+  CompareOptions loose;
+  loose.tolerance = 0.60;
+  auto loose_cmp = CompareArtifacts("BENCH_test.json", baseline, fresh, loose);
+  ASSERT_TRUE(loose_cmp.ok());
+  EXPECT_TRUE(loose_cmp->ok());
+}
+
+TEST(BenchCheckTest, MissingBaselineCellIsRegression) {
+  const JsonValue baseline = Parse(Artifact(100.0, 200.0));
+  // Fresh run silently dropped the unlearn cell.
+  const JsonValue fresh = Parse(
+      R"({"topk_identical": true,
+          "cells":[{"rows": 2000, "strategy": "cow-delta",
+                    "evals_per_sec": 100.0}]})");
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_FALSE(cmp->ok());
+  bool saw_missing = false;
+  for (const auto& cell : cmp->cells) {
+    if (cell.missing_in_fresh) {
+      saw_missing = true;
+      EXPECT_TRUE(cell.regression);
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+}
+
+TEST(BenchCheckTest, ExtraFreshCellIsNotRegression) {
+  const JsonValue baseline = Parse(
+      R"({"cells":[{"mode":"incremental","ops_per_sec":10.0}]})");
+  const JsonValue fresh = Parse(
+      R"({"cells":[{"mode":"incremental","ops_per_sec":10.0},
+                   {"mode":"cold-retrain","ops_per_sec":1.0}]})");
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(cmp->ok());
+  EXPECT_EQ(cmp->cells.size(), 1u);  // only baseline cells are compared
+}
+
+TEST(BenchCheckTest, MalformedArtifactIsAStatusErrorNotARegression) {
+  const JsonValue baseline = Parse(Artifact(100.0, 200.0));
+  const JsonValue fresh = Parse(R"({"cells":[]})");
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  EXPECT_FALSE(cmp.ok());
+}
+
+}  // namespace
+}  // namespace fume

@@ -137,14 +137,15 @@ TEST(ObsMetricsTest, SerializationFormats) {
   snapshot.PrintText(text);
   EXPECT_NE(text.str().find("counter a.counter 1"), std::string::npos);
   EXPECT_NE(text.str().find("gauge c.gauge -7"), std::string::npos);
-  EXPECT_NE(text.str().find("histogram d.hist count=1 sum=5"),
+  EXPECT_NE(text.str().find("histogram d.hist count=1 sum=5 p50<=7 p90<=7"),
             std::string::npos);
 
   const std::string json = snapshot.ToJson();
   EXPECT_NE(json.find("\"a.counter\":1"), std::string::npos);
   EXPECT_NE(json.find("\"b.counter\":3"), std::string::npos);
   EXPECT_NE(json.find("\"c.gauge\":-7"), std::string::npos);
-  EXPECT_NE(json.find("\"d.hist\":{\"count\":1,\"sum\":5,\"buckets\":"
+  EXPECT_NE(json.find("\"d.hist\":{\"count\":1,\"sum\":5,"
+                      "\"p50\":7,\"p90\":7,\"p99\":7,\"buckets\":"
                       "[{\"le\":7,\"count\":1}]}"),
             std::string::npos);
   // Balanced braces/brackets (cheap well-formedness check; full structure

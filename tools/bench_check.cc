@@ -1,0 +1,197 @@
+// bench_check: bench regression guard over the BENCH_*.json artifacts.
+//
+//   # CI smoke: structural validation of freshly produced artifacts
+//   bench_check --smoke --fresh-dir build-bench-smoke/bench-smoke/bench_artifacts
+//
+//   # full compare: fresh full-run artifacts vs the committed baseline
+//   bench_check --baseline-dir bench_artifacts --fresh-dir /tmp/bench_artifacts \
+//               --tolerance 0.30
+//
+// Exits 0 when every artifact passes, 1 on any regression or structural
+// problem, 2 on usage errors. See tools/bench_compare.h for the artifact
+// model and docs/observability.md for how this slots into CI.
+
+#include <cmath>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_compare.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace fume;
+
+constexpr const char* kDefaultArtifacts[] = {
+    "BENCH_eval.json",
+    "BENCH_unlearn.json",
+    "BENCH_incremental.json",
+};
+
+struct CheckOptions {
+  bool smoke = false;
+  double tolerance = 0.30;
+  std::string baseline_dir = "bench_artifacts";
+  std::string fresh_dir = "bench_artifacts";
+  std::vector<std::string> artifacts;  // file names, not paths
+};
+
+void PrintUsage() {
+  std::cout << R"(bench_check — compare bench artifacts against the committed baseline
+
+  --smoke               structural validation of the fresh artifacts only:
+                        parseable, non-empty cells, finite-positive
+                        throughput, *_identical attestations true. No
+                        baseline comparison (smoke cells don't match
+                        full-run cells, and CI throughput is noise).
+  --tolerance F         full mode: fail a cell when fresh throughput is
+                        below baseline * (1 - F) (default 0.30)
+  --baseline-dir DIR    committed artifacts (default bench_artifacts)
+  --fresh-dir DIR       freshly produced artifacts (default bench_artifacts)
+  ARTIFACT...           file names to check (default BENCH_eval.json
+                        BENCH_unlearn.json BENCH_incremental.json)
+  --help, -h            this text
+)";
+}
+
+bool ParseArgs(int argc, char** argv, CheckOptions* opts, bool* want_help) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (flag.rfind("--", 0) == 0) {
+      const size_t eq = flag.find('=');
+      if (eq != std::string::npos) {
+        inline_value = flag.substr(eq + 1);
+        flag.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto need_value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (flag == "--help" || flag == "-h") {
+      *want_help = true;
+      return true;
+    } else if (flag == "--smoke") {
+      opts->smoke = true;
+    } else if (flag == "--tolerance") {
+      if ((v = need_value()) == nullptr) return false;
+      double dv = 0.0;
+      if (!ParseDouble(v, &dv) || dv < 0.0 || dv >= 1.0) {
+        std::cerr << "--tolerance needs a value in [0, 1)\n";
+        return false;
+      }
+      opts->tolerance = dv;
+    } else if (flag == "--baseline-dir") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->baseline_dir = v;
+    } else if (flag == "--fresh-dir") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->fresh_dir = v;
+    } else if (flag.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << flag << " (see --help)\n";
+      return false;
+    } else {
+      opts->artifacts.push_back(flag);
+    }
+  }
+  return true;
+}
+
+int Run(const CheckOptions& opts) {
+  std::vector<std::string> names = opts.artifacts;
+  if (names.empty()) {
+    names.assign(std::begin(kDefaultArtifacts), std::end(kDefaultArtifacts));
+  }
+
+  int status = 0;
+  for (const std::string& name : names) {
+    const std::string fresh_path = opts.fresh_dir + "/" + name;
+    auto fresh = util::ParseJsonFile(fresh_path);
+    if (!fresh.ok()) {
+      std::cerr << "FAIL " << name << ": " << fresh.status().ToString()
+                << "\n";
+      status = 1;
+      continue;
+    }
+
+    if (opts.smoke) {
+      std::vector<std::string> problems;
+      bench_check::CheckArtifactStructure(*fresh, name, &problems);
+      if (problems.empty()) {
+        std::cout << "OK   " << name << " (structural)\n";
+      } else {
+        for (const std::string& p : problems) std::cerr << "FAIL " << p << "\n";
+        status = 1;
+      }
+      continue;
+    }
+
+    const std::string baseline_path = opts.baseline_dir + "/" + name;
+    auto baseline = util::ParseJsonFile(baseline_path);
+    if (!baseline.ok()) {
+      std::cerr << "FAIL " << name << ": " << baseline.status().ToString()
+                << "\n";
+      status = 1;
+      continue;
+    }
+    bench_check::CompareOptions compare;
+    compare.tolerance = opts.tolerance;
+    auto result =
+        bench_check::CompareArtifacts(name, *baseline, *fresh, compare);
+    if (!result.ok()) {
+      std::cerr << "FAIL " << name << ": " << result.status().ToString()
+                << "\n";
+      status = 1;
+      continue;
+    }
+    for (const bench_check::CellComparison& cell : result->cells) {
+      if (!cell.regression) continue;
+      if (cell.missing_in_fresh) {
+        std::cerr << "FAIL " << name << " [" << cell.key
+                  << "]: cell missing from fresh artifact\n";
+      } else {
+        std::cerr << "FAIL " << name << " [" << cell.key << "]: "
+                  << cell.field << " " << FormatDouble(cell.fresh, 2)
+                  << " < baseline " << FormatDouble(cell.baseline, 2)
+                  << " * (1 - " << FormatDouble(opts.tolerance, 2) << ")\n";
+      }
+    }
+    if (result->ok()) {
+      std::cout << "OK   " << name << " (" << result->cells.size()
+                << " cells within " << FormatDouble(opts.tolerance * 100, 0)
+                << "% of baseline)\n";
+    } else {
+      status = 1;
+    }
+  }
+
+  if (status == 0) {
+    std::cout << "bench_check: all artifacts OK\n";
+  } else {
+    std::cerr << "bench_check: FAILED\n";
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckOptions opts;
+  bool want_help = false;
+  if (!ParseArgs(argc, argv, &opts, &want_help)) return 2;
+  if (want_help) {
+    PrintUsage();
+    return 0;
+  }
+  return Run(opts);
+}

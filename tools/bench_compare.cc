@@ -1,0 +1,138 @@
+#include "bench_compare.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace fume {
+namespace bench_check {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsSizeField(const std::string& name) {
+  return name == "rows" || name == "batch_rows";
+}
+
+std::string FormatInt(double v) {
+  return std::to_string(static_cast<long long>(v));
+}
+
+}  // namespace
+
+std::string CellKey(const util::JsonValue& cell) {
+  if (!cell.is_object()) return "";
+  std::string key;
+  for (const auto& member : cell.object) {
+    const bool identifying =
+        member.second.is_string() ||
+        (member.second.is_number() && IsSizeField(member.first));
+    if (!identifying) continue;
+    if (!key.empty()) key += ',';
+    key += member.first;
+    key += '=';
+    key += member.second.is_string() ? member.second.string_value
+                                     : FormatInt(member.second.number_value);
+  }
+  return key;
+}
+
+std::string ThroughputField(const util::JsonValue& cell) {
+  if (!cell.is_object()) return "";
+  for (const auto& member : cell.object) {
+    if (member.second.is_number() && EndsWith(member.first, "_per_sec")) {
+      return member.first;
+    }
+  }
+  return "";
+}
+
+void CheckArtifactStructure(const util::JsonValue& artifact,
+                            const std::string& name,
+                            std::vector<std::string>* problems) {
+  if (!artifact.is_object()) {
+    problems->push_back(name + ": top level is not a JSON object");
+    return;
+  }
+  for (const auto& member : artifact.object) {
+    if (EndsWith(member.first, "_identical")) {
+      if (!member.second.is_bool() || !member.second.bool_value) {
+        problems->push_back(name + ": exactness attestation \"" +
+                            member.first + "\" is not true");
+      }
+    }
+  }
+  const util::JsonValue* cells = artifact.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    problems->push_back(name + ": missing \"cells\" array");
+    return;
+  }
+  if (cells->array.empty()) {
+    problems->push_back(name + ": \"cells\" is empty");
+    return;
+  }
+  for (size_t i = 0; i < cells->array.size(); ++i) {
+    const util::JsonValue& cell = cells->array[i];
+    const std::string key = CellKey(cell);
+    const std::string label =
+        name + " cell " + std::to_string(i) + (key.empty() ? "" : " (" + key + ")");
+    if (key.empty()) {
+      problems->push_back(label + ": no identifying fields");
+      continue;
+    }
+    const std::string field = ThroughputField(cell);
+    if (field.empty()) {
+      problems->push_back(label + ": no *_per_sec throughput field");
+      continue;
+    }
+    const double value = cell.NumberOr(field, 0.0);
+    if (!std::isfinite(value) || value <= 0.0) {
+      problems->push_back(label + ": " + field + " is not finite-positive");
+    }
+  }
+}
+
+Result<ArtifactComparison> CompareArtifacts(const std::string& name,
+                                            const util::JsonValue& baseline,
+                                            const util::JsonValue& fresh,
+                                            const CompareOptions& options) {
+  std::vector<std::string> problems;
+  CheckArtifactStructure(baseline, name + " (baseline)", &problems);
+  CheckArtifactStructure(fresh, name + " (fresh)", &problems);
+  if (!problems.empty()) {
+    std::string message = "malformed artifact(s):";
+    for (const std::string& p : problems) message += "\n  " + p;
+    return Status::Invalid(message);
+  }
+
+  std::unordered_map<std::string, const util::JsonValue*> fresh_cells;
+  for (const util::JsonValue& cell : fresh.Find("cells")->array) {
+    fresh_cells.emplace(CellKey(cell), &cell);  // first wins on dup keys
+  }
+
+  ArtifactComparison result;
+  result.name = name;
+  for (const util::JsonValue& cell : baseline.Find("cells")->array) {
+    CellComparison c;
+    c.key = CellKey(cell);
+    c.field = ThroughputField(cell);
+    c.baseline = cell.NumberOr(c.field, 0.0);
+    const auto it = fresh_cells.find(c.key);
+    if (it == fresh_cells.end()) {
+      c.missing_in_fresh = true;
+      c.regression = true;
+    } else {
+      c.fresh = it->second->NumberOr(c.field, 0.0);
+      c.regression = c.fresh < c.baseline * (1.0 - options.tolerance);
+    }
+    if (c.regression) ++result.regressions;
+    result.cells.push_back(std::move(c));
+  }
+  return result;
+}
+
+}  // namespace bench_check
+}  // namespace fume

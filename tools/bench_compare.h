@@ -1,0 +1,95 @@
+// Bench artifact comparison: the library behind tools/bench_check.cc.
+//
+// The perf benches emit machine-readable artifacts
+// (bench_artifacts/BENCH_{eval,unlearn,incremental}.json) whose committed
+// copies double as the performance baseline. This library compares a
+// freshly produced artifact against that baseline cell-by-cell so CI can
+// fail on a throughput regression instead of relying on someone eyeballing
+// the tables.
+//
+// Artifact model (shared by all BENCH_*.json files):
+//   - a top-level object with metadata fields and a non-empty "cells"
+//     array;
+//   - each cell identifies its configuration via string fields plus the
+//     integer size fields "rows"/"batch_rows" (CellKey concatenates them),
+//   - and reports exactly one throughput field, the first field whose
+//     name ends in "_per_sec";
+//   - top-level booleans named *_identical are exactness attestations and
+//     must be true.
+//
+// Two rigor levels:
+//   - CheckArtifactStructure: shape + finiteness + attestations. What
+//     `bench_check --smoke` runs, because smoke-sized runs produce cells
+//     and numbers that do not match the committed full-run baseline and
+//     shared-CI throughput is noise.
+//   - CompareArtifacts: every baseline cell must reappear in the fresh
+//     artifact with throughput >= baseline * (1 - tolerance). Missing
+//     cells are regressions too (a silently dropped cell would otherwise
+//     hide the regression it measured). Extra fresh cells are fine — new
+//     coverage is not a regression.
+
+#ifndef FUME_TOOLS_BENCH_COMPARE_H_
+#define FUME_TOOLS_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace fume {
+namespace bench_check {
+
+struct CompareOptions {
+  /// Fail a cell when fresh < baseline * (1 - tolerance). The default
+  /// absorbs ordinary machine-to-machine variance; tighten it on a quiet
+  /// dedicated box.
+  double tolerance = 0.30;
+};
+
+/// Identity of one cell: every string-valued field plus the integer size
+/// fields, joined in source order ("rows=2000,batch_rows=4,
+/// strategy=cow-delta"). Empty when the cell is not an object.
+std::string CellKey(const util::JsonValue& cell);
+
+/// Name of the cell's throughput field (first ending in "_per_sec"), or
+/// "" when the cell has none.
+std::string ThroughputField(const util::JsonValue& cell);
+
+/// One compared cell.
+struct CellComparison {
+  std::string key;
+  std::string field;          // throughput field name
+  double baseline = 0.0;
+  double fresh = 0.0;         // 0 when missing_in_fresh
+  bool missing_in_fresh = false;
+  bool regression = false;
+};
+
+struct ArtifactComparison {
+  std::string name;
+  std::vector<CellComparison> cells;  // one per baseline cell
+  int regressions = 0;
+  bool ok() const { return regressions == 0; }
+};
+
+/// Structural validation (the --smoke contract). Appends one
+/// human-readable line per violation to `problems`; an untouched
+/// `problems` means the artifact is well-formed.
+void CheckArtifactStructure(const util::JsonValue& artifact,
+                            const std::string& name,
+                            std::vector<std::string>* problems);
+
+/// Cell-by-cell throughput comparison of `fresh` against `baseline`.
+/// Both artifacts must pass CheckArtifactStructure (its problems are
+/// returned as an error Status); regressions are reported in the result,
+/// not as a Status, so the caller can print every failing cell.
+Result<ArtifactComparison> CompareArtifacts(const std::string& name,
+                                            const util::JsonValue& baseline,
+                                            const util::JsonValue& fresh,
+                                            const CompareOptions& options);
+
+}  // namespace bench_check
+}  // namespace fume
+
+#endif  // FUME_TOOLS_BENCH_COMPARE_H_

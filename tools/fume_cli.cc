@@ -24,7 +24,11 @@
 #include "data/discretizer.h"
 #include "data/split.h"
 #include "forest/serialize.h"
+#include "forest/tree.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/process.h"
+#include "obs/query_scope.h"
 #include "obs/trace.h"
 #include "synth/registry.h"
 #include "util/string_util.h"
@@ -64,8 +68,10 @@ struct CliOptions {
   double test_fraction = 0.3;
   // Observability.
   bool print_metrics = false;
+  bool query_cost = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string event_log;
 };
 
 void PrintUsage() {
@@ -110,6 +116,10 @@ Observability (docs/observability.md; --flag=value also accepted):
   --metrics-out FILE    write all counters/histograms as JSON
   --trace-out FILE      record trace spans and write Chrome trace-event
                         JSON (open in chrome://tracing or Perfetto)
+  --query-cost          print the search's per-query cost report (metric
+                        deltas + wall/CPU time attributed by QueryScope)
+  --event-log FILE      append one structured JSONL line per operation
+                        (train, search) with its cost summary
   --help, -h            this text
 )";
 }
@@ -159,12 +169,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       opts->run_slicefinder = true;
     } else if (flag == "--metrics") {
       opts->print_metrics = true;
+    } else if (flag == "--query-cost") {
+      opts->query_cost = true;
     } else if (flag == "--metrics-out") {
       if ((v = need_value()) == nullptr) return false;
       opts->metrics_out = v;
     } else if (flag == "--trace-out") {
       if ((v = need_value()) == nullptr) return false;
       opts->trace_out = v;
+    } else if (flag == "--event-log") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->event_log = v;
     } else if (flag == "--dataset") {
       if ((v = need_value()) == nullptr) return false;
       opts->dataset = v;
@@ -289,6 +304,8 @@ struct ObsOutputs {
       }
     }
     if (opts.print_metrics || !opts.metrics_out.empty()) {
+      obs::SetProcessGauges();
+      cow_debug::RefreshLiveNodesGauge();
       const obs::MetricsSnapshot snapshot =
           obs::MetricsRegistry::Global().Snapshot();
       if (opts.print_metrics) {
@@ -310,6 +327,11 @@ struct ObsOutputs {
 
 int Run(const CliOptions& opts) {
   ObsOutputs obs_outputs(opts);
+  obs::EventLog event_log(opts.event_log);  // empty path = disabled sink
+  if (!opts.event_log.empty() && !event_log.ok()) {
+    std::cerr << "could not open event log " << opts.event_log << "\n";
+    return 1;
+  }
   auto bundle = LoadData(opts);
   if (!bundle.ok()) {
     std::cerr << bundle.status().ToString() << "\n";
@@ -330,11 +352,19 @@ int Run(const CliOptions& opts) {
   forest_config.max_depth = opts.depth;
   forest_config.random_depth = opts.random_depth;
   forest_config.seed = opts.model_seed;
+  obs::QueryScope train_scope("train");
   auto model = DareForest::Train(split->train, forest_config);
+  const obs::QueryCost train_cost = train_scope.Finish();
   if (!model.ok()) {
     std::cerr << model.status().ToString() << "\n";
     return 1;
   }
+  event_log.Event("train")
+      .Field("dataset", bundle->name)
+      .Field("train_rows", split->train.num_rows())
+      .Field("trees", opts.trees)
+      .Field("cost", train_cost)
+      .Write();
   std::cout << "dataset: " << bundle->name << " (" << bundle->data.num_rows()
             << " rows, " << bundle->data.num_attributes()
             << " attributes), sensitive attribute: "
@@ -364,11 +394,25 @@ int Run(const CliOptions& opts) {
   if (opts.exclude_sensitive) {
     config.lattice.excluded_attrs = {bundle->group.sensitive_attr};
   }
+  obs::QueryScope search_scope("search");
   auto result =
       ExplainFairnessViolation(*model, split->train, split->test, config);
+  const obs::QueryCost search_cost = search_scope.Finish();
+  event_log.Event("search")
+      .Field("dataset", bundle->name)
+      .Field("top_k", opts.top_k)
+      .Field("threads", opts.threads)
+      .Field("ok", result.ok())
+      .Field("cost", search_cost)
+      .Write();
   if (!result.ok()) {
     std::cout << result.status().ToString() << "\n";
     return result.status().IsInvalid() ? 0 : 1;  // "no violation" is fine
+  }
+  if (opts.query_cost) {
+    std::cout << "\n--- query cost (QueryScope) ---\n";
+    search_cost.PrintText(std::cout);
+    std::cout << "\n";
   }
   PrintViolationSummary(*result, config.metric, std::cout);
   PrintTopK(*result, split->train.schema(), "S", std::cout);

@@ -21,7 +21,11 @@
 
 #include "core/report.h"
 #include "data/split.h"
+#include "forest/tree.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/process.h"
+#include "obs/query_scope.h"
 #include "obs/trace.h"
 #include "stream/engine.h"
 #include "stream/workload.h"
@@ -65,8 +69,10 @@ struct CliOptions {
   bool no_search_on_checkpoint = false;
   // Observability.
   bool print_metrics = false;
+  bool query_cost = false;
   std::string metrics_out;
   std::string trace_out;
+  std::string event_log;
 };
 
 void PrintUsage() {
@@ -114,6 +120,9 @@ Observability (docs/observability.md):
   --metrics             print a metrics summary after the run
   --metrics-out FILE    write all counters/histograms as JSON
   --trace-out FILE      write Chrome trace-event JSON
+  --query-cost          print a per-op cost column (QueryScope deltas)
+  --event-log FILE      append one structured JSONL line per stream op
+                        with its cost summary
   --help, -h            this text
 )";
 }
@@ -157,12 +166,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       opts->no_search_on_checkpoint = true;
     } else if (flag == "--metrics") {
       opts->print_metrics = true;
+    } else if (flag == "--query-cost") {
+      opts->query_cost = true;
     } else if (flag == "--metrics-out") {
       if ((v = need_value()) == nullptr) return false;
       opts->metrics_out = v;
     } else if (flag == "--trace-out") {
       if ((v = need_value()) == nullptr) return false;
       opts->trace_out = v;
+    } else if (flag == "--event-log") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->event_log = v;
     } else if (flag == "--dataset") {
       if ((v = need_value()) == nullptr) return false;
       opts->dataset = v;
@@ -250,6 +264,8 @@ struct ObsOutputs {
       }
     }
     if (opts.print_metrics || !opts.metrics_out.empty()) {
+      obs::SetProcessGauges();
+      cow_debug::RefreshLiveNodesGauge();
       const obs::MetricsSnapshot snapshot =
           obs::MetricsRegistry::Global().Snapshot();
       if (opts.print_metrics) {
@@ -290,6 +306,11 @@ void PrintTimelineRow(const stream::OpOutcome& outcome) {
 
 int Run(const CliOptions& opts) {
   ObsOutputs obs_outputs(opts);
+  obs::EventLog event_log(opts.event_log);  // empty path = disabled sink
+  if (!opts.event_log.empty() && !event_log.ok()) {
+    std::cerr << "could not open event log " << opts.event_log << "\n";
+    return 1;
+  }
 
   auto registered = synth::FindDataset(opts.dataset);
   if (!registered.ok()) {
@@ -408,13 +429,31 @@ int Run(const CliOptions& opts) {
             << "\n\n   seq  kind          live    metric      apply\n";
 
   for (const stream::StreamOp& op : ops) {
+    obs::QueryScope scope("op");
     auto outcome = engine->Apply(op);
+    const obs::QueryCost cost = scope.Finish();
     if (!outcome.ok()) {
       std::cerr << "op seq " << op.seq << ": " << outcome.status().ToString()
                 << "\n";
       return 1;
     }
     PrintTimelineRow(*outcome);
+    if (opts.query_cost) std::cout << "        " << cost.CompactString() << "\n";
+    event_log.Event("stream_op")
+        .Field("op_seq", outcome->seq)
+        .Field("kind", stream::OpKindName(outcome->kind))
+        .Field("rows_live", outcome->rows_live)
+        .Field("metric", outcome->metric)
+        .Field("searched", outcome->searched)
+        .Field("cost", cost)
+        .Write();
+    if (outcome->kind == stream::OpKind::kCheckpoint &&
+        !opts.checkpoint.empty()) {
+      event_log.Event("checkpoint")
+          .Field("op_seq", outcome->seq)
+          .Field("path", opts.checkpoint)
+          .Write();
+    }
   }
 
   std::cout << "\nfinal " << FairnessMetricName(opts.metric) << ": "
