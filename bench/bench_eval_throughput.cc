@@ -1,17 +1,22 @@
 // What-if evaluation throughput: the seed deep-copy + full-rescore path vs
-// CoW clones + delta-aware rescoring (docs/performance.md), on the
-// parametric forests of the Figure 5 efficiency study.
+// CoW clones + delta-aware rescoring vs CoW + flat-arena full rescoring
+// (docs/performance.md), on the parametric forests of the Figure 5
+// efficiency study.
 //
 // An UnlearnRemovalMethod evaluation is clone + DeleteRows + rescore; the
 // CoW pipeline optimizes the clone and rescore legs, while DeleteRows does
 // identical work on either path. The bench therefore sweeps the deletion
 // batch size: small batches isolate the optimized legs (the streaming
 // engine's common case), the largest batch approximates the search's
-// support-range row sets where unlearning work dominates both paths.
+// support-range row sets where unlearning work dominates both paths. The
+// arena strategy targets the large batches, where a broad mutation makes
+// the pointer diff-walk re-walk most rows anyway: changed trees are
+// rescored by streaming every test row through their compiled SoA arenas.
 // Reports evaluations/sec and bytes cloned per evaluation per cell, plus
 // full top-k searches at 1/4/8 threads whose outputs are checked identical
-// across every strategy x thread cell. Artifacts: eval_throughput.csv (+
-// metrics snapshot) and BENCH_eval.json in bench_artifacts/.
+// across every strategy x thread cell, plus a direct arena-vs-pointer
+// byte-identity probe. Artifacts: eval_throughput.csv (+ metrics snapshot)
+// and BENCH_eval.json in bench_artifacts/.
 
 #include <algorithm>
 #include <fstream>
@@ -77,6 +82,22 @@ std::vector<std::vector<RowId>> MakeBatches(const Setup& s, int batch_size,
   return batches;
 }
 
+// The three evaluation pipelines under comparison. deep-copy is the seed
+// reference (eager clone + pointer-walk PredictAll); cow-delta pins the
+// pointer diff-walk for every batch size; arena is the production default
+// (diff-walk for small batches, arena full rescore from
+// kArenaFullRescoreMinBatch up).
+struct StrategySpec {
+  const char* name;
+  UnlearnRemovalMethod::Options options;
+};
+
+const StrategySpec kStrategies[] = {
+    {"deep-copy", {/*cow_delta=*/false, /*arena=*/false}},
+    {"cow-delta", {/*cow_delta=*/true, /*arena=*/false}},
+    {"arena", {/*cow_delta=*/true, /*arena=*/true}},
+};
+
 struct Throughput {
   int64_t evaluations = 0;
   double seconds = 0.0;
@@ -89,10 +110,9 @@ struct Throughput {
 // excluded, matching how a search amortizes it.
 Throughput Measure(const Setup& s,
                    const std::vector<std::vector<RowId>>& batches,
-                   bool cow_delta) {
+                   const UnlearnRemovalMethod::Options& options) {
   UnlearnRemovalMethod removal(&s.model, &s.test, s.group,
-                               FairnessMetric::kStatisticalParity,
-                               UnlearnRemovalMethod::Options{cow_delta});
+                               FairnessMetric::kStatisticalParity, options);
   auto warmup = removal.EvaluateWithout(batches.front());
   FUME_ABORT_NOT_OK(warmup.status());
 
@@ -110,7 +130,7 @@ Throughput Measure(const Setup& s,
                         ? static_cast<double>(t.evaluations) / t.seconds
                         : 0.0;
   const int64_t forest_bytes = s.model.ApproxHeapBytes();
-  if (cow_delta) {
+  if (options.cow_delta) {
     // CoW copies individual nodes; charge each the forest's mean node size.
     const int64_t nodes = s.model.num_nodes();
     const int64_t node_bytes = nodes > 0 ? forest_bytes / nodes : 0;
@@ -140,8 +160,9 @@ std::string TopKSignature(const FumeResult& result, const Schema& schema) {
 int main(int argc, char** argv) {
   const bool smoke = SmokeMode(argc, argv);
   const bool full = !smoke && FullMode(argc, argv);
-  PrintBanner("What-if evaluation throughput: deep-copy vs CoW + delta",
-              "docs/performance.md / Figure 5 forests");
+  PrintBanner(
+      "What-if evaluation throughput: deep-copy vs CoW + delta vs arena",
+      "docs/performance.md / Figure 5 forests");
 
   const std::vector<int64_t> sizes =
       smoke ? std::vector<int64_t>{2000}
@@ -150,44 +171,54 @@ int main(int argc, char** argv) {
   const int64_t mid_size = sizes[sizes.size() / 2];
   // 1/4: streaming-style single-op what-ifs (the clone + rescore legs
   // dominate); 64/1024: toward the search's support-range subsets where
-  // shared unlearning work dominates both strategies.
+  // shared unlearning work dominates both strategies. Smoke keeps one
+  // small and one large batch so the arena full-rescore leg runs in CI.
   const std::vector<int> batch_sizes =
-      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 64, 1024};
+      smoke ? std::vector<int>{1, 4, 64} : std::vector<int>{1, 4, 64, 1024};
   const int kHeadlineBatch = 4;
+  const int kArenaHeadlineBatch = 64;
   const int num_batches = smoke ? 8 : (full ? 96 : 48);
 
   TablePrinter table({"rows", "batch", "strategy", "evals", "evals/sec",
                       "clone KiB/eval", "speedup"});
   std::vector<std::vector<std::string>> artifact;
   double mid_speedup = 0.0;
+  double arena_speedup = 0.0;
 
   for (int64_t rows : sizes) {
     Setup s = MakeSetup(rows);
     for (int batch : batch_sizes) {
       const auto batches = MakeBatches(s, batch, num_batches);
-      const Throughput deep = Measure(s, batches, /*cow_delta=*/false);
-      const Throughput cow = Measure(s, batches, /*cow_delta=*/true);
-      const double speedup =
-          deep.evals_per_sec > 0.0 ? cow.evals_per_sec / deep.evals_per_sec
-                                   : 0.0;
-      if (rows == mid_size && batch == kHeadlineBatch) mid_speedup = speedup;
-      for (const auto* t : {&deep, &cow}) {
-        const bool is_cow = t == &cow;
+      std::vector<Throughput> results;
+      for (const StrategySpec& strategy : kStrategies) {
+        results.push_back(Measure(s, batches, strategy.options));
+      }
+      const double deep_rate = results.front().evals_per_sec;
+      const double cow_rate = results[1].evals_per_sec;
+      if (rows == mid_size && batch == kHeadlineBatch && deep_rate > 0.0) {
+        mid_speedup = cow_rate / deep_rate;
+      }
+      if (rows == mid_size && batch == kArenaHeadlineBatch && cow_rate > 0.0) {
+        arena_speedup = results[2].evals_per_sec / cow_rate;
+      }
+      for (size_t i = 0; i < std::size(kStrategies); ++i) {
+        const Throughput& t = results[i];
+        const double speedup =
+            i == 0 ? 1.0
+                   : (deep_rate > 0.0 ? t.evals_per_sec / deep_rate : 0.0);
         table.AddRow(
-            {std::to_string(rows), std::to_string(batch),
-             is_cow ? "cow-delta" : "deep-copy",
-             std::to_string(t->evaluations),
-             FormatDouble(t->evals_per_sec, 1),
+            {std::to_string(rows), std::to_string(batch), kStrategies[i].name,
+             std::to_string(t.evaluations),
+             FormatDouble(t.evals_per_sec, 1),
              FormatDouble(
-                 static_cast<double>(t->clone_bytes_per_eval) / 1024.0, 1),
-             is_cow ? FormatDouble(speedup, 2) + "x" : "1.00x"});
+                 static_cast<double>(t.clone_bytes_per_eval) / 1024.0, 1),
+             FormatDouble(speedup, 2) + "x"});
         artifact.push_back(
-            {std::to_string(rows), std::to_string(batch),
-             is_cow ? "cow-delta" : "deep-copy",
-             std::to_string(t->evaluations), FormatDouble(t->seconds, 4),
-             FormatDouble(t->evals_per_sec, 2),
-             std::to_string(t->clone_bytes_per_eval),
-             FormatDouble(is_cow ? speedup : 1.0, 3)});
+            {std::to_string(rows), std::to_string(batch), kStrategies[i].name,
+             std::to_string(t.evaluations), FormatDouble(t.seconds, 4),
+             FormatDouble(t.evals_per_sec, 2),
+             std::to_string(t.clone_bytes_per_eval),
+             FormatDouble(speedup, 3)});
       }
     }
   }
@@ -198,7 +229,9 @@ int main(int argc, char** argv) {
                 artifact);
 
   // Full searches: every strategy x thread cell must produce the same top-k
-  // (the CoW pipeline's exactness claim, end to end).
+  // (the CoW + arena pipelines' exactness claim, end to end — deep-copy
+  // cells walk pointers, arena cells stream the compiled arenas, and their
+  // searches must rank identical subsets with identical scores).
   std::cout << "\nSearch identity check (mid-size forest, " << mid_size
             << " rows)\n";
   Setup s = MakeSetup(mid_size);
@@ -206,10 +239,10 @@ int main(int argc, char** argv) {
   std::string reference;
   bool identical = true;
   TablePrinter search_table({"strategy", "threads", "search sec"});
-  for (const bool cow : {false, true}) {
+  for (const StrategySpec& strategy : kStrategies) {
     for (const int threads : {1, 4, 8}) {
       UnlearnRemovalMethod removal(&s.model, &s.test, s.group, config.metric,
-                                   UnlearnRemovalMethod::Options{cow});
+                                   strategy.options);
       config.num_threads = threads;
       Stopwatch watch;
       auto result =
@@ -222,17 +255,27 @@ int main(int argc, char** argv) {
       } else if (sig != reference) {
         identical = false;
       }
-      search_table.AddRow({cow ? "cow-delta" : "deep-copy",
-                           std::to_string(threads),
+      search_table.AddRow({strategy.name, std::to_string(threads),
                            FormatDouble(seconds, 3)});
     }
   }
   search_table.Print(std::cout);
+
+  // Direct arena-vs-pointer probe on the mid-size model: the compiled-arena
+  // batch traversal must reproduce the per-row pointer walk byte for byte.
+  const bool arena_identical =
+      s.model.PredictProbAll(s.test) == s.model.PredictProbAllPointer(s.test) &&
+      s.model.PredictAll(s.test) == s.model.PredictAllPointer(s.test);
   std::cout << "top-k identical across all cells: "
             << (identical ? "yes" : "NO — exactness violation") << '\n'
+            << "arena vs pointer predictions byte-identical: "
+            << (arena_identical ? "yes" : "NO — exactness violation") << '\n'
             << "cow-delta speedup at " << mid_size << " rows, batch "
             << kHeadlineBatch
-            << ", 1 thread: " << FormatDouble(mid_speedup, 2) << "x\n";
+            << ", 1 thread: " << FormatDouble(mid_speedup, 2) << "x\n"
+            << "arena speedup over cow-delta at " << mid_size
+            << " rows, batch " << kArenaHeadlineBatch << ", 1 thread: "
+            << FormatDouble(arena_speedup, 2) << "x\n";
 
   std::ofstream json("bench_artifacts/BENCH_eval.json");
   if (json) {
@@ -241,9 +284,14 @@ int main(int argc, char** argv) {
          << "  \"forest\": \"figure5-parametric (10 trees, depth 8)\",\n"
          << "  \"mid_size_rows\": " << mid_size << ",\n"
          << "  \"headline_batch_rows\": " << kHeadlineBatch << ",\n"
+         << "  \"arena_headline_batch_rows\": " << kArenaHeadlineBatch
+         << ",\n"
          << "  \"topk_identical\": " << (identical ? "true" : "false")
          << ",\n"
+         << "  \"arena_pointer_identical\": "
+         << (arena_identical ? "true" : "false") << ",\n"
          << "  \"cow_speedup_1thread_mid\": " << mid_speedup << ",\n"
+         << "  \"arena_speedup_1thread_mid\": " << arena_speedup << ",\n"
          << "  \"cells\": [\n";
     for (size_t i = 0; i < artifact.size(); ++i) {
       const auto& row = artifact[i];
@@ -260,5 +308,5 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "could not write bench_artifacts/BENCH_eval.json\n";
   }
-  return identical ? 0 : 1;
+  return identical && arena_identical ? 0 : 1;
 }

@@ -59,6 +59,20 @@ for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.js
   fi
 done
 
+# The eval bench must have exercised the arena strategy (and attested its
+# byte-identity against the pointer walk) even at smoke size — a silently
+# dropped strategy column would otherwise pass every structural check.
+if [ -f bench_artifacts/BENCH_eval.json ]; then
+  if ! grep -q '"strategy": *"arena"' bench_artifacts/BENCH_eval.json; then
+    echo "FAIL: no arena strategy cells in BENCH_eval.json"
+    status=1
+  fi
+  if ! grep -q '"arena_pointer_identical": *true' bench_artifacts/BENCH_eval.json; then
+    echo "FAIL: arena_pointer_identical attestation missing or false in BENCH_eval.json"
+    status=1
+  fi
+fi
+
 # Structural validation of the freshly produced artifacts.
 echo "=== bench_check --smoke ==="
 if ! "${TOOLS_DIR}/bench_check" --smoke --fresh-dir bench_artifacts; then

@@ -100,6 +100,8 @@ Result<ModelEval> UnlearnRemovalMethod::EvaluateOnSlot(
       obs::GetCounter("removal.unlearn.cow_rows_rescored");
   static obs::Counter* cow_trees_changed =
       obs::GetCounter("removal.unlearn.cow_trees_changed");
+  static obs::Counter* arena_rescores =
+      obs::GetCounter("removal.unlearn.arena_rescores");
   evals->Inc();
   rows_hist->Record(static_cast<int64_t>(rows.size()));
   obs::TraceSpan span("removal.unlearn.evaluate",
@@ -118,13 +120,22 @@ Result<ModelEval> UnlearnRemovalMethod::EvaluateOnSlot(
     cow_evals->Inc();
     // Rescore only test rows whose cached descent crosses a region the
     // deletion actually mutated (CoW sharing identifies those regions by
-    // node identity); results are byte-identical to PredictAll.
-    BaseCache().ScoreWhatIf(*model_, what_if, *test_, &w.scratch);
+    // node identity) — or, for batches big enough to have unshared most
+    // paths, stream the whole test set through the changed trees' flat
+    // arenas. Results are byte-identical to PredictAll either way.
+    const bool arena_rescore =
+        options_.arena && rows.size() >= kArenaFullRescoreMinBatch;
+    if (arena_rescore) arena_rescores->Inc();
+    BaseCache().ScoreWhatIf(*model_, what_if, *test_, &w.scratch,
+                            arena_rescore);
     cow_rows_rescored->Inc(w.scratch.rows_rescored);
     cow_trees_changed->Inc(w.scratch.trees_changed);
     preds = &w.scratch.preds;
   } else {
-    full_preds = what_if.PredictAll(*test_);
+    // The deep-copy leg is the seed reference path: keep it on the
+    // pointer walk so strategy-identity checks diff two independent
+    // traversal implementations.
+    full_preds = what_if.PredictAllPointer(*test_);
     preds = &full_preds;
   }
   eval.fairness = ComputeFairness(*test_, *preds, group_, metric_);

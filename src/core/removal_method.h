@@ -80,7 +80,22 @@ class UnlearnRemovalMethod : public RemovalMethod {
     /// Use CoW clones + delta-aware rescoring (false = deep copy + full
     /// prediction pass, the pre-optimization reference behaviour).
     bool cow_delta = true;
+    /// With cow_delta: rescore the trees a deletion batch of at least
+    /// kArenaFullRescoreMinBatch rows changed through their compiled flat
+    /// arenas (one full streaming pass per changed tree) instead of the
+    /// pointer diff-walk — big batches unshare most paths, so the
+    /// diff-walk re-walks nearly every row through pointers anyway.
+    /// Smaller batches keep the diff-walk. Byte-identical results; false
+    /// pins the diff-walk for every batch size (the cow-delta reference
+    /// strategy in bench_eval_throughput).
+    bool arena = true;
   };
+
+  /// Deletion-batch size at which Options::arena switches the what-if
+  /// rescore from the pointer diff-walk to full arena passes. Sized off
+  /// bench_eval_throughput: at 4 doomed rows the diff-walk still rescores
+  /// a small fraction of the test set; by 64 it touches most of it.
+  static constexpr size_t kArenaFullRescoreMinBatch = 16;
 
   /// Pointers must outlive this object. The model must not be mutated
   /// while evaluations run (the base prediction cache is seeded from it).

@@ -1,6 +1,8 @@
 #include "data/dataset.h"
 
+#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -9,6 +11,61 @@ namespace fume {
 
 Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(static_cast<size_t>(schema_.num_attributes()));
+}
+
+Dataset::Dataset(const Dataset& other)
+    : schema_(other.schema_),
+      columns_(other.columns_),
+      labels_(other.labels_) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  columns_ = other.columns_;
+  labels_ = other.labels_;
+  packed_.store(nullptr);
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      columns_(std::move(other.columns_)),
+      labels_(std::move(other.labels_)) {}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  columns_ = std::move(other.columns_);
+  labels_ = std::move(other.labels_);
+  packed_.store(nullptr);
+  return *this;
+}
+
+std::shared_ptr<const PackedCodes> Dataset::packed_codes() const {
+  std::shared_ptr<const PackedCodes> cur = packed_.load();
+  if (cur != nullptr) return cur;
+  FUME_CHECK(schema_.AllCategorical());
+  // Builds are rare (once per dataset per process, plus once per append
+  // burst), so one process-wide mutex is plenty; readers never take it.
+  static std::mutex build_mu;
+  std::lock_guard<std::mutex> lock(build_mu);
+  cur = packed_.load();
+  if (cur != nullptr) return cur;
+  auto packed = std::make_shared<PackedCodes>();
+  const int p = schema_.num_attributes();
+  const int64_t n = num_rows();
+  packed->num_attrs = p;
+  packed->codes.resize(static_cast<size_t>(n) * static_cast<size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    const std::vector<int32_t>& col = columns_[static_cast<size_t>(j)].codes;
+    int32_t* out = packed->codes.data() + j;
+    for (int64_t r = 0; r < n; ++r) {
+      out[static_cast<size_t>(r) * static_cast<size_t>(p)] =
+          col[static_cast<size_t>(r)];
+    }
+  }
+  packed_.store(packed);
+  return packed;
 }
 
 Status Dataset::AppendRow(const std::vector<int32_t>& codes, int label) {
@@ -52,6 +109,7 @@ Status Dataset::AppendRowMixed(const std::vector<int32_t>& codes,
     }
   }
   labels_.push_back(static_cast<uint8_t>(label));
+  packed_.store(nullptr);  // the packed snapshot no longer covers all rows
   return Status::OK();
 }
 

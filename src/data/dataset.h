@@ -5,7 +5,9 @@
 #ifndef FUME_DATA_DATASET_H_
 #define FUME_DATA_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,21 @@
 #include "util/result.h"
 
 namespace fume {
+
+/// \brief Immutable packed row-major snapshot of an all-categorical
+/// dataset's codes: row r occupies [codes.data() + r * num_attrs, +num_attrs).
+///
+/// The column-store Code(row, attr) gathers two indirections per cell; the
+/// flat-arena tree traversal instead streams this matrix linearly alongside
+/// the node arrays. Built lazily once per Dataset (packed_codes()) and
+/// shared by reference; appending rows invalidates the snapshot.
+struct PackedCodes {
+  std::vector<int32_t> codes;
+  int num_attrs = 0;
+  const int32_t* row(int64_t r) const {
+    return codes.data() + r * num_attrs;
+  }
+};
 
 /// \brief Storage for one column; exactly one of the two vectors is in use,
 /// matching the attribute's type in the schema.
@@ -31,6 +48,14 @@ class Dataset {
  public:
   Dataset() = default;
   explicit Dataset(Schema schema);
+  // The cached packed view never transfers: a copy's (or moved-to object's)
+  // columns can legitimately be patched right after the transfer (e.g.
+  // WithPermutedColumn), which must not be visible through a shared
+  // snapshot. Each object rebuilds its own view on first use.
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
 
   const Schema& schema() const { return schema_; }
   int64_t num_rows() const { return static_cast<int64_t>(labels_.size()); }
@@ -60,6 +85,12 @@ class Dataset {
   const std::vector<double>& numerics(int attr) const {
     return columns_[attr].numeric;
   }
+
+  /// The packed row-major code matrix (requires an all-categorical
+  /// schema). Thread-safe: concurrent first calls build one snapshot; the
+  /// returned pointer stays valid (and coherent with the rows it was built
+  /// from) even if this Dataset later appends rows.
+  std::shared_ptr<const PackedCodes> packed_codes() const;
 
   /// Fraction of rows with label 1 (the favorable outcome).
   double PositiveRate() const;
@@ -94,6 +125,9 @@ class Dataset {
   Schema schema_;
   std::vector<ColumnData> columns_;
   std::vector<uint8_t> labels_;
+  /// Lazily built packed view; null until the first packed_codes() call
+  /// and reset to null by AppendRow/AppendRowMixed.
+  mutable std::atomic<std::shared_ptr<const PackedCodes>> packed_{nullptr};
 };
 
 }  // namespace fume

@@ -47,6 +47,15 @@ struct ForestConfig {
   /// bench_unlearn_kernel comparison. Not part of the serialized model
   /// (a runtime execution knob, not model state).
   bool batched_unlearn_kernel = true;
+  /// Route batch prediction (PredictProbAll/PredictAll and the test-set
+  /// prediction cache's tree walks) through per-tree flat SoA arenas —
+  /// compiled lazily from the CoW node graph, invalidated by generation
+  /// stamp, traversed with branch-light index arithmetic. false restores
+  /// the pointer walk everywhere. Results are byte-identical either way
+  /// (FUME_ARENA_VERIFY builds cross-check every call). Like
+  /// batched_unlearn_kernel, a runtime execution knob — not part of the
+  /// serialized model.
+  bool arena_traversal = true;
 };
 
 /// Counters describing the work done by one DeleteRows call; used by the

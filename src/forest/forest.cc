@@ -225,13 +225,46 @@ int DareForest::Predict(const Dataset& data, int64_t row) const {
   return PredictProb(data, row) >= 0.5 ? 1 : 0;
 }
 
-std::vector<double> DareForest::PredictProbAll(const Dataset& data) const {
+std::vector<double> DareForest::PredictProbAllPointer(
+    const Dataset& data) const {
   FUME_CHECK(CheckCompatible(data).ok());
   std::vector<double> out(static_cast<size_t>(data.num_rows()));
   for (int64_t r = 0; r < data.num_rows(); ++r) {
     out[static_cast<size_t>(r)] = PredictProb(data, r);
   }
   return out;
+}
+
+std::vector<int> DareForest::PredictAllPointer(const Dataset& data) const {
+  std::vector<double> probs = PredictProbAllPointer(data);
+  std::vector<int> out(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) out[i] = probs[i] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+std::vector<double> DareForest::PredictProbAll(const Dataset& data) const {
+  if (!config_.arena_traversal || trees_.empty()) {
+    return PredictProbAllPointer(data);
+  }
+  FUME_CHECK(CheckCompatible(data).ok());
+  const std::shared_ptr<const PackedCodes> packed = data.packed_codes();
+  const int64_t n_rows = data.num_rows();
+  std::vector<double> sums(static_cast<size_t>(n_rows), 0.0);
+  for (const auto& tree : trees_) {
+    const std::shared_ptr<const TreeArena> arena = tree.arena();
+    if (arena == nullptr) return PredictProbAllPointer(data);
+    // Tree-outer accumulation adds per-row leaf probabilities in tree
+    // order — the same summation PredictProb performs per row, so the
+    // means below are byte-identical to the pointer walk.
+    arena->AccumulateProbs(packed->codes.data(), packed->num_attrs, n_rows,
+                           sums.data());
+  }
+  const double tree_count = static_cast<double>(trees_.size());
+  for (double& s : sums) s /= tree_count;
+#ifdef FUME_ARENA_VERIFY
+  FUME_CHECK(sums == PredictProbAllPointer(data));
+#endif
+  return sums;
 }
 
 std::vector<int> DareForest::PredictAll(const Dataset& data) const {

@@ -93,8 +93,18 @@ class DareForest {
   double PredictProb(const Dataset& data, int64_t row) const;
   /// Hard prediction at the 0.5 probability threshold.
   int Predict(const Dataset& data, int64_t row) const;
+  /// Batch prediction over every row of `data`. With
+  /// config().arena_traversal (the default) the rows stream through each
+  /// tree's flat arena (compiled on demand, cached until the next
+  /// mutation); results are byte-identical to the pointer walk.
   std::vector<double> PredictProbAll(const Dataset& data) const;
   std::vector<int> PredictAll(const Dataset& data) const;
+  /// Reference pointer-walk batch prediction (a per-row PredictProb loop,
+  /// ignoring config().arena_traversal). Kept as the exactness baseline the
+  /// arena path is diffed against in tests, FUME_ARENA_VERIFY builds and
+  /// the eval-throughput bench's deep-copy strategy.
+  std::vector<double> PredictProbAllPointer(const Dataset& data) const;
+  std::vector<int> PredictAllPointer(const Dataset& data) const;
 
   /// Fraction of rows of `data` predicted correctly.
   double Accuracy(const Dataset& data) const;

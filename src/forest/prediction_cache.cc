@@ -13,6 +13,32 @@ void TestPredictionCache::WalkTree(const DareForest& forest,
   auto& probs = prob_[static_cast<size_t>(t)];
   leaves.resize(static_cast<size_t>(n_rows));
   probs.resize(static_cast<size_t>(n_rows));
+  if (forest.config().arena_traversal) {
+    // Arena walk: same leaf TreeNode* per row as the pointer loop below
+    // (the stream engine's resume contract keys on those addresses), same
+    // probability bytes.
+    if (const std::shared_ptr<const TreeArena> arena = forest.tree(t).arena()) {
+      const std::shared_ptr<const PackedCodes> packed = test.packed_codes();
+      arena->WalkLeaves(packed->codes.data(), packed->num_attrs, n_rows,
+                        leaves.data(), probs.data());
+#ifdef FUME_ARENA_VERIFY
+      std::vector<const TreeNode*> ref_leaves = leaves;
+      std::vector<double> ref_probs = probs;
+      WalkTreePointer(forest, test, t, ref_leaves.data(), ref_probs.data());
+      FUME_CHECK(leaves == ref_leaves);
+      FUME_CHECK(probs == ref_probs);
+#endif
+      return;
+    }
+  }
+  WalkTreePointer(forest, test, t, leaves.data(), probs.data());
+}
+
+void TestPredictionCache::WalkTreePointer(const DareForest& forest,
+                                          const Dataset& test, int t,
+                                          const TreeNode** leaves,
+                                          double* probs) const {
+  const int64_t n_rows = test.num_rows();
   const TreeNode* root = forest.tree(t).root();
   for (int64_t r = 0; r < n_rows; ++r) {
     const TreeNode* n = root;
@@ -153,13 +179,18 @@ void TestPredictionCache::DiffWalk(const TreeNode* base,
 
 void TestPredictionCache::ScoreWhatIf(const DareForest& base,
                                       const DareForest& what_if,
-                                      const Dataset& test,
-                                      WhatIfScratch* s) const {
+                                      const Dataset& test, WhatIfScratch* s,
+                                      bool arena_full_rescore) const {
   const size_t num_trees = leaf_.size();
   FUME_CHECK_EQ(static_cast<size_t>(base.num_trees()), num_trees);
   FUME_CHECK_EQ(static_cast<size_t>(what_if.num_trees()), num_trees);
   const size_t n_rows = mean_prob_.size();
   FUME_CHECK_EQ(static_cast<size_t>(test.num_rows()), n_rows);
+  const bool arena_mode =
+      arena_full_rescore && what_if.config().arena_traversal;
+  std::shared_ptr<const PackedCodes> packed;
+  if (arena_mode) packed = test.packed_codes();
+  bool rescored_all = false;
 
   // Epoch bump takes the place of clearing the per-tree/per-row markers;
   // on (unlikely) wrap-around, reset them for real.
@@ -180,6 +211,20 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
     if (broot == nroot) continue;  // whole tree still shared
     ++s->trees_changed;
     s->tree_epoch[t] = s->epoch;
+    if (arena_mode) {
+      // Broad mutation: stream every row through the changed tree's arena
+      // instead of diff-walking the pointer graphs. Same leaf probability
+      // bytes as DiffWalk's descent, just computed for all rows at once.
+      if (const std::shared_ptr<const TreeArena> arena =
+              what_if.tree(static_cast<int>(t)).arena()) {
+        s->tree_prob[t].resize(n_rows);
+        arena->PredictProbs(packed->codes.data(), packed->num_attrs,
+                            static_cast<int64_t>(n_rows),
+                            s->tree_prob[t].data());
+        rescored_all = true;
+        continue;
+      }
+    }
     // Seed with the base probabilities so rows pruned at a shared subtree
     // keep their cached value; DiffWalk overwrites only rescored rows.
     s->tree_prob[t] = prob_[t];
@@ -192,10 +237,11 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
 
   // Re-sum each rescored row over every tree in tree order — the same
   // order and arithmetic as Finalize/PredictProb, so the result is
-  // byte-identical to what_if.PredictAll(test).
+  // byte-identical to what_if.PredictAll(test). A full arena rescore
+  // invalidates every row's sum, not just the diff-walk's touched list.
   s->preds = pred_;
   const double tree_count = static_cast<double>(num_trees);
-  for (int64_t r : s->touched) {
+  auto resum = [&](int64_t r) {
     double sum = 0.0;
     for (size_t t = 0; t < num_trees; ++t) {
       sum += s->tree_epoch[t] == s->epoch
@@ -203,8 +249,17 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
                  : prob_[t][static_cast<size_t>(r)];
     }
     s->preds[static_cast<size_t>(r)] = sum / tree_count >= 0.5 ? 1 : 0;
+  };
+  if (rescored_all) {
+    for (size_t r = 0; r < n_rows; ++r) resum(static_cast<int64_t>(r));
+    s->rows_rescored = static_cast<int64_t>(n_rows);
+  } else {
+    for (int64_t r : s->touched) resum(r);
+    s->rows_rescored = static_cast<int64_t>(s->touched.size());
   }
-  s->rows_rescored = static_cast<int64_t>(s->touched.size());
+#ifdef FUME_ARENA_VERIFY
+  FUME_CHECK(s->preds == what_if.PredictAllPointer(test));
+#endif
 }
 
 }  // namespace fume

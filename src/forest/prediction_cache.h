@@ -77,8 +77,16 @@ class TestPredictionCache {
   /// mutated. Fills scratch->preds with predictions byte-identical to
   /// what_if.PredictAll(test). Thread-safe for concurrent calls on one
   /// cache with distinct scratches.
+  ///
+  /// `arena_full_rescore` trades the pointer diff-walk for a full pass of
+  /// every test row through each changed tree's flat arena — the right
+  /// call when the mutation was broad (large deletion batches unshare most
+  /// paths, so the diff-walk would re-walk nearly everything through
+  /// pointers anyway). Requires what_if.config().arena_traversal; results
+  /// are byte-identical either way.
   void ScoreWhatIf(const DareForest& base, const DareForest& what_if,
-                   const Dataset& test, WhatIfScratch* scratch) const;
+                   const Dataset& test, WhatIfScratch* scratch,
+                   bool arena_full_rescore = false) const;
 
   /// Mean forest probability per test row; byte-identical to
   /// forest.PredictProbAll(test).
@@ -90,6 +98,10 @@ class TestPredictionCache {
 
  private:
   void WalkTree(const DareForest& forest, const Dataset& test, int t);
+  /// Reference root-to-leaf pointer descent into caller-provided arrays
+  /// (the pre-arena WalkTree body); also the FUME_ARENA_VERIFY oracle.
+  void WalkTreePointer(const DareForest& forest, const Dataset& test, int t,
+                       const TreeNode** leaves, double* probs) const;
   void ResumeTree(const Dataset& test, int t);
   void Finalize(const DareForest& forest);
   void DiffWalk(const TreeNode* base, const TreeNode* changed,

@@ -66,10 +66,20 @@ void WriteNode(std::ostream& out, const TreeNode* node) {
   WritePod<int32_t>(out, node->threshold);
   WritePod<uint8_t>(out, node->is_random ? 1 : 0);
   WriteVec(out, node->stats.cand_attrs);
-  WritePod<uint64_t>(out, node->stats.hist_count.size());
-  for (size_t i = 0; i < node->stats.hist_count.size(); ++i) {
-    WriteVec(out, node->stats.hist_count[i]);
-    WriteVec(out, node->stats.hist_pos[i]);
+  // The on-disk format predates the flat interleaved histogram buffer and
+  // stays per-attribute (count vector, pos vector) pairs — de-interleave at
+  // this boundary so old files keep loading byte-for-byte.
+  WritePod<uint64_t>(out, node->stats.cand_attrs.size());
+  for (size_t i = 0; i < node->stats.cand_attrs.size(); ++i) {
+    const int64_t* h = node->stats.HistRow(i);
+    const size_t card = static_cast<size_t>(node->stats.HistCard(i));
+    std::vector<int64_t> hc(card), hp(card);
+    for (size_t v = 0; v < card; ++v) {
+      hc[v] = h[2 * v];
+      hp[v] = h[2 * v + 1];
+    }
+    WriteVec(out, hc);
+    WriteVec(out, hp);
   }
   WriteNode(out, node->left.get());
   WriteNode(out, node->right.get());
@@ -102,12 +112,19 @@ Result<std::shared_ptr<TreeNode>> ReadNode(std::istream& in, int depth) {
   if (!ReadPod(in, &num_hists) || num_hists != node->stats.cand_attrs.size()) {
     return Status::IOError("forest file: histogram count mismatch");
   }
-  node->stats.hist_count.resize(num_hists);
-  node->stats.hist_pos.resize(num_hists);
+  node->stats.hist_offsets.assign(num_hists + 1, 0);
+  node->stats.hist.clear();
+  std::vector<int64_t> hc, hp;
   for (uint64_t i = 0; i < num_hists; ++i) {
-    if (!ReadVec(in, &node->stats.hist_count[i], kMaxVec) ||
-        !ReadVec(in, &node->stats.hist_pos[i], kMaxVec)) {
+    if (!ReadVec(in, &hc, kMaxVec) || !ReadVec(in, &hp, kMaxVec) ||
+        hc.size() != hp.size()) {
       return Status::IOError("forest file: truncated histograms");
+    }
+    node->stats.hist_offsets[i + 1] =
+        node->stats.hist_offsets[i] + static_cast<int32_t>(hc.size());
+    for (size_t v = 0; v < hc.size(); ++v) {
+      node->stats.hist.push_back(hc[v]);
+      node->stats.hist.push_back(hp[v]);
     }
   }
   node->stats.count = node->count;

@@ -37,21 +37,27 @@ void NodeStats::ComputeFromRows(const TrainingStore& store, const RowId* rows,
   cand_attrs = std::move(cand_attrs_sorted);
   count = n;
   pos = 0;
-  hist_count.assign(cand_attrs.size(), {});
-  hist_pos.assign(cand_attrs.size(), {});
-  for (size_t i = 0; i < cand_attrs.size(); ++i) {
-    const int32_t card = store.cardinality(cand_attrs[i]);
-    hist_count[i].assign(static_cast<size_t>(card), 0);
-    hist_pos[i].assign(static_cast<size_t>(card), 0);
+  const size_t num_attrs = cand_attrs.size();
+  hist_offsets.resize(num_attrs + 1);
+  int32_t total = 0;
+  for (size_t i = 0; i < num_attrs; ++i) {
+    hist_offsets[i] = total;
+    total += store.cardinality(cand_attrs[i]);
   }
+  hist_offsets[num_attrs] = total;
+  hist.assign(2 * static_cast<size_t>(total), 0);
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (int64_t k = 0; k < n; ++k) {
     const RowId r = rows[k];
     const int y = store.label(r);
     pos += y;
-    for (size_t i = 0; i < cand_attrs.size(); ++i) {
+    for (size_t i = 0; i < num_attrs; ++i) {
       const int32_t v = store.code(r, cand_attrs[i]);
-      ++hist_count[i][static_cast<size_t>(v)];
-      hist_pos[i][static_cast<size_t>(v)] += y;
+      int64_t* const bin = h + 2 * (static_cast<size_t>(off[i]) +
+                                    static_cast<size_t>(v));
+      ++bin[0];
+      bin[1] += y;
     }
   }
 }
@@ -60,10 +66,14 @@ void NodeStats::RemoveRow(const TrainingStore& store, RowId row) {
   const int y = store.label(row);
   --count;
   pos -= y;
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (size_t i = 0; i < cand_attrs.size(); ++i) {
     const int32_t v = store.code(row, cand_attrs[i]);
-    --hist_count[i][static_cast<size_t>(v)];
-    hist_pos[i][static_cast<size_t>(v)] -= y;
+    int64_t* const bin =
+        h + 2 * (static_cast<size_t>(off[i]) + static_cast<size_t>(v));
+    --bin[0];
+    bin[1] -= y;
   }
 }
 
@@ -71,10 +81,14 @@ void NodeStats::AddRow(const TrainingStore& store, RowId row) {
   const int y = store.label(row);
   ++count;
   pos += y;
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (size_t i = 0; i < cand_attrs.size(); ++i) {
     const int32_t v = store.code(row, cand_attrs[i]);
-    ++hist_count[i][static_cast<size_t>(v)];
-    hist_pos[i][static_cast<size_t>(v)] += y;
+    int64_t* const bin =
+        h + 2 * (static_cast<size_t>(off[i]) + static_cast<size_t>(v));
+    ++bin[0];
+    bin[1] += y;
   }
 }
 
@@ -86,14 +100,17 @@ void NodeStats::AddRow(const TrainingStore& store, RowId row) {
 void NodeStats::RemoveRows(const TrainingStore& store, const RowId* rows,
                            int64_t n) {
   const size_t num_attrs = cand_attrs.size();
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (int64_t k = 0; k < n; ++k) {
     const RowId r = rows[k];
     const int y = store.label(r);
     pos -= y;
     for (size_t i = 0; i < num_attrs; ++i) {
       const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
-      --hist_count[i][v];
-      hist_pos[i][v] -= y;
+      int64_t* const bin = h + 2 * (static_cast<size_t>(off[i]) + v);
+      --bin[0];
+      bin[1] -= y;
     }
   }
   count -= n;
@@ -102,14 +119,17 @@ void NodeStats::RemoveRows(const TrainingStore& store, const RowId* rows,
 void NodeStats::AddRows(const TrainingStore& store, const RowId* rows,
                         int64_t n) {
   const size_t num_attrs = cand_attrs.size();
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (int64_t k = 0; k < n; ++k) {
     const RowId r = rows[k];
     const int y = store.label(r);
     pos += y;
     for (size_t i = 0; i < num_attrs; ++i) {
       const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
-      ++hist_count[i][v];
-      hist_pos[i][v] += y;
+      int64_t* const bin = h + 2 * (static_cast<size_t>(off[i]) + v);
+      ++bin[0];
+      bin[1] += y;
     }
   }
   count += n;
@@ -122,14 +142,17 @@ RowId* NodeStats::RemoveRowsAndPartition(const TrainingStore& store,
   const size_t num_attrs = cand_attrs.size();
   spill->clear();
   RowId* write = begin;
+  int64_t* const h = hist.data();
+  const int32_t* const off = hist_offsets.data();
   for (RowId* p = begin; p != end; ++p) {
     const RowId r = *p;
     const int y = store.label(r);
     pos -= y;
     for (size_t i = 0; i < num_attrs; ++i) {
       const auto v = static_cast<size_t>(store.code(r, cand_attrs[i]));
-      --hist_count[i][v];
-      hist_pos[i][v] -= y;
+      int64_t* const bin = h + 2 * (static_cast<size_t>(off[i]) + v);
+      --bin[0];
+      bin[1] -= y;
     }
     if (store.code(r, attr) <= threshold) {
       *write++ = r;
@@ -144,8 +167,8 @@ RowId* NodeStats::RemoveRowsAndPartition(const TrainingStore& store,
 
 bool NodeStats::Equals(const NodeStats& other) const {
   return count == other.count && pos == other.pos &&
-         cand_attrs == other.cand_attrs && hist_count == other.hist_count &&
-         hist_pos == other.hist_pos;
+         cand_attrs == other.cand_attrs &&
+         hist_offsets == other.hist_offsets && hist == other.hist;
 }
 
 std::vector<int> ChooseCandidateAttrs(uint64_t path_key, int num_attrs,
@@ -237,12 +260,11 @@ struct SideCounts {
 // min_samples_leaf, and returns its score through *score.
 bool ScoreSplit(const NodeStats& stats, int cand_index, int32_t threshold,
                 int min_leaf, double* score) {
-  const auto& hc = stats.hist_count[static_cast<size_t>(cand_index)];
-  const auto& hp = stats.hist_pos[static_cast<size_t>(cand_index)];
+  const int64_t* const h = stats.HistRow(static_cast<size_t>(cand_index));
   SideCounts left;
   for (int32_t v = 0; v <= threshold; ++v) {
-    left.count += hc[static_cast<size_t>(v)];
-    left.pos += hp[static_cast<size_t>(v)];
+    left.count += h[2 * static_cast<size_t>(v)];
+    left.pos += h[2 * static_cast<size_t>(v) + 1];
   }
   const int64_t right_count = stats.count - left.count;
   const int64_t right_pos = stats.pos - left.pos;
@@ -315,15 +337,14 @@ SplitDecision DecideSplit(const NodeStats& stats, const TrainingStore& store,
     }
     const size_t num_cand =
         exact ? static_cast<size_t>(num_thresholds) : sampled.size();
-    const auto& hc = stats.hist_count[i];
-    const auto& hp = stats.hist_pos[i];
+    const int64_t* const h = stats.HistRow(i);
     SideCounts left;
     int32_t bin = 0;
     for (size_t k = 0; k < num_cand; ++k) {
       const int32_t t = exact ? static_cast<int32_t>(k) : sampled[k];
       for (; bin <= t; ++bin) {
-        left.count += hc[static_cast<size_t>(bin)];
-        left.pos += hp[static_cast<size_t>(bin)];
+        left.count += h[2 * static_cast<size_t>(bin)];
+        left.pos += h[2 * static_cast<size_t>(bin) + 1];
       }
       const int64_t right_count = stats.count - left.count;
       const int64_t right_pos = stats.pos - left.pos;

@@ -21,16 +21,49 @@ namespace fume {
 
 /// \brief Cached statistics of one decision node: label counts plus, for each
 /// candidate attribute, per-value (count, positive) histograms.
+///
+/// The histograms live in ONE flat interleaved buffer instead of a
+/// vector-of-vectors: a node costs 3 allocations instead of 2 + 2 per
+/// candidate attribute, which is what makes CoW node copies, what-if
+/// destruction, and subtree retrains cheap (every internal TreeNode embeds
+/// a NodeStats). Bin (i, v) holds its count at hist[2*(hist_offsets[i]+v)]
+/// and its positive count right next to it — the unlearning update loops
+/// touch both with one cache line.
 struct NodeStats {
   int64_t count = 0;
   int64_t pos = 0;
   /// Candidate attributes, ascending. Chosen by the node's path key, so the
   /// set never changes under deletions.
   std::vector<int> cand_attrs;
-  /// hist_count[i][v] = #instances at this node with code(cand_attrs[i])==v.
-  std::vector<std::vector<int64_t>> hist_count;
-  /// hist_pos[i][v] = #positives among those.
-  std::vector<std::vector<int64_t>> hist_pos;
+  /// Prefix sums of the candidate attributes' cardinalities, size
+  /// cand_attrs.size() + 1. Fixed by the schema: deletions update hist
+  /// values only, never this shape.
+  std::vector<int32_t> hist_offsets;
+  /// All histograms, interleaved: hist[2*(hist_offsets[i]+v)] = #instances
+  /// with code(cand_attrs[i]) == v, hist[2*(hist_offsets[i]+v)+1] = the
+  /// positives among them. Size 2 * hist_offsets.back().
+  std::vector<int64_t> hist;
+
+  /// #instances at this node with code(cand_attrs[i]) == v.
+  int64_t HistCount(size_t i, int32_t v) const {
+    return hist[2 * (static_cast<size_t>(hist_offsets[i]) +
+                     static_cast<size_t>(v))];
+  }
+  /// #positives among HistCount(i, v).
+  int64_t HistPos(size_t i, int32_t v) const {
+    return hist[2 * (static_cast<size_t>(hist_offsets[i]) +
+                     static_cast<size_t>(v)) +
+                1];
+  }
+  /// Base of candidate i's interleaved (count, pos) bin pairs: bin v's
+  /// count at [2*v], its positives at [2*v + 1].
+  const int64_t* HistRow(size_t i) const {
+    return hist.data() + 2 * static_cast<size_t>(hist_offsets[i]);
+  }
+  /// Number of bins of candidate i (its attribute's cardinality).
+  int32_t HistCard(size_t i) const {
+    return hist_offsets[i + 1] - hist_offsets[i];
+  }
 
   /// Index of `attr` within cand_attrs, or -1.
   int CandIndex(int attr) const;

@@ -106,6 +106,8 @@ DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
   tree.tree_id_ = tree_id;
   tree.root_ = tree.BuildNode(rows, /*depth=*/0,
                               RootPathKey(config.seed, tree_id));
+  tree.generation_ = arena_internal::NextGeneration();
+  tree.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
   return tree;
 }
 
@@ -245,10 +247,49 @@ TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
   return slot->get();
 }
 
+void DareTree::BumpGeneration() {
+  generation_ = arena_internal::NextGeneration();
+  if (arena_slot_ == nullptr) return;
+  // Drop the stale arena eagerly (the generation check alone would keep it
+  // correct) so what-if churn doesn't hold dead arenas alive.
+  if (arena_slot_->arena.exchange(nullptr) != nullptr) {
+    static obs::Counter* invalidates =
+        obs::GetCounter("forest.arena.invalidate");
+    invalidates->Inc();
+  }
+}
+
+std::shared_ptr<const TreeArena> DareTree::arena() const {
+  if (arena_slot_ == nullptr) return nullptr;
+  static obs::Counter* reuses = obs::GetCounter("forest.arena.reuse");
+  std::shared_ptr<const TreeArena> cur = arena_slot_->arena.load();
+  if (cur != nullptr && cur->generation() == generation_) {
+    reuses->Inc();
+    return cur;
+  }
+  std::lock_guard<std::mutex> lock(arena_slot_->mu);
+  cur = arena_slot_->arena.load();
+  if (cur != nullptr && cur->generation() == generation_) {
+    reuses->Inc();
+    return cur;
+  }
+  // The last compiled node count is the best size hint available — what-if
+  // mutations move it by at most a retrained subtree. The slot remembers it
+  // across eager invalidation, so post-mutation recompiles reserve too.
+  std::shared_ptr<const TreeArena> fresh = TreeArena::Compile(
+      root_.get(), generation_,
+      cur == nullptr ? arena_slot_->size_hint.load(std::memory_order_relaxed)
+                     : cur->num_nodes());
+  arena_slot_->size_hint.store(fresh->num_nodes(), std::memory_order_relaxed);
+  arena_slot_->arena.store(fresh);
+  return fresh;
+}
+
 void DareTree::DeleteRows(const std::vector<RowId>& rows,
                           DeletionStats* stats_out) {
   if (rows.empty() || root_ == nullptr) return;
   if (!config_.batched_unlearn_kernel) {
+    BumpGeneration();
     DeletionStats local;
     DeleteFromNode(&root_, rows, /*depth=*/0,
                    RootPathKey(config_.seed, tree_id_), &local);
@@ -265,6 +306,7 @@ void DareTree::DeleteRows(const std::vector<RowId>& rows,
 void DareTree::DeleteRows(const std::vector<RowId>& rows,
                           DeletionStats* stats_out, DeletionScratch* scratch) {
   if (rows.empty() || root_ == nullptr) return;
+  BumpGeneration();
   DeletionStats local;
   if (config_.batched_unlearn_kernel) {
     scratch->route.assign(rows.begin(), rows.end());
@@ -475,6 +517,7 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
     // Legacy path; also covers empty batches and building a first root,
     // which need no scratch.
     if (rows.empty()) return;
+    BumpGeneration();
     DeletionStats local;
     if (root_ == nullptr) {
       root_ =
@@ -494,6 +537,7 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
 void DareTree::AddRows(const std::vector<RowId>& rows,
                        DeletionStats* stats_out, DeletionScratch* scratch) {
   if (rows.empty()) return;
+  BumpGeneration();
   DeletionStats local;
   if (root_ == nullptr) {
     root_ = BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
@@ -746,12 +790,10 @@ int64_t NodeHeapBytes(const TreeNode* node) {
   bytes += static_cast<int64_t>(node->rows.capacity() * sizeof(RowId));
   bytes += static_cast<int64_t>(node->stats.cand_attrs.capacity() *
                                 sizeof(int));
-  for (const auto& h : node->stats.hist_count) {
-    bytes += static_cast<int64_t>(h.capacity() * sizeof(int64_t));
-  }
-  for (const auto& h : node->stats.hist_pos) {
-    bytes += static_cast<int64_t>(h.capacity() * sizeof(int64_t));
-  }
+  bytes += static_cast<int64_t>(node->stats.hist_offsets.capacity() *
+                                sizeof(int32_t));
+  bytes += static_cast<int64_t>(node->stats.hist.capacity() *
+                                sizeof(int64_t));
   return bytes + NodeHeapBytes(node->left.get()) +
          NodeHeapBytes(node->right.get());
 }
@@ -780,6 +822,17 @@ DareTree DareTree::Clone() const {
   out.config_ = config_;
   out.tree_id_ = tree_id_;
   out.root_ = root_;  // CoW: share the node graph, refcount keeps it alive
+  // Same nodes, same stamp — but a private cache cell, so neither tree's
+  // later mutations can evict the other's arena. The seeded snapshot (when
+  // one exists) serves both trees until one of them mutates.
+  out.generation_ = generation_;
+  out.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
+  if (arena_slot_ != nullptr) {
+    out.arena_slot_->arena.store(arena_slot_->arena.load());
+    out.arena_slot_->size_hint.store(
+        arena_slot_->size_hint.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
   return out;
 }
 
@@ -789,6 +842,10 @@ DareTree DareTree::DeepClone() const {
   out.config_ = config_;
   out.tree_id_ = tree_id_;
   if (root_ != nullptr) out.root_ = DeepCloneNode(root_.get());
+  // Fresh node addresses: a fresh stamp keeps any shared arena (node_
+  // points into the source graph) from ever serving this tree.
+  out.generation_ = arena_internal::NextGeneration();
+  out.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
   return out;
 }
 
@@ -820,6 +877,8 @@ DareTree DareTree::FromParts(std::shared_ptr<const TrainingStore> store,
   tree.config_ = config;
   tree.tree_id_ = tree_id;
   tree.root_ = std::move(root);
+  tree.generation_ = arena_internal::NextGeneration();
+  tree.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
   return tree;
 }
 

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "forest/arena.h"
 #include "forest/config.h"
 #include "forest/deletion_scratch.h"
 #include "forest/split_stats.h"
@@ -152,6 +153,21 @@ class DareTree {
   /// The refcounted root handle (node-identity diffing, e.g. the prediction
   /// cache's what-if rescoring, compares these graphs by address).
   const std::shared_ptr<TreeNode>& root_handle() const { return root_; }
+
+  /// The flat SoA arena for the tree's current state: compiled lazily on
+  /// first use, cached keyed on the generation stamp, shared by every
+  /// caller until the next mutation invalidates it. Thread-safe (concurrent
+  /// first calls compile once). Returns nullptr only for a
+  /// default-constructed tree, which has no cache slot — callers fall back
+  /// to the pointer walk. See docs/performance.md "Flat arena layout".
+  std::shared_ptr<const TreeArena> arena() const;
+  /// Monotonic mutation stamp, drawn from a process-wide counter: bumped
+  /// once per DeleteRows/AddRows batch (the granularity at which Mutable()
+  /// unshares CoW nodes), assigned fresh by Build/DeepClone/FromParts and
+  /// inherited by Clone(). Two trees with equal stamps are byte-identical —
+  /// stamps diverge forever at the first mutation after a Clone — which is
+  /// what makes the stamp alone a sound arena cache key (DESIGN.md §7).
+  uint64_t generation() const { return generation_; }
   int tree_id() const { return tree_id_; }
   int64_t num_training_rows() const {
     return root_ == nullptr ? 0 : root_->count;
@@ -193,6 +209,9 @@ class DareTree {
   /// CoW unshare: returns a privately-owned, mutable view of *slot,
   /// replacing a shared node with a shallow copy first.
   TreeNode* Mutable(std::shared_ptr<TreeNode>* slot);
+  /// Advances generation_ and drops a now-stale cached arena. Called once
+  /// per mutating batch, before any node is touched.
+  void BumpGeneration();
   // Per-row baseline recursion (config.batched_unlearn_kernel = false):
   // builds an unordered_set of doomed rows at every leaf/retrain and routes
   // through freshly allocated per-node vectors. Kept verbatim as the
@@ -233,6 +252,12 @@ class DareTree {
   ForestConfig config_;
   int tree_id_ = 0;
   std::shared_ptr<TreeNode> root_;
+  uint64_t generation_ = 0;
+  /// Arena cache cell. Build/FromParts/DeepClone allocate a fresh one;
+  /// Clone() allocates its own (never shared with the source, so what-if
+  /// churn can't evict the base forest's arenas) seeded with the source's
+  /// current snapshot, which stays valid until either side mutates.
+  std::shared_ptr<arena_internal::ArenaSlot> arena_slot_;
 };
 
 }  // namespace fume

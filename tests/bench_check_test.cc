@@ -230,7 +230,7 @@ TEST(BenchCheckTest, MissingBaselineCellIsRegression) {
   EXPECT_TRUE(saw_missing);
 }
 
-TEST(BenchCheckTest, ExtraFreshCellIsNotRegression) {
+TEST(BenchCheckTest, ExtraFreshCellExtendsBaselineInsteadOfRegressing) {
   const JsonValue baseline = Parse(
       R"({"cells":[{"mode":"incremental","ops_per_sec":10.0}]})");
   const JsonValue fresh = Parse(
@@ -241,6 +241,43 @@ TEST(BenchCheckTest, ExtraFreshCellIsNotRegression) {
   ASSERT_TRUE(cmp.ok());
   EXPECT_TRUE(cmp->ok());
   EXPECT_EQ(cmp->cells.size(), 1u);  // only baseline cells are compared
+  ASSERT_EQ(cmp->baseline_extending.size(), 1u);
+  EXPECT_EQ(cmp->baseline_extending[0].key, "mode=cold-retrain");
+  EXPECT_EQ(cmp->baseline_extending[0].field, "ops_per_sec");
+  EXPECT_EQ(cmp->baseline_extending[0].fresh, 1.0);
+  EXPECT_FALSE(cmp->baseline_extending[0].regression);
+}
+
+TEST(BenchCheckTest, BaselineExtendingCellsAreDistinctFromMatchedOnes) {
+  // A bench that grew an "arena" strategy column: the old strategies still
+  // compare cell-by-cell (and can regress), the new column only extends.
+  const JsonValue baseline = Parse(
+      R"({"cells":[{"rows": 2000, "strategy":"cow-delta","evals_per_sec":100.0}]})");
+  const JsonValue fresh = Parse(
+      R"({"cells":[{"rows": 2000, "strategy":"cow-delta","evals_per_sec":50.0},
+                   {"rows": 2000, "strategy":"arena","evals_per_sec":300.0},
+                   {"rows": 5000, "strategy":"arena","evals_per_sec":200.0}]})");
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->regressions, 1);  // the halved cow-delta cell still fails
+  ASSERT_EQ(cmp->baseline_extending.size(), 2u);
+  EXPECT_EQ(cmp->baseline_extending[0].key, "rows=2000,strategy=arena");
+  EXPECT_EQ(cmp->baseline_extending[1].key, "rows=5000,strategy=arena");
+}
+
+TEST(BenchCheckTest, DuplicateFreshOnlyKeysReportedOnce) {
+  const JsonValue baseline = Parse(
+      R"({"cells":[{"mode":"incremental","ops_per_sec":10.0}]})");
+  const JsonValue fresh = Parse(
+      R"({"cells":[{"mode":"incremental","ops_per_sec":10.0},
+                   {"mode":"arena","ops_per_sec":5.0},
+                   {"mode":"arena","ops_per_sec":6.0}]})");
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  ASSERT_TRUE(cmp.ok());
+  ASSERT_EQ(cmp->baseline_extending.size(), 1u);
+  EXPECT_EQ(cmp->baseline_extending[0].fresh, 5.0);  // first wins, like lookup
 }
 
 TEST(BenchCheckTest, MalformedArtifactIsAStatusErrorNotARegression) {

@@ -122,8 +122,8 @@ TEST(NodeStatsTest, ComputeAndRemoveAgree) {
   full.ComputeFromRows(*store, all, {0, 1});
   EXPECT_EQ(full.count, 6);
   EXPECT_EQ(full.pos, 3);
-  EXPECT_EQ(full.hist_count[0][0], 2);  // x == 0 twice
-  EXPECT_EQ(full.hist_pos[0][0], 2);
+  EXPECT_EQ(full.HistCount(0, 0), 2);  // x == 0 twice
+  EXPECT_EQ(full.HistPos(0, 0), 2);
 
   // Remove rows 0 and 3; must equal recompute on {1,2,4,5}.
   NodeStats removed = full;

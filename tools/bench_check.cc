@@ -160,16 +160,33 @@ int Run(const CheckOptions& opts) {
         std::cerr << "FAIL " << name << " [" << cell.key
                   << "]: cell missing from fresh artifact\n";
       } else {
+        // Both throughputs plus the computed ratio, so a CI log line is
+        // enough to judge how far below the floor the cell landed.
+        const double ratio =
+            cell.baseline > 0.0 ? cell.fresh / cell.baseline : 0.0;
         std::cerr << "FAIL " << name << " [" << cell.key << "]: "
-                  << cell.field << " " << FormatDouble(cell.fresh, 2)
-                  << " < baseline " << FormatDouble(cell.baseline, 2)
-                  << " * (1 - " << FormatDouble(opts.tolerance, 2) << ")\n";
+                  << cell.field << " fresh " << FormatDouble(cell.fresh, 2)
+                  << " vs baseline " << FormatDouble(cell.baseline, 2)
+                  << " (ratio " << FormatDouble(ratio, 2) << " < floor "
+                  << FormatDouble(1.0 - opts.tolerance, 2) << ")\n";
       }
+    }
+    for (const bench_check::CellComparison& cell :
+         result->baseline_extending) {
+      std::cout << "INFO " << name << " [" << cell.key << "]: new cell ("
+                << cell.field << " " << FormatDouble(cell.fresh, 2)
+                << "), extends the baseline — refresh " << opts.baseline_dir
+                << "/" << name << " to start guarding it\n";
     }
     if (result->ok()) {
       std::cout << "OK   " << name << " (" << result->cells.size()
                 << " cells within " << FormatDouble(opts.tolerance * 100, 0)
-                << "% of baseline)\n";
+                << "% of baseline";
+      if (!result->baseline_extending.empty()) {
+        std::cout << ", " << result->baseline_extending.size()
+                  << " baseline-extending";
+      }
+      std::cout << ")\n";
     } else {
       status = 1;
     }

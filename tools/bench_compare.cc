@@ -115,11 +115,13 @@ Result<ArtifactComparison> CompareArtifacts(const std::string& name,
 
   ArtifactComparison result;
   result.name = name;
+  std::unordered_map<std::string, bool> baseline_keys;
   for (const util::JsonValue& cell : baseline.Find("cells")->array) {
     CellComparison c;
     c.key = CellKey(cell);
     c.field = ThroughputField(cell);
     c.baseline = cell.NumberOr(c.field, 0.0);
+    baseline_keys.emplace(c.key, true);
     const auto it = fresh_cells.find(c.key);
     if (it == fresh_cells.end()) {
       c.missing_in_fresh = true;
@@ -130,6 +132,19 @@ Result<ArtifactComparison> CompareArtifacts(const std::string& name,
     }
     if (c.regression) ++result.regressions;
     result.cells.push_back(std::move(c));
+  }
+  // Fresh-only cells extend the baseline (e.g. a bench grew a strategy
+  // column); surface them in fresh-artifact order so the caller can report
+  // them, but never fail on them.
+  for (const util::JsonValue& cell : fresh.Find("cells")->array) {
+    const std::string key = CellKey(cell);
+    if (baseline_keys.count(key) != 0) continue;
+    baseline_keys.emplace(key, false);  // report each new key once
+    CellComparison c;
+    c.key = key;
+    c.field = ThroughputField(cell);
+    c.fresh = cell.NumberOr(c.field, 0.0);
+    result.baseline_extending.push_back(std::move(c));
   }
   return result;
 }

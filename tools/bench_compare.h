@@ -25,8 +25,10 @@
 //   - CompareArtifacts: every baseline cell must reappear in the fresh
 //     artifact with throughput >= baseline * (1 - tolerance). Missing
 //     cells are regressions too (a silently dropped cell would otherwise
-//     hide the regression it measured). Extra fresh cells are fine — new
-//     coverage is not a regression.
+//     hide the regression it measured). Extra fresh cells are
+//     baseline-extending, not regressions: a bench that grew a new
+//     strategy or size column passes, and the comparison lists those
+//     cells so the caller can prompt a baseline refresh.
 
 #ifndef FUME_TOOLS_BENCH_COMPARE_H_
 #define FUME_TOOLS_BENCH_COMPARE_H_
@@ -69,6 +71,10 @@ struct CellComparison {
 struct ArtifactComparison {
   std::string name;
   std::vector<CellComparison> cells;  // one per baseline cell
+  /// Cells present only in the fresh artifact (baseline 0, fresh filled):
+  /// new coverage — a grown strategy or size column — reported so the
+  /// caller can prompt a baseline refresh, never counted as a regression.
+  std::vector<CellComparison> baseline_extending;
   int regressions = 0;
   bool ok() const { return regressions == 0; }
 };
