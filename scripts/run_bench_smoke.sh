@@ -29,7 +29,8 @@ BUILD_DIR="${BUILD_DIR:-build-bench-smoke}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
   -DFUME_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j --target bench_unlearn_kernel \
-  bench_eval_throughput bench_stream_throughput bench_check
+  bench_eval_throughput bench_stream_throughput bench_serve bench_check \
+  fume_serve_cli fume_client
 
 REPO_DIR="$(pwd)"
 BENCH_DIR="$(cd "${BUILD_DIR}" && pwd)/bench"
@@ -39,7 +40,8 @@ mkdir -p "${SCRATCH}"
 cd "${SCRATCH}"
 
 status=0
-for bench in bench_unlearn_kernel bench_eval_throughput bench_stream_throughput; do
+for bench in bench_unlearn_kernel bench_eval_throughput bench_stream_throughput \
+             bench_serve; do
   echo "=== ${bench} --smoke ==="
   if ! "${BENCH_DIR}/${bench}" --smoke; then
     echo "FAIL: ${bench} exited non-zero (crash or exactness violation)"
@@ -49,7 +51,7 @@ done
 
 # Belt and braces: no NaN/inf in the machine-readable artifacts.
 for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.json \
-                bench_artifacts/BENCH_incremental.json; do
+                bench_artifacts/BENCH_incremental.json bench_artifacts/BENCH_serve.json; do
   if [ ! -f "${artifact}" ]; then
     echo "FAIL: ${artifact} was not written"
     status=1
@@ -69,6 +71,37 @@ if [ -f bench_artifacts/BENCH_eval.json ]; then
   fi
   if ! grep -q '"arena_pointer_identical": *true' bench_artifacts/BENCH_eval.json; then
     echo "FAIL: arena_pointer_identical attestation missing or false in BENCH_eval.json"
+    status=1
+  fi
+fi
+
+# End-to-end serving smoke: boot fume_serve on an ephemeral port, run the
+# canned fume_client round trips (health/metrics/explain/predict/whatif/
+# stream/checkpoint), then check SIGTERM drains to a clean exit.
+echo "=== fume_serve / fume_client --smoke ==="
+rm -f serve.port
+"${TOOLS_DIR}/fume_serve" --rows 600 --port 0 --port-file serve.port \
+  --checkpoint-dir serve-state --oplog-dir serve-state &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s serve.port ] && break
+  sleep 0.1
+done
+if [ ! -s serve.port ]; then
+  echo "FAIL: fume_serve never wrote its port file"
+  kill -9 "${SERVE_PID}" 2>/dev/null || true
+  status=1
+elif ! "${TOOLS_DIR}/fume_client" --port-file serve.port --smoke; then
+  echo "FAIL: fume_client --smoke against fume_serve"
+  kill -9 "${SERVE_PID}" 2>/dev/null || true
+  status=1
+else
+  kill -TERM "${SERVE_PID}"
+  if ! wait "${SERVE_PID}"; then
+    echo "FAIL: fume_serve did not exit cleanly on SIGTERM"
+    status=1
+  elif [ ! -f serve-state/default.ckpt ]; then
+    echo "FAIL: fume_serve wrote no shutdown checkpoint"
     status=1
   fi
 fi

@@ -66,6 +66,10 @@ struct DeletionStats {
   int64_t subtrees_retrained = 0;
   int64_t rows_retrained = 0;    // instances gathered into rebuilds
   int64_t leaves_updated = 0;
+  // Nodes replaced by a private shallow copy (CoW unshare) because a live
+  // clone still referenced them. Non-zero means the op changed node
+  // addresses, so caches keyed on node identity must re-walk this tree.
+  int64_t nodes_copied = 0;
 
   void Add(const DeletionStats& other) {
     nodes_visited += other.nodes_visited;
@@ -73,6 +77,7 @@ struct DeletionStats {
     subtrees_retrained += other.subtrees_retrained;
     rows_retrained += other.rows_retrained;
     leaves_updated += other.leaves_updated;
+    nodes_copied += other.nodes_copied;
   }
 
   friend bool operator==(const DeletionStats& a, const DeletionStats& b) {
@@ -80,7 +85,8 @@ struct DeletionStats {
            a.nodes_updated == b.nodes_updated &&
            a.subtrees_retrained == b.subtrees_retrained &&
            a.rows_retrained == b.rows_retrained &&
-           a.leaves_updated == b.leaves_updated;
+           a.leaves_updated == b.leaves_updated &&
+           a.nodes_copied == b.nodes_copied;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "forest/forest.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "obs/metrics.h"
@@ -8,26 +9,40 @@
 
 namespace fume {
 
+void TrainingStore::AppendRowUnchecked(const int32_t* codes, uint8_t label) {
+  const int64_t row = num_rows_.load(std::memory_order_relaxed);
+  const int seg = SegmentOf(static_cast<RowId>(row));
+  auto& code_seg = code_segs_[static_cast<size_t>(seg)];
+  auto& label_seg = label_segs_[static_cast<size_t>(seg)];
+  if (code_seg == nullptr) {
+    code_seg = std::make_unique<int32_t[]>(SegmentRows(seg) *
+                                           static_cast<size_t>(num_attrs_));
+    label_seg = std::make_unique<uint8_t[]>(SegmentRows(seg));
+  }
+  const size_t off = static_cast<size_t>(row) - SegmentStart(seg);
+  std::copy(codes, codes + num_attrs_,
+            code_seg.get() + off * static_cast<size_t>(num_attrs_));
+  label_seg[off] = label;
+  // Release so a reader that acquires the new count also sees the row bytes.
+  num_rows_.store(row + 1, std::memory_order_release);
+}
+
 std::shared_ptr<TrainingStore> TrainingStore::Make(const Dataset& data) {
   FUME_CHECK(data.schema().AllCategorical());
   auto store = std::make_shared<TrainingStore>();
-  store->num_rows_ = data.num_rows();
   store->num_attrs_ = data.num_attributes();
   store->cards_.resize(static_cast<size_t>(store->num_attrs_));
   for (int j = 0; j < store->num_attrs_; ++j) {
     store->cards_[static_cast<size_t>(j)] =
         data.schema().attribute(j).cardinality();
   }
-  store->codes_.resize(static_cast<size_t>(store->num_rows_) *
-                       static_cast<size_t>(store->num_attrs_));
-  store->labels_.resize(static_cast<size_t>(store->num_rows_));
-  for (int64_t r = 0; r < store->num_rows_; ++r) {
+  std::vector<int32_t> row_codes(static_cast<size_t>(store->num_attrs_));
+  for (int64_t r = 0; r < data.num_rows(); ++r) {
     for (int j = 0; j < store->num_attrs_; ++j) {
-      store->codes_[static_cast<size_t>(r) * store->num_attrs_ + j] =
-          data.Code(r, j);
+      row_codes[static_cast<size_t>(j)] = data.Code(r, j);
     }
-    store->labels_[static_cast<size_t>(r)] =
-        static_cast<uint8_t>(data.Label(r));
+    store->AppendRowUnchecked(row_codes.data(),
+                              static_cast<uint8_t>(data.Label(r)));
   }
   return store;
 }
@@ -39,12 +54,13 @@ std::shared_ptr<TrainingStore> TrainingStore::FromParts(
   store->num_attrs_ = static_cast<int>(cards.size());
   FUME_CHECK(store->num_attrs_ > 0);
   FUME_CHECK_EQ(codes.size() % cards.size(), 0u);
-  store->num_rows_ = static_cast<int64_t>(labels.size());
   FUME_CHECK_EQ(codes.size(),
                 labels.size() * static_cast<size_t>(store->num_attrs_));
   store->cards_ = std::move(cards);
-  store->codes_ = std::move(codes);
-  store->labels_ = std::move(labels);
+  for (size_t r = 0; r < labels.size(); ++r) {
+    store->AppendRowUnchecked(
+        codes.data() + r * static_cast<size_t>(store->num_attrs_), labels[r]);
+  }
   return store;
 }
 
@@ -55,9 +71,9 @@ RowId TrainingStore::Append(const std::vector<int32_t>& codes, int label) {
     FUME_CHECK(codes[static_cast<size_t>(j)] >= 0 &&
                codes[static_cast<size_t>(j)] < cards_[static_cast<size_t>(j)]);
   }
-  codes_.insert(codes_.end(), codes.begin(), codes.end());
-  labels_.push_back(static_cast<uint8_t>(label));
-  return static_cast<RowId>(num_rows_++);
+  const auto id = static_cast<RowId>(num_rows());
+  AppendRowUnchecked(codes.data(), static_cast<uint8_t>(label));
+  return id;
 }
 
 Result<DareForest> DareForest::Train(const Dataset& train,

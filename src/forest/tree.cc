@@ -233,7 +233,8 @@ int64_t DareTree::CollectLeafRowsFiltered(const TreeNode* node,
          CollectLeafRowsFiltered(node->right.get(), scratch, out);
 }
 
-TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
+TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot,
+                            DeletionStats* stats_out) {
   // use_count() == 1 means this tree holds the only reference: another
   // forest can neither reach the node nor (being confined to its own
   // thread) resurrect a reference to it, so in-place mutation is safe and
@@ -242,6 +243,7 @@ TreeNode* DareTree::Mutable(std::shared_ptr<TreeNode>* slot) {
   // private copy.
   if ((*slot).use_count() > 1) {
     UnlearnMetrics::Get().cow_nodes_copied->Inc();
+    ++stats_out->nodes_copied;
     *slot = std::make_shared<TreeNode>(**slot);  // shallow: children shared
   }
   return slot->get();
@@ -330,7 +332,7 @@ void DareTree::DeleteRows(const std::vector<RowId>& rows,
 void DareTree::DeleteFromNode(std::shared_ptr<TreeNode>* slot,
                               const std::vector<RowId>& rows, int depth,
                               uint64_t path_key, DeletionStats* stats_out) {
-  TreeNode* node = Mutable(slot);
+  TreeNode* node = Mutable(slot, stats_out);
   ++stats_out->nodes_visited;
 
   if (node->is_leaf()) {
@@ -430,7 +432,7 @@ void DareTree::DeleteFromNodeKernel(std::shared_ptr<TreeNode>* slot,
                                     uint64_t path_key,
                                     DeletionStats* stats_out,
                                     DeletionScratch* scratch) {
-  TreeNode* node = Mutable(slot);
+  TreeNode* node = Mutable(slot, stats_out);
   ++stats_out->nodes_visited;
   const int64_t n = end - begin;
 
@@ -558,7 +560,7 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
 void DareTree::AddToNode(std::shared_ptr<TreeNode>* slot,
                          const std::vector<RowId>& rows, int depth,
                          uint64_t path_key, DeletionStats* stats_out) {
-  TreeNode* node = Mutable(slot);
+  TreeNode* node = Mutable(slot, stats_out);
   ++stats_out->nodes_visited;
 
   if (node->is_leaf()) {
@@ -621,7 +623,7 @@ void DareTree::AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
                                RowId* end, int depth, uint64_t path_key,
                                DeletionStats* stats_out,
                                DeletionScratch* scratch) {
-  TreeNode* node = Mutable(slot);
+  TreeNode* node = Mutable(slot, stats_out);
   ++stats_out->nodes_visited;
   const int64_t n = end - begin;
 

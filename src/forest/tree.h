@@ -207,8 +207,10 @@ class DareTree {
                                             NodeStats* seed_stats = nullptr,
                                             int64_t pos_hint = -1);
   /// CoW unshare: returns a privately-owned, mutable view of *slot,
-  /// replacing a shared node with a shallow copy first.
-  TreeNode* Mutable(std::shared_ptr<TreeNode>* slot);
+  /// replacing a shared node with a shallow copy first (counted in
+  /// stats_out->nodes_copied — a copy changes the node's address, which
+  /// identity-keyed caches must observe).
+  TreeNode* Mutable(std::shared_ptr<TreeNode>* slot, DeletionStats* stats_out);
   /// Advances generation_ and drops a now-stale cached arena. Called once
   /// per mutating batch, before any node is touched.
   void BumpGeneration();

@@ -1,0 +1,128 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace fume::serve {
+
+const char* AdmitResultName(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kOk: return "ok";
+    case AdmitResult::kOverloaded: return "overloaded";
+    case AdmitResult::kTimeout: return "timeout";
+    case AdmitResult::kShutdown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+WhatIfBatcher::WhatIfBatcher(BatchConfig config, Executor executor)
+    : config_(config), executor_(std::move(executor)) {
+  FUME_CHECK(executor_ != nullptr);
+  FUME_CHECK(config_.max_batch >= 1);
+  FUME_CHECK(config_.queue_cap >= 1);
+}
+
+WhatIfBatcher::~WhatIfBatcher() { Shutdown(); }
+
+void WhatIfBatcher::Shutdown() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stop_ = true;
+  cv_.notify_all();
+}
+
+AdmitResult WhatIfBatcher::Submit(BatchJob* job) {
+  static obs::Counter* overloaded = obs::GetCounter("serve.whatif.overloaded");
+  static obs::Gauge* depth = obs::GetGauge("serve.whatif.queue_depth");
+  std::unique_lock<std::mutex> lk(mu_);
+  if (stop_) return AdmitResult::kShutdown;
+  if (static_cast<int>(queue_.size()) >= config_.queue_cap) {
+    overloaded->Inc();
+    return AdmitResult::kOverloaded;
+  }
+  job->done = false;
+  job->rep = nullptr;
+  job->deduped = false;
+  queue_.push_back(job);
+  depth->Set(static_cast<int64_t>(queue_.size()));
+  cv_.notify_all();  // a waiting leader may now have a full batch
+  while (!job->done) {
+    if (!executing_ && !queue_.empty() && queue_.front() == job) {
+      RunAsLeader(lk);  // sets done on every job in the drained batch
+      continue;
+    }
+    cv_.wait(lk);
+  }
+  return job->admit;
+}
+
+void WhatIfBatcher::RunAsLeader(std::unique_lock<std::mutex>& lk) {
+  static obs::Counter* formed = obs::GetCounter("serve.batch.formed");
+  static obs::Histogram* batch_size = obs::GetHistogram("serve.batch.size");
+  static obs::Counter* dedup = obs::GetCounter("serve.whatif.dedup_shared");
+  static obs::Counter* timeouts = obs::GetCounter("serve.whatif.timeout");
+  static obs::Gauge* depth = obs::GetGauge("serve.whatif.queue_depth");
+
+  // Hold the window open until the batch fills (arrivals notify).
+  if (config_.window_us > 0 && config_.max_batch > 1 && !stop_) {
+    const auto window_end = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(config_.window_us);
+    while (static_cast<int>(queue_.size()) < config_.max_batch && !stop_) {
+      if (cv_.wait_until(lk, window_end) == std::cv_status::timeout) break;
+    }
+  }
+
+  std::vector<BatchJob*> batch;
+  while (!queue_.empty() &&
+         static_cast<int>(batch.size()) < config_.max_batch) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  depth->Set(static_cast<int64_t>(queue_.size()));
+  executing_ = true;
+  lk.unlock();
+
+  // Expire stale jobs, then dedup identical predicates so each unique
+  // candidate is scored exactly once per batch.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<BatchJob*> unique;
+  int live = 0;
+  for (BatchJob* j : batch) {
+    if (j->has_deadline && j->deadline <= now) {
+      j->admit = AdmitResult::kTimeout;
+      timeouts->Inc();
+      continue;
+    }
+    j->admit = AdmitResult::kOk;
+    ++live;
+    auto rep = std::find_if(unique.begin(), unique.end(), [&](BatchJob* u) {
+      return u->predicate == j->predicate;
+    });
+    if (rep == unique.end()) {
+      unique.push_back(j);
+    } else {
+      j->rep = *rep;
+      j->deduped = true;
+      dedup->Inc();
+    }
+  }
+  for (BatchJob* j : batch) {
+    if (j->admit == AdmitResult::kOk) j->batch_size = live;
+  }
+  if (!unique.empty()) {
+    formed->Inc();
+    batch_size->Record(live);
+    executor_(unique);
+    for (BatchJob* j : batch) {
+      if (j->rep != nullptr) j->outcome = j->rep->outcome;
+    }
+  }
+
+  lk.lock();
+  executing_ = false;
+  for (BatchJob* j : batch) j->done = true;
+  cv_.notify_all();
+}
+
+}  // namespace fume::serve

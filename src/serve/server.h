@@ -1,0 +1,89 @@
+// Server: the long-lived TCP front end. One acceptor thread plus one
+// thread per connection, each running a blocking read → dispatch → respond
+// loop over the newline-delimited JSON protocol (serve/protocol.h).
+//
+// Reads (predict / explain / whatif) run entirely off the tenant's
+// published snapshot and never take the writer lock; stream_op and
+// checkpoint serialize on it per tenant. Shutdown() drains: the listener
+// closes, every connection finishes the request it is currently serving,
+// then tenants write final checkpoints and flush op-logs.
+
+#ifndef FUME_SERVE_SERVER_H_
+#define FUME_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "serve/protocol.h"
+#include "serve/tenant.h"
+#include "util/socket.h"
+
+namespace fume::serve {
+
+struct ServerConfig {
+  /// 0 picks an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Connections beyond this are answered with one `overloaded` error line
+  /// and closed.
+  int max_connections = 64;
+  /// Applied to requests that carry no deadline_ms of their own (0 = none).
+  int64_t default_deadline_ms = 0;
+  /// Optional request log (owned by the caller, may be null).
+  obs::EventLog* event_log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a tenant. Must happen before Start() — the registry is
+  /// lock-free read-only while serving.
+  Status RegisterTenant(std::string name, const Dataset& initial_train,
+                        Dataset test, TenantConfig config);
+
+  Status Start();
+  int port() const { return port_; }
+
+  /// Graceful drain (see file comment). Idempotent; also run by ~Server.
+  void Shutdown();
+
+  Tenant* FindTenant(const std::string& name) const {
+    return registry_.Find(name);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(util::Socket sock);
+  std::string Dispatch(const Request& req);
+  std::string HandleHealth(const Request& req);
+  std::string HandleMetrics(const Request& req);
+  std::string HandlePredict(const Request& req, Tenant& tenant);
+  std::string HandleExplain(const Request& req, Tenant& tenant);
+  std::string HandleWhatIf(const Request& req, Tenant& tenant);
+  std::string HandleStreamOp(const Request& req, Tenant& tenant);
+  std::string HandleCheckpoint(const Request& req, Tenant& tenant);
+
+  const ServerConfig config_;
+  TenantRegistry registry_;
+  util::ListenSocket listener_;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<int> active_connections_{0};
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;  // guarded by conn_mu_
+};
+
+}  // namespace fume::serve
+
+#endif  // FUME_SERVE_SERVER_H_

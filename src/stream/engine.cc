@@ -248,11 +248,14 @@ Status StreamEngine::ApplyInsert(const StreamOp& op) {
   }
   // Addition rebuilds absorbed leaves *in place* (same node address, fresh
   // children), so cached pointers stay valid and the cache resumes each
-  // row's descent from them; only a subtree retrain frees nodes and forces
-  // a re-walk from the root.
+  // row's descent from them. A re-walk from the root is forced when a
+  // subtree retrain freed nodes, or when CoW unsharing (a live snapshot
+  // clone held the nodes) rerouted the mutation into fresh copies while
+  // the cached pointers still reference the untouched originals.
   std::vector<bool> dirty(per_tree.size());
   for (size_t t = 0; t < per_tree.size(); ++t) {
-    dirty[t] = per_tree[t].subtrees_retrained > 0;
+    dirty[t] =
+        per_tree[t].subtrees_retrained > 0 || per_tree[t].nodes_copied > 0;
   }
   cache_.Update(forest_, test_, dirty);
   StreamMetrics::Get().inserts->Inc();
@@ -287,10 +290,14 @@ Status StreamEngine::ApplyDelete(const StreamOp& op) {
   store_ids_.resize(kept);
   RebuildLiveIndex();
   // Deletion mutates statistics strictly in place unless a subtree
-  // retrained; leaves stay leaves, so cached pointers survive.
+  // retrained; leaves stay leaves, so cached pointers survive. As above,
+  // CoW unsharing also invalidates cached pointers: the mutation lands in
+  // fresh private copies while the cache still points at the shared
+  // originals a snapshot clone keeps alive.
   std::vector<bool> dirty(per_tree.size());
   for (size_t t = 0; t < per_tree.size(); ++t) {
-    dirty[t] = per_tree[t].subtrees_retrained > 0;
+    dirty[t] =
+        per_tree[t].subtrees_retrained > 0 || per_tree[t].nodes_copied > 0;
   }
   cache_.Update(forest_, test_, dirty);
   StreamMetrics::Get().deletes->Inc();

@@ -106,6 +106,10 @@ class StreamEngine {
     return explanation_.has_value() ? &*explanation_ : nullptr;
   }
   const DareForest& forest() const { return forest_; }
+  /// Warm test-set prediction cache, kept exact after every Apply. A served
+  /// snapshot copies it so ScoreWhatIf runs off the snapshot's own state.
+  const TestPredictionCache& prediction_cache() const { return cache_; }
+  const StreamEngineConfig& config() const { return config_; }
   /// Surviving training rows, dense, in arrival order — what a cold
   /// retrain would train on.
   const Dataset& train_data() const { return train_data_; }

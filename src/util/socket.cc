@@ -1,0 +1,197 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace fume::util {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::string(strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buf_(std::move(other.buf_)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buf_ = std::move(other.buf_);
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Result<Socket> Socket::Connect(const std::string& host, int port,
+                               int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return Status::IOError("cannot resolve " + host);
+  }
+  const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd < 0) {
+    ::freeaddrinfo(res);
+    return Status::IOError(Errno("socket"));
+  }
+  // Blocking connect; the listener either accepts promptly or refuses.
+  // timeout_ms guards the subsequent reads, not the handshake.
+  (void)timeout_ms;
+  const int rc = ::connect(fd, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("connect to " + host + ":" + port_str));
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Status Socket::SendAll(std::string_view data) {
+  if (fd_ < 0) return Status::IOError("send on closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Socket::ReadResult> Socket::ReadLine(std::string* line,
+                                            int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("read on closed socket");
+  for (;;) {
+    const size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line->assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return ReadResult::kLine;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("poll"));
+    }
+    if (pr == 0) return ReadResult::kTimeout;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("recv"));
+    }
+    if (n == 0) {
+      if (!buf_.empty()) {  // final unterminated line
+        line->assign(std::move(buf_));
+        buf_.clear();
+        return ReadResult::kLine;
+      }
+      return ReadResult::kEof;
+    }
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(other.port_) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = other.port_;
+  }
+  return *this;
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<ListenSocket> ListenSocket::Listen(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("bind port " + std::to_string(port)));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("getsockname"));
+  }
+  ListenSocket out;
+  out.fd_ = fd;
+  out.port_ = static_cast<int>(ntohs(bound.sin_port));
+  return out;
+}
+
+Result<Socket> ListenSocket::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::IOError("accept on closed socket");
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("poll"));
+    }
+    if (pr == 0) return Socket();  // timeout: invalid socket, not an error
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("accept"));
+    }
+    SetNoDelay(cfd);
+    return Socket(cfd);
+  }
+}
+
+}  // namespace fume::util

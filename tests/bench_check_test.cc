@@ -288,5 +288,15 @@ TEST(BenchCheckTest, MalformedArtifactIsAStatusErrorNotARegression) {
   EXPECT_FALSE(cmp.ok());
 }
 
+TEST(BenchCheckTest, EmptyBaselineCellsIsAStatusErrorNotARegression) {
+  // A truncated committed baseline must surface as a structural error, not
+  // as "no cells regressed" — either side with an empty cells array fails.
+  const JsonValue baseline = Parse(R"({"cells":[]})");
+  const JsonValue fresh = Parse(Artifact(100.0, 200.0));
+  auto cmp = CompareArtifacts("BENCH_test.json", baseline, fresh,
+                              CompareOptions());
+  EXPECT_FALSE(cmp.ok());
+}
+
 }  // namespace
 }  // namespace fume

@@ -28,6 +28,7 @@ constexpr const char* kDefaultArtifacts[] = {
     "BENCH_eval.json",
     "BENCH_unlearn.json",
     "BENCH_incremental.json",
+    "BENCH_serve.json",
 };
 
 struct CheckOptions {
@@ -51,7 +52,8 @@ void PrintUsage() {
   --baseline-dir DIR    committed artifacts (default bench_artifacts)
   --fresh-dir DIR       freshly produced artifacts (default bench_artifacts)
   ARTIFACT...           file names to check (default BENCH_eval.json
-                        BENCH_unlearn.json BENCH_incremental.json)
+                        BENCH_unlearn.json BENCH_incremental.json
+                        BENCH_serve.json)
   --help, -h            this text
 )";
 }
@@ -128,7 +130,9 @@ int Run(const CheckOptions& opts) {
       std::vector<std::string> problems;
       bench_check::CheckArtifactStructure(*fresh, name, &problems);
       if (problems.empty()) {
-        std::cout << "OK   " << name << " (structural)\n";
+        // The checked path in the log line makes "which artifact passed"
+        // unambiguous when CI runs several fresh dirs in one job.
+        std::cout << "OK   " << fresh_path << " (structural)\n";
       } else {
         for (const std::string& p : problems) std::cerr << "FAIL " << p << "\n";
         status = 1;
@@ -181,13 +185,15 @@ int Run(const CheckOptions& opts) {
     if (result->ok()) {
       std::cout << "OK   " << name << " (" << result->cells.size()
                 << " cells within " << FormatDouble(opts.tolerance * 100, 0)
-                << "% of baseline";
+                << "% of baseline " << baseline_path;
       if (!result->baseline_extending.empty()) {
         std::cout << ", " << result->baseline_extending.size()
                   << " baseline-extending";
       }
       std::cout << ")\n";
     } else {
+      std::cerr << "FAIL " << name << ": regressions vs baseline "
+                << baseline_path << "\n";
       status = 1;
     }
   }

@@ -12,6 +12,7 @@
 //
 // Run with --help for the full flag list.
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -35,6 +36,12 @@
 namespace {
 
 using namespace fume;
+
+// SIGINT/SIGTERM request a graceful stop: finish the op in flight, write a
+// final checkpoint, and let the normal exit path flush metrics/event logs.
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
 
 struct CliOptions {
   // Data.
@@ -428,7 +435,15 @@ int Run(const CliOptions& opts) {
             << ", accuracy " << FormatPercent(engine->current_accuracy())
             << "\n\n   seq  kind          live    metric      apply\n";
 
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  bool interrupted = false;
   for (const stream::StreamOp& op : ops) {
+    if (g_stop != 0) {
+      interrupted = true;
+      break;
+    }
     obs::QueryScope scope("op");
     auto outcome = engine->Apply(op);
     const obs::QueryCost cost = scope.Finish();
@@ -453,6 +468,25 @@ int Run(const CliOptions& opts) {
           .Field("op_seq", outcome->seq)
           .Field("path", opts.checkpoint)
           .Write();
+    }
+  }
+
+  if (interrupted) {
+    std::cout << "\ninterrupted at seq " << engine->last_seq()
+              << "; draining\n";
+    if (!opts.checkpoint.empty()) {
+      Status st = engine->SaveCheckpointToFile(opts.checkpoint);
+      if (st.ok()) {
+        std::cout << "final checkpoint written to " << opts.checkpoint
+                  << "\n";
+        event_log.Event("checkpoint")
+            .Field("op_seq", engine->last_seq())
+            .Field("path", opts.checkpoint)
+            .Field("on_signal", true)
+            .Write();
+      } else {
+        std::cerr << st.ToString() << "\n";
+      }
     }
   }
 
