@@ -96,6 +96,22 @@ std::vector<std::vector<RowId>> MakeBatches(int64_t num_rows, int batch_size,
   return batches;
 }
 
+enum class Strategy { kPerRow, kKernel, kLazy };
+
+const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kPerRow: return "per-row";
+    case Strategy::kKernel: return "batched-kernel";
+    case Strategy::kLazy: return "lazy-tags";
+  }
+  return "?";
+}
+
+// Bursts per flush for a given batch size: the delete-burst-then-query
+// workload shape (a run of delete ops, then a traversal that forces every
+// deferred retrain). Small batches arrive in longer bursts.
+int BurstLength(int batch) { return std::max(1, std::min(8, 4096 / batch)); }
+
 struct Throughput {
   int64_t rows_unlearned = 0;
   double seconds = 0.0;
@@ -108,26 +124,45 @@ struct Throughput {
 // pure deletion work — no CoW unshares, which are identical on both
 // strategies and would otherwise dilute the comparison. This is also the
 // stream engine's workload shape (ops mutate one long-lived forest).
+//
+// The workload is burst-shaped: BurstLength(batch) delete ops, then a
+// FlushAll — a no-op for the eager strategies (so their numbers keep
+// measuring pure deletion), the deferred-retrain settlement for lazy. The
+// flush is timed INSIDE the loop: lazy's throughput edge is real work
+// avoided (one rebuild per subtree per burst instead of one per op), not
+// work moved off the clock.
 Throughput MeasureDelete(const DareForest& model,
                          const std::vector<std::vector<RowId>>& batches,
-                         bool kernel) {
+                         Strategy strategy) {
+  const bool kernel = strategy != Strategy::kPerRow;
+  const int burst = BurstLength(
+      batches.empty() ? 1 : static_cast<int>(batches.front().size()));
   DeletionScratch scratch;
   {
     // Warm-up: faults in the store, sizes the scratch, seeds allocators.
     DareForest warm = model.DeepClone();
+    if (strategy == Strategy::kLazy) warm.SetLazyUnlearn(true);
     FUME_ABORT_NOT_OK(warm.DeleteRows(batches.front(), nullptr,
                                       kernel ? &scratch : nullptr));
+    warm.FlushAll(nullptr, &scratch);
   }
   DareForest victim = model.DeepClone();
+  if (strategy == Strategy::kLazy) victim.SetLazyUnlearn(true);
   Throughput t;
   // Thread CPU time: the loop is single-threaded, and CPU time is immune
   // to scheduler preemption on a loaded machine (wall time is not).
   ThreadCpuStopwatch watch;
+  int in_burst = 0;
   for (const auto& rows : batches) {
     FUME_ABORT_NOT_OK(
         victim.DeleteRows(rows, nullptr, kernel ? &scratch : nullptr));
     t.rows_unlearned += static_cast<int64_t>(rows.size());
+    if (++in_burst == burst) {
+      victim.FlushAll(nullptr, &scratch);
+      in_burst = 0;
+    }
   }
+  victim.FlushAll(nullptr, &scratch);
   t.seconds = watch.ElapsedSeconds();
   t.work = victim.deletion_stats();
   t.rows_per_sec = t.seconds > 0.0
@@ -164,6 +199,36 @@ bool CompoundingRunsByteIdentical(const Setup& s,
     FUME_ABORT_NOT_OK(baseline.DeleteRows(batch));
   }
   return SerializeForest(kernel) == SerializeForest(baseline);
+}
+
+// The lazy invariant (DESIGN.md §6 invariant 9): a compounded run with
+// deferred retrains and mid-run flushes lands on the eager kernel's exact
+// serialized bytes after every flush. The work counters deliberately differ
+// (lazy does fewer rebuilds), so both are zeroed before each comparison.
+bool LazyFlushByteIdentical(const Setup& s,
+                            const std::vector<std::vector<RowId>>& all) {
+  DareForest eager = s.kernel_model.DeepClone();
+  DareForest lazy = s.kernel_model.DeepClone();
+  lazy.SetLazyUnlearn(true);
+  DeletionScratch eager_scratch, lazy_scratch;
+  const int burst = BurstLength(
+      all.empty() ? 1 : static_cast<int>(all.front().size()));
+  int in_burst = 0;
+  for (size_t b = 0; b < all.size() && b < 16; ++b) {
+    FUME_ABORT_NOT_OK(eager.DeleteRows(all[b], nullptr, &eager_scratch));
+    FUME_ABORT_NOT_OK(lazy.DeleteRows(all[b], nullptr, &lazy_scratch));
+    if (++in_burst == burst) {
+      lazy.FlushAll(nullptr, &lazy_scratch);
+      in_burst = 0;
+      eager.ResetDeletionStats();
+      lazy.ResetDeletionStats();
+      if (SerializeForest(eager) != SerializeForest(lazy)) return false;
+    }
+  }
+  lazy.FlushAll(nullptr, &lazy_scratch);
+  eager.ResetDeletionStats();
+  lazy.ResetDeletionStats();
+  return SerializeForest(eager) == SerializeForest(lazy);
 }
 
 std::string TopKSignature(const FumeResult& result, const Schema& schema) {
@@ -211,8 +276,10 @@ int main(int argc, char** argv) {
                       "rows/sec", "speedup"});
   std::vector<std::vector<std::string>> artifact;
   double headline_speedup = 0.0;
+  double lazy_headline_speedup = 0.0;
   bool stats_identical = true;
   bool bytes_identical = true;
+  bool lazy_bytes_identical = true;
   bool all_finite = true;
 
   for (int64_t rows : sizes) {
@@ -220,42 +287,63 @@ int main(int argc, char** argv) {
     const int64_t train_rows = s.kernel_model.num_training_rows();
     for (int batch : batch_sizes) {
       const auto batches = MakeBatches(train_rows, batch, num_batches);
-      Throughput base, kern;
+      Throughput base, kern, lazy;
       for (int rep = 0; rep < kReps; ++rep) {
         const Throughput b =
-            MeasureDelete(s.baseline_model, batches, /*kernel=*/false);
+            MeasureDelete(s.baseline_model, batches, Strategy::kPerRow);
         const Throughput k =
-            MeasureDelete(s.kernel_model, batches, /*kernel=*/true);
+            MeasureDelete(s.kernel_model, batches, Strategy::kKernel);
+        const Throughput l =
+            MeasureDelete(s.kernel_model, batches, Strategy::kLazy);
         if (rep == 0 || b.rows_per_sec > base.rows_per_sec) base = b;
         if (rep == 0 || k.rows_per_sec > kern.rows_per_sec) kern = k;
+        if (rep == 0 || l.rows_per_sec > lazy.rows_per_sec) lazy = l;
       }
-      all_finite = all_finite && IsFiniteRow(base) && IsFiniteRow(kern);
+      all_finite = all_finite && IsFiniteRow(base) && IsFiniteRow(kern) &&
+                   IsFiniteRow(lazy);
+      // The lazy column's DeletionStats are excluded on purpose: fewer
+      // rebuilds is its whole value; exactness is pinned by the byte
+      // checks below instead.
       if (!(base.work == kern.work)) stats_identical = false;
       const double speedup =
           base.rows_per_sec > 0.0 ? kern.rows_per_sec / base.rows_per_sec
                                   : 0.0;
+      const double lazy_speedup =
+          base.rows_per_sec > 0.0 ? lazy.rows_per_sec / base.rows_per_sec
+                                  : 0.0;
       if (rows == mid_size && batch == kHeadlineBatch) {
         headline_speedup = speedup;
+        lazy_headline_speedup =
+            kern.rows_per_sec > 0.0 ? lazy.rows_per_sec / kern.rows_per_sec
+                                    : 0.0;
       }
-      for (const auto* t : {&base, &kern}) {
-        const bool is_kernel = t == &kern;
+      const Throughput* cells[] = {&base, &kern, &lazy};
+      const Strategy strategies[] = {Strategy::kPerRow, Strategy::kKernel,
+                                     Strategy::kLazy};
+      const double speedups[] = {1.0, speedup, lazy_speedup};
+      for (int c = 0; c < 3; ++c) {
+        const Throughput* t = cells[c];
         table.AddRow({std::to_string(rows), std::to_string(batch),
-                      is_kernel ? "batched-kernel" : "per-row",
+                      StrategyName(strategies[c]),
                       std::to_string(t->rows_unlearned),
                       FormatDouble(t->rows_per_sec, 0),
-                      is_kernel ? FormatDouble(speedup, 2) + "x" : "1.00x"});
+                      FormatDouble(speedups[c], 2) + "x"});
         artifact.push_back({std::to_string(rows), std::to_string(batch),
-                            is_kernel ? "batched-kernel" : "per-row",
+                            StrategyName(strategies[c]),
                             std::to_string(t->rows_unlearned),
                             FormatDouble(t->seconds, 4),
                             FormatDouble(t->rows_per_sec, 2),
-                            FormatDouble(is_kernel ? speedup : 1.0, 3)});
+                            FormatDouble(speedups[c], 3)});
       }
     }
     bytes_identical =
         bytes_identical &&
         CompoundingRunsByteIdentical(
             s, MakeBatches(train_rows, kHeadlineBatch, 8));
+    lazy_bytes_identical =
+        lazy_bytes_identical &&
+        LazyFlushByteIdentical(s,
+                               MakeBatches(train_rows, kHeadlineBatch, 16));
   }
   table.Print(std::cout);
   WriteArtifact("unlearn_kernel",
@@ -264,35 +352,82 @@ int main(int argc, char** argv) {
                 artifact);
 
   // End-to-end: the search must report the same top-k with the kernel on
-  // and off (every what-if deletion flows through it).
+  // and off (every what-if deletion flows through it), and with a lazy
+  // model carrying a pending delete burst — the search's first traversal
+  // is the query that flushes it (no explicit FlushAll here, on purpose).
   std::cout << "\nSearch identity check (mid-size forest, " << mid_size
             << " rows)\n";
   Setup s = MakeSetup(mid_size);
+  DareForest lazy_model = s.kernel_model.DeepClone();
+  lazy_model.SetLazyUnlearn(true);
+  // Burst-delete the TAIL of the training data from all three models (the
+  // lazy one defers), then search over the tail-dropped dataset: surviving
+  // train indices still equal store ids, which the search's removal method
+  // relies on.
+  {
+    const int64_t n = s.train.num_rows();
+    const int64_t burst_rows = std::min<int64_t>(256, n / 8);
+    DeletionScratch scratch;
+    std::vector<int64_t> tail_idx;
+    for (int64_t off = 0; off < burst_rows; off += burst_rows / 4) {
+      std::vector<RowId> batch;
+      for (int64_t i = off; i < std::min(burst_rows, off + burst_rows / 4);
+           ++i) {
+        batch.push_back(static_cast<RowId>(n - burst_rows + i));
+        tail_idx.push_back(n - burst_rows + i);
+      }
+      FUME_ABORT_NOT_OK(s.kernel_model.DeleteRows(batch, nullptr, &scratch));
+      FUME_ABORT_NOT_OK(s.baseline_model.DeleteRows(batch));
+      FUME_ABORT_NOT_OK(lazy_model.DeleteRows(batch, nullptr, &scratch));
+    }
+    s.train = s.train.DropRows(tail_idx);
+  }
   FumeConfig config = BenchFumeConfig(s.group);
-  std::string kernel_sig, baseline_sig;
-  double kernel_sec = 0.0, baseline_sec = 0.0;
-  for (const bool kernel : {false, true}) {
-    const DareForest& model = kernel ? s.kernel_model : s.baseline_model;
+  std::string kernel_sig, baseline_sig, lazy_sig;
+  double kernel_sec = 0.0, baseline_sec = 0.0, lazy_sec = 0.0;
+  for (const Strategy strategy :
+       {Strategy::kPerRow, Strategy::kKernel, Strategy::kLazy}) {
+    const DareForest& model = strategy == Strategy::kPerRow
+                                  ? s.baseline_model
+                                  : (strategy == Strategy::kKernel
+                                         ? s.kernel_model
+                                         : lazy_model);
     Stopwatch watch;
     auto result = ExplainFairnessViolation(model, s.train, s.test, config);
     const double seconds = watch.ElapsedSeconds();
     FUME_ABORT_NOT_OK(result.status());
-    (kernel ? kernel_sig : baseline_sig) =
-        TopKSignature(*result, s.train.schema());
-    (kernel ? kernel_sec : baseline_sec) = seconds;
+    std::string& sig = strategy == Strategy::kPerRow
+                           ? baseline_sig
+                           : (strategy == Strategy::kKernel ? kernel_sig
+                                                            : lazy_sig);
+    sig = TopKSignature(*result, s.train.schema());
+    (strategy == Strategy::kPerRow
+         ? baseline_sec
+         : (strategy == Strategy::kKernel ? kernel_sec : lazy_sec)) = seconds;
   }
   const bool topk_identical = kernel_sig == baseline_sig;
+  const bool lazy_topk_identical =
+      lazy_sig == kernel_sig && !lazy_model.HasLazyTags();
   std::cout << "search sec: per-row " << FormatDouble(baseline_sec, 3)
-            << ", kernel " << FormatDouble(kernel_sec, 3) << '\n'
+            << ", kernel " << FormatDouble(kernel_sec, 3) << ", lazy "
+            << FormatDouble(lazy_sec, 3) << '\n'
             << "top-k identical kernel on/off: "
             << (topk_identical ? "yes" : "NO — exactness violation") << '\n'
+            << "top-k identical after query-flushed lazy burst: "
+            << (lazy_topk_identical ? "yes" : "NO — exactness violation")
+            << '\n'
             << "DeletionStats identical in every cell: "
             << (stats_identical ? "yes" : "NO") << '\n'
             << "compounded forests byte-identical: "
             << (bytes_identical ? "yes" : "NO") << '\n'
+            << "lazy flush byte-identical to eager kernel: "
+            << (lazy_bytes_identical ? "yes" : "NO") << '\n'
             << "kernel speedup at " << mid_size << " rows, batch "
             << kHeadlineBatch << ": " << FormatDouble(headline_speedup, 2)
-            << "x\n";
+            << "x\n"
+            << "lazy speedup vs eager kernel at " << mid_size
+            << " rows, batch " << kHeadlineBatch << ": "
+            << FormatDouble(lazy_headline_speedup, 2) << "x\n";
 
   std::ofstream json("bench_artifacts/BENCH_unlearn.json");
   if (json) {
@@ -302,12 +437,18 @@ int main(int argc, char** argv) {
          << "  \"mid_size_rows\": " << mid_size << ",\n"
          << "  \"headline_batch_rows\": " << kHeadlineBatch << ",\n"
          << "  \"kernel_speedup_mid\": " << headline_speedup << ",\n"
+         << "  \"lazy_speedup_vs_kernel_mid\": " << lazy_headline_speedup
+         << ",\n"
          << "  \"topk_identical\": " << (topk_identical ? "true" : "false")
          << ",\n"
+         << "  \"lazy_topk_identical\": "
+         << (lazy_topk_identical ? "true" : "false") << ",\n"
          << "  \"deletion_stats_identical\": "
          << (stats_identical ? "true" : "false") << ",\n"
          << "  \"compounded_bytes_identical\": "
          << (bytes_identical ? "true" : "false") << ",\n"
+         << "  \"lazy_flush_bytes_identical\": "
+         << (lazy_bytes_identical ? "true" : "false") << ",\n"
          << "  \"cells\": [\n";
     for (size_t i = 0; i < artifact.size(); ++i) {
       const auto& row = artifact[i];
@@ -324,7 +465,9 @@ int main(int argc, char** argv) {
     std::cout << "could not write bench_artifacts/BENCH_unlearn.json\n";
   }
 
-  const bool exact = topk_identical && stats_identical && bytes_identical;
+  const bool exact = topk_identical && lazy_topk_identical &&
+                     stats_identical && bytes_identical &&
+                     lazy_bytes_identical;
   if (!all_finite) std::cout << "NaN detected in measurements\n";
   return exact && all_finite ? 0 : 1;
 }

@@ -30,7 +30,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
   -DFUME_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j --target bench_unlearn_kernel \
   bench_eval_throughput bench_stream_throughput bench_serve bench_check \
-  fume_serve_cli fume_client
+  fume_stream_cli fume_serve_cli fume_client
 
 REPO_DIR="$(pwd)"
 BENCH_DIR="$(cd "${BUILD_DIR}" && pwd)/bench"
@@ -75,13 +75,46 @@ if [ -f bench_artifacts/BENCH_eval.json ]; then
   fi
 fi
 
+# The unlearn bench must have exercised the lazy-tags strategy and attested
+# both lazy exactness invariants: the flushed lazy forest is byte-identical
+# to the eager kernel, and a query-flushed lazy burst leaves the top-k
+# search unchanged.
+if [ -f bench_artifacts/BENCH_unlearn.json ]; then
+  if ! grep -q '"strategy": *"lazy-tags"' bench_artifacts/BENCH_unlearn.json; then
+    echo "FAIL: no lazy-tags strategy cells in BENCH_unlearn.json"
+    status=1
+  fi
+  for key in lazy_flush_bytes_identical lazy_topk_identical; do
+    if ! grep -q "\"${key}\": *true" bench_artifacts/BENCH_unlearn.json; then
+      echo "FAIL: ${key} attestation missing or false in BENCH_unlearn.json"
+      status=1
+    fi
+  done
+fi
+
+# Lazy stream smoke: a delete-heavy run with deferred subtree retrains must
+# end with the in-binary identity attestation — the flushed model equals a
+# cold retrain on the surviving rows (fume_stream exits non-zero and prints
+# MISMATCH otherwise).
+echo "=== fume_stream --lazy identity smoke ==="
+if ! "${TOOLS_DIR}/fume_stream" --dataset german-credit --rows 500 --ops 40 \
+    --delete-batch 8 --checkpoint-every 10 --lazy --lazy-budget 64 \
+    > stream-lazy.log 2>&1; then
+  echo "FAIL: fume_stream --lazy exited non-zero"
+  tail -5 stream-lazy.log
+  status=1
+elif ! grep -q "lazy identity: ok" stream-lazy.log; then
+  echo "FAIL: fume_stream --lazy did not print its identity attestation"
+  status=1
+fi
+
 # End-to-end serving smoke: boot fume_serve on an ephemeral port, run the
 # canned fume_client round trips (health/metrics/explain/predict/whatif/
 # stream/checkpoint), then check SIGTERM drains to a clean exit.
 echo "=== fume_serve / fume_client --smoke ==="
 rm -f serve.port
 "${TOOLS_DIR}/fume_serve" --rows 600 --port 0 --port-file serve.port \
-  --checkpoint-dir serve-state --oplog-dir serve-state &
+  --checkpoint-dir serve-state --oplog-dir serve-state --lazy &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   [ -s serve.port ] && break

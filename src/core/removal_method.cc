@@ -109,6 +109,10 @@ Result<ModelEval> UnlearnRemovalMethod::EvaluateOnSlot(
   Worker& w = WorkerSlot(worker);
   DareForest what_if =
       options_.cow_delta ? model_->Clone() : model_->DeepClone();
+  // A what-if delete is scored immediately, so deferring its retrains would
+  // only add tag bookkeeping on top of the same rebuild work — run the
+  // clone eagerly even when the base model streams with lazy_unlearn.
+  if (what_if.config().lazy_unlearn) what_if.SetLazyUnlearn(false);
   FUME_RETURN_NOT_OK(
       what_if.DeleteRows(rows, /*per_tree=*/nullptr, &w.unlearn_scratch));
   w.stats.Add(what_if.deletion_stats());

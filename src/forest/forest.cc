@@ -92,6 +92,15 @@ Result<DareForest> DareForest::Train(const Dataset& train,
   if (config.random_depth < 0 || config.random_depth > config.max_depth) {
     return Status::Invalid("random_depth must lie in [0, max_depth]");
   }
+  if (config.lazy_unlearn && !config.batched_unlearn_kernel) {
+    return Status::Invalid(
+        "lazy_unlearn requires batched_unlearn_kernel (the flush rebuilds "
+        "run through BuildNodeKernel)");
+  }
+  if (config.lazy_unlearn &&
+      (config.max_lazy_rows < 1 || config.max_lazy_nodes < 1)) {
+    return Status::Invalid("lazy staleness budgets must be positive");
+  }
   obs::TraceSpan span("forest.train", {{"rows", train.num_rows()},
                                        {"trees", config.num_trees}});
   static obs::Counter* trains = obs::GetCounter("forest.train.calls");
@@ -170,7 +179,68 @@ Status DareForest::DeleteRows(const std::vector<RowId>& rows,
     deletion_stats_.Add(local);
     if (per_tree != nullptr) (*per_tree)[t] = local;
   }
+  if (config_.lazy_unlearn && (lazy_rows() > config_.max_lazy_rows ||
+                               lazy_nodes() > config_.max_lazy_nodes)) {
+    // Staleness budget exceeded: retire the deferred work now rather than
+    // letting an unbounded burst pile up retrain debt. The flush retrains
+    // land in per_tree so callers see the trees whose nodes moved.
+    static obs::Counter* budget_flushes =
+        obs::GetCounter("forest.lazy.budget_flushes");
+    budget_flushes->Inc();
+    FlushAll(per_tree, scratch);
+  }
   return Status::OK();
+}
+
+void DareForest::FlushAll(std::vector<DeletionStats>* per_tree,
+                          DeletionScratch* scratch) {
+  if (!HasLazyTags()) return;
+  obs::TraceSpan span("forest.lazy_flush",
+                      {{"rows", lazy_rows()}, {"tags", lazy_nodes()}});
+  DeletionScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
+  if (per_tree != nullptr && per_tree->empty()) {
+    per_tree->assign(trees_.size(), DeletionStats{});
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (!trees_[t].has_lazy_tags()) continue;
+    DeletionStats local;
+    trees_[t].FlushLazy(&local, scratch);
+    deletion_stats_.Add(local);
+    if (per_tree != nullptr) (*per_tree)[t].Add(local);
+  }
+}
+
+bool DareForest::HasLazyTags() const {
+  for (const auto& tree : trees_) {
+    if (tree.has_lazy_tags()) return true;
+  }
+  return false;
+}
+
+int64_t DareForest::lazy_rows() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.lazy_rows();
+  return total;
+}
+
+int64_t DareForest::lazy_nodes() const {
+  int64_t total = 0;
+  for (const auto& tree : trees_) total += tree.lazy_nodes();
+  return total;
+}
+
+void DareForest::EnsureFlushed() const {
+  if (!config_.lazy_unlearn || !HasLazyTags()) return;
+  // Logically const (see forest.h): a tagged forest is thread-confined, so
+  // this cannot race with another reader.
+  const_cast<DareForest*>(this)->FlushAll();
+}
+
+void DareForest::SetLazyUnlearn(bool on) {
+  if (!on) FlushAll();
+  config_.lazy_unlearn = on;
+  for (auto& tree : trees_) tree.SetLazyUnlearn(on);
 }
 
 Result<std::vector<RowId>> DareForest::AddData(
@@ -205,6 +275,10 @@ Result<std::vector<RowId>> DareForest::AddData(
   if (config_.batched_unlearn_kernel && scratch == nullptr) {
     scratch = &local_scratch;
   }
+  // Additions route through every level of every tree, so pending lazy tags
+  // (stale split decisions below them) must be rebuilt first. The flush
+  // work lands in per_tree alongside the add work.
+  if (config_.lazy_unlearn) FlushAll(per_tree, scratch);
   for (size_t t = 0; t < trees_.size(); ++t) {
     DeletionStats local;
     if (config_.batched_unlearn_kernel) {
@@ -213,7 +287,9 @@ Result<std::vector<RowId>> DareForest::AddData(
       trees_[t].AddRows(new_ids, &local);
     }
     deletion_stats_.Add(local);
-    if (per_tree != nullptr) (*per_tree)[t] = local;
+    // Add (not assign): the entry may already carry this call's lazy-flush
+    // work from the FlushAll above.
+    if (per_tree != nullptr) (*per_tree)[t].Add(local);
   }
   return new_ids;
 }
@@ -230,6 +306,7 @@ Status DareForest::CheckCompatible(const Dataset& data) const {
 
 double DareForest::PredictProb(const Dataset& data, int64_t row) const {
   FUME_DCHECK(CheckCompatible(data).ok());
+  EnsureFlushed();  // first query descent retires any deferred retrains
   double sum = 0.0;
   for (const auto& tree : trees_) {
     sum += tree.PredictProb([&](int attr) { return data.Code(row, attr); });
@@ -263,6 +340,7 @@ std::vector<double> DareForest::PredictProbAll(const Dataset& data) const {
     return PredictProbAllPointer(data);
   }
   FUME_CHECK(CheckCompatible(data).ok());
+  EnsureFlushed();  // arenas must never be compiled from a tagged tree
   const std::shared_ptr<const PackedCodes> packed = data.packed_codes();
   const int64_t n_rows = data.num_rows();
   std::vector<double> sums(static_cast<size_t>(n_rows), 0.0);

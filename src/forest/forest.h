@@ -89,6 +89,37 @@ class DareForest {
                                      std::vector<DeletionStats>* per_tree,
                                      DeletionScratch* scratch);
 
+  /// Rebuilds every pending lazy-tag subtree across all trees (no-op when
+  /// none are pending — only meaningful with config().lazy_unlearn). The
+  /// retrain work lands in deletion_stats() and, when `per_tree` is
+  /// non-null, is ADDED into its entries (zero-sized vectors are sized and
+  /// zeroed first), so callers tracking per-tree dirtiness across a
+  /// deferred burst see the flush retrains too.
+  void FlushAll(std::vector<DeletionStats>* per_tree = nullptr,
+                DeletionScratch* scratch = nullptr);
+  /// True while any tree holds a pending LazyTag.
+  bool HasLazyTags() const;
+  /// Pending deferred doomed rows / tag nodes summed across trees.
+  int64_t lazy_rows() const;
+  int64_t lazy_nodes() const;
+  /// Logically-const flush used by the const traversal entry points
+  /// (PredictProbAll and friends, the prediction cache's walks). A tagged
+  /// forest is thread-confined by contract — engine forests live behind the
+  /// stream/serve writer lock and what-if clones are worker-private, while
+  /// every published snapshot is flushed before it is shared — so the
+  /// const_cast never races. No-op unless lazy_unlearn is on with pending
+  /// tags.
+  void EnsureFlushed() const;
+  /// Toggles config().lazy_unlearn on this forest and every tree. Disabling
+  /// flushes pending tags first; enabling requires batched_unlearn_kernel.
+  /// What-if evaluation disables lazy on its clones (a delete that is
+  /// scored immediately gains nothing from deferral).
+  void SetLazyUnlearn(bool on);
+  /// Zeroes deletion_stats(). Lazy-vs-eager byte-identity checks reset both
+  /// forests' counters before serializing: the model bytes converge after a
+  /// flush, the work counters (deliberately) do not — lazy does less work.
+  void ResetDeletionStats() { deletion_stats_ = DeletionStats{}; }
+
   /// P(label = 1): mean of per-tree leaf positive fractions.
   double PredictProb(const Dataset& data, int64_t row) const;
   /// Hard prediction at the 0.5 probability threshold.

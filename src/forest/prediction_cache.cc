@@ -96,6 +96,8 @@ void TestPredictionCache::Rebuild(const DareForest& forest,
   obs::TraceSpan span("stream.predcache.rebuild",
                       {{"trees", forest.num_trees()},
                        {"rows", test.num_rows()}});
+  // The cache stores leaf pointers — they must come from a flushed graph.
+  forest.EnsureFlushed();
   leaf_.assign(static_cast<size_t>(forest.num_trees()), {});
   prob_.assign(static_cast<size_t>(forest.num_trees()), {});
   mean_prob_.assign(static_cast<size_t>(test.num_rows()), 0.0);
@@ -113,6 +115,12 @@ void TestPredictionCache::Update(const DareForest& forest, const Dataset& test,
   static obs::Counter* resumed =
       obs::GetCounter("stream.predcache.trees_refreshed");
   obs::TraceSpan span("stream.predcache.update");
+  // Flushing here would be unsound, not just unexpected: a flush retrain
+  // frees nodes in trees the caller's dirty flags call clean, and ResumeTree
+  // would then chase freed leaf pointers. Callers must flush first and fold
+  // the flush retrains into tree_dirty (DareForest::FlushAll's per_tree
+  // report), as StreamEngine does.
+  FUME_CHECK(!forest.HasLazyTags());
   int64_t walked = 0;
   for (int t = 0; t < forest.num_trees(); ++t) {
     if (tree_dirty[static_cast<size_t>(t)]) {
@@ -184,6 +192,11 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
   const size_t num_trees = leaf_.size();
   FUME_CHECK_EQ(static_cast<size_t>(base.num_trees()), num_trees);
   FUME_CHECK_EQ(static_cast<size_t>(what_if.num_trees()), num_trees);
+  // The base graph this cache was walked against is flushed by contract;
+  // flush the (worker-private) what-if clone before diffing against it.
+  // What-if evaluation normally disables lazy on its clones, so this only
+  // fires for callers scoring an ad-hoc lazily-deleted clone.
+  what_if.EnsureFlushed();
   const size_t n_rows = mean_prob_.size();
   FUME_CHECK_EQ(static_cast<size_t>(test.num_rows()), n_rows);
   const bool arena_mode =

@@ -137,6 +137,12 @@ Result<std::shared_ptr<TreeNode>> ReadNode(std::istream& in, int depth) {
 }  // namespace
 
 Status SaveForest(const DareForest& forest, std::ostream& out) {
+  // No tag escapes a flush boundary (DESIGN.md §6 invariant 9): a lazily
+  // deferred forest is flushed before a single byte is written, so saved
+  // models — and every checkpoint built on this — are always exact. The
+  // CHECK is belt-and-braces for forests mutated concurrently (illegal).
+  forest.EnsureFlushed();
+  FUME_CHECK(!forest.HasLazyTags());
   out.write(kMagic, sizeof(kMagic));
   WritePod<uint32_t>(out, kVersion);
 

@@ -42,6 +42,19 @@ void RefreshLiveNodesGauge() {
 
 }  // namespace cow_debug
 
+TreeNode::TreeNode(const TreeNode& other)
+    : count(other.count),
+      pos(other.pos),
+      attr(other.attr),
+      threshold(other.threshold),
+      is_random(other.is_random),
+      stats(other.stats),
+      left(other.left),
+      right(other.right),
+      rows(other.rows),
+      lazy(other.lazy == nullptr ? nullptr
+                                 : std::make_unique<LazyTag>(*other.lazy)) {}
+
 namespace {
 
 // Unlearning work, attributed per event class. Retrains are rare (that is
@@ -92,6 +105,36 @@ void RecordRetrain(int depth, int random_depth) {
       ->Inc();
 }
 
+// Lazy-unlearn work (ForestConfig::lazy_unlearn). forest.lazy.budget_flushes
+// lives in forest.cc next to the budget check that fires it.
+struct LazyMetrics {
+  /// Doomed rows parked on a LazyTag instead of retrained through.
+  obs::Counter* tagged_rows = obs::GetCounter("forest.lazy.tagged_rows");
+  /// Tagged subtrees rebuilt by a flush, and the doomed rows they retired.
+  obs::Counter* flushes = obs::GetCounter("forest.lazy.flushes");
+  obs::Counter* flush_rows = obs::GetCounter("forest.lazy.flush_rows");
+
+  static LazyMetrics& Get() {
+    static LazyMetrics metrics;
+    return metrics;
+  }
+};
+
+/// Appends every tag's doomed rows in the subtree to *doomed (tags can nest
+/// — an older tag sits below a later ancestor's — so the walk does not prune
+/// at a tag) and counts the tags into *tags.
+void GatherTagRows(const TreeNode* node, std::vector<RowId>* doomed,
+                   int64_t* tags) {
+  if (node->lazy != nullptr) {
+    doomed->insert(doomed->end(), node->lazy->doomed.begin(),
+                   node->lazy->doomed.end());
+    ++*tags;
+  }
+  if (node->is_leaf()) return;
+  GatherTagRows(node->left.get(), doomed, tags);
+  GatherTagRows(node->right.get(), doomed, tags);
+}
+
 }  // namespace
 
 DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
@@ -104,7 +147,13 @@ DareTree DareTree::Build(std::shared_ptr<const TrainingStore> store,
   tree.store_ = std::move(store);
   tree.config_ = config;
   tree.tree_id_ = tree_id;
-  tree.root_ = tree.BuildNode(rows, /*depth=*/0,
+  // Canonical build order: leaf lists are kept sorted ascending everywhere
+  // (here and at every later rebuild), so the serialized tree is a pure
+  // function of the row multiset — the property FlushLazy's byte-identity
+  // with the eager kernel rests on (DESIGN.md §6 invariant 9).
+  std::vector<RowId> sorted = rows;
+  std::sort(sorted.begin(), sorted.end());
+  tree.root_ = tree.BuildNode(sorted, /*depth=*/0,
                               RootPathKey(config.seed, tree_id));
   tree.generation_ = arena_internal::NextGeneration();
   tree.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
@@ -262,6 +311,9 @@ void DareTree::BumpGeneration() {
 }
 
 std::shared_ptr<const TreeArena> DareTree::arena() const {
+  // A stale (tagged) tree must never be compiled into an arena — traversal
+  // entry points flush first (DareForest::EnsureFlushed).
+  FUME_DCHECK_EQ(lazy_nodes_, 0);
   if (arena_slot_ == nullptr) return nullptr;
   static obs::Counter* reuses = obs::GetCounter("forest.arena.reuse");
   std::shared_ptr<const TreeArena> cur = arena_slot_->arena.load();
@@ -313,10 +365,17 @@ void DareTree::DeleteRows(const std::vector<RowId>& rows,
   if (config_.batched_unlearn_kernel) {
     scratch->route.assign(rows.begin(), rows.end());
     scratch->settled = 0;
-    DeleteFromNodeKernel(&root_, scratch->route.data(),
+    if (config_.lazy_unlearn) {
+      DeleteFromNodeLazy(&root_, scratch->route.data(),
                          scratch->route.data() + scratch->route.size(),
                          /*depth=*/0, RootPathKey(config_.seed, tree_id_),
                          &local, scratch);
+    } else {
+      DeleteFromNodeKernel(&root_, scratch->route.data(),
+                           scratch->route.data() + scratch->route.size(),
+                           /*depth=*/0, RootPathKey(config_.seed, tree_id_),
+                           &local, scratch);
+    }
     // Batch-level replacement for the baseline's per-leaf membership count:
     // every doomed row must have been settled exactly once in this tree,
     // either removed at a leaf or filtered out of a retrain collection.
@@ -383,6 +442,12 @@ void DareTree::DeleteFromNode(std::shared_ptr<TreeNode>* slot,
     remaining.erase(std::remove_if(remaining.begin(), remaining.end(),
                                    [&](RowId r) { return doomed.count(r); }),
                     remaining.end());
+    // Canonical rebuild order: every retrain sorts its row set ascending, so
+    // leaf lists — and hence serialized bytes — depend only on the surviving
+    // row multiset, not on which intermediate retrains the op sequence took.
+    // This is what lets a deferred FlushLazy rebuild reproduce the eager
+    // result byte-for-byte.
+    std::sort(remaining.begin(), remaining.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
     *node = std::move(*rebuilt);
@@ -492,6 +557,8 @@ void DareTree::DeleteFromNodeKernel(std::shared_ptr<TreeNode>* slot,
     const int64_t filtered = CollectLeafRowsFiltered(node, *scratch, &remaining);
     FUME_DCHECK_EQ(filtered, n);
     scratch->settled += filtered;
+    // Canonical rebuild order (see DeleteFromNode).
+    std::sort(remaining.begin(), remaining.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
         remaining.data(), remaining.data() + remaining.size(), depth, path_key,
@@ -513,6 +580,172 @@ void DareTree::DeleteFromNodeKernel(std::shared_ptr<TreeNode>* slot,
   }
 }
 
+void DareTree::DeleteFromNodeLazy(std::shared_ptr<TreeNode>* slot,
+                                  RowId* begin, RowId* end, int depth,
+                                  uint64_t path_key, DeletionStats* stats_out,
+                                  DeletionScratch* scratch) {
+  TreeNode* node = Mutable(slot, stats_out);
+  ++stats_out->nodes_visited;
+  const int64_t n = end - begin;
+
+  if (node->is_leaf()) {
+    // Same in-place membership removal as the eager kernel (leaves never
+    // retrain under deletion, so there is nothing to defer).
+    ++stats_out->leaves_updated;
+    int64_t removed_pos = 0;
+    size_t kept = 0;
+    for (size_t i = 0; i < node->rows.size(); ++i) {
+      const RowId r = node->rows[i];
+      if (scratch->IsDoomed(r)) {
+        removed_pos += store_->label(r);
+      } else {
+        node->rows[kept++] = r;
+      }
+    }
+    const int64_t removed = static_cast<int64_t>(node->rows.size() - kept);
+    FUME_DCHECK_EQ(removed, n);
+    scratch->settled += removed;
+    node->rows.resize(kept);
+    node->count -= removed;
+    node->pos -= removed_pos;
+    return;
+  }
+
+  if (node->lazy != nullptr) {
+    // The subtree is already stale: keep this node's histograms exact (at
+    // flush they seed the rebuild) and park the routed rows on the tag —
+    // nothing below is touched, which is the whole saving.
+    ++stats_out->nodes_updated;
+    node->stats.RemoveRows(*store_, begin, n);
+    node->count = node->stats.count;
+    node->pos = node->stats.pos;
+    node->lazy->doomed.insert(node->lazy->doomed.end(), begin, end);
+    lazy_rows_ += n;
+    scratch->settled += n;
+    LazyMetrics::Get().tagged_rows->Inc(n);
+    return;
+  }
+
+  // Untagged internal node: same fused stats-update + partition and split
+  // re-evaluation as the eager kernel, so every split decision above a tag
+  // stays exact — lazy and eager diverge only below a flipped node.
+  ++stats_out->nodes_updated;
+  RowId* mid = node->stats.RemoveRowsAndPartition(
+      *store_, begin, end, node->attr, node->threshold,
+      &scratch->partition_tmp);
+  node->count = node->stats.count;
+  node->pos = node->stats.pos;
+
+  const SplitDecision decision =
+      DecideSplit(node->stats, *store_, depth, path_key, config_);
+  SplitDecision current;
+  current.is_leaf = false;
+  current.attr = node->attr;
+  current.threshold = node->threshold;
+  current.is_random = node->is_random;
+
+  if (!decision.SameSplit(current)) {
+    // Decision flip — where the eager kernel retrains, lazy installs a tag
+    // and returns. The (reordered, abandoned) span order does not matter:
+    // the tag is a set, and the flush rebuild sorts canonically anyway.
+    TagNode(node, begin, end);
+    scratch->settled += n;
+    return;
+  }
+
+  if (mid != begin) {
+    DeleteFromNodeLazy(&node->left, begin, mid, depth + 1,
+                       ChildPathKey(path_key, 0), stats_out, scratch);
+  }
+  if (mid != end) {
+    DeleteFromNodeLazy(&node->right, mid, end, depth + 1,
+                       ChildPathKey(path_key, 1), stats_out, scratch);
+  }
+}
+
+void DareTree::TagNode(TreeNode* node, const RowId* begin, const RowId* end) {
+  FUME_DCHECK(node->lazy == nullptr);
+  node->lazy = std::make_unique<LazyTag>();
+  node->lazy->doomed.assign(begin, end);
+  const int64_t n = end - begin;
+  ++lazy_nodes_;
+  lazy_rows_ += n;
+  LazyMetrics::Get().tagged_rows->Inc(n);
+}
+
+bool DareTree::SubtreeHasTag(const TreeNode* node) {
+  if (node->lazy != nullptr) return true;
+  if (node->is_leaf()) return false;
+  return SubtreeHasTag(node->left.get()) || SubtreeHasTag(node->right.get());
+}
+
+void DareTree::FlushNode(std::shared_ptr<TreeNode>* slot, int depth,
+                         uint64_t path_key, DeletionStats* stats_out,
+                         DeletionScratch* scratch) {
+  if (!SubtreeHasTag(slot->get())) return;
+  TreeNode* node = Mutable(slot, stats_out);
+  if (node->lazy == nullptr) {
+    FlushNode(&node->left, depth + 1, ChildPathKey(path_key, 0), stats_out,
+              scratch);
+    FlushNode(&node->right, depth + 1, ChildPathKey(path_key, 1), stats_out,
+              scratch);
+    return;
+  }
+
+  // Topmost tag on this path. Gather its doomed rows plus those of any
+  // older tags buried deeper (the whole subtree is stale and is rebuilt
+  // from its surviving rows in one go, discarding the buried tags).
+  std::vector<RowId> doomed = std::move(node->lazy->doomed);
+  int64_t tags_cleared = 1;
+  GatherTagRows(node->left.get(), &doomed, &tags_cleared);
+  GatherTagRows(node->right.get(), &doomed, &tags_cleared);
+
+  scratch->BeginBatch(store_->num_rows());
+  for (RowId r : doomed) FUME_CHECK(scratch->MarkDoomed(r));
+  std::vector<RowId>& remaining = scratch->remaining;
+  remaining.clear();
+  const int64_t filtered = CollectLeafRowsFiltered(node, *scratch, &remaining);
+  FUME_CHECK_EQ(filtered, static_cast<int64_t>(doomed.size()));
+  // Canonical rebuild order (see DeleteFromNode) — this sort is what makes
+  // the deferred rebuild land on the eager kernel's exact bytes.
+  std::sort(remaining.begin(), remaining.end());
+
+  ++stats_out->subtrees_retrained;
+  RecordRetrain(depth, config_.random_depth);
+  stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
+  // The tag node's stats were decremented exactly on every deferred batch,
+  // so they seed the rebuild just like an eager retrain's would.
+  std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
+      remaining.data(), remaining.data() + remaining.size(), depth, path_key,
+      scratch, &node->stats);
+  *node = std::move(*rebuilt);  // clears node->lazy (rebuilt has none)
+
+  lazy_nodes_ -= tags_cleared;
+  lazy_rows_ -= static_cast<int64_t>(doomed.size());
+  LazyMetrics& m = LazyMetrics::Get();
+  m.flushes->Inc();
+  m.flush_rows->Inc(static_cast<int64_t>(doomed.size()));
+}
+
+void DareTree::FlushLazy(DeletionStats* stats_out, DeletionScratch* scratch) {
+  if (lazy_nodes_ == 0 || root_ == nullptr) return;
+  BumpGeneration();
+  DeletionStats local;
+  FlushNode(&root_, /*depth=*/0, RootPathKey(config_.seed, tree_id_), &local,
+            scratch);
+  // Every deferred row and tag must have been retired by the rebuilds.
+  FUME_CHECK_EQ(lazy_nodes_, 0);
+  FUME_CHECK_EQ(lazy_rows_, 0);
+  RecordBatch(local);
+  if (stats_out != nullptr) stats_out->Add(local);
+}
+
+void DareTree::SetLazyUnlearn(bool on) {
+  FUME_CHECK(!on || config_.batched_unlearn_kernel);
+  FUME_CHECK(on || lazy_nodes_ == 0);
+  config_.lazy_unlearn = on;
+}
+
 void DareTree::AddRows(const std::vector<RowId>& rows,
                        DeletionStats* stats_out) {
   if (!config_.batched_unlearn_kernel || rows.empty() || root_ == nullptr) {
@@ -522,8 +755,11 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
     BumpGeneration();
     DeletionStats local;
     if (root_ == nullptr) {
+      // Canonical build order (see Build).
+      std::vector<RowId> sorted = rows;
+      std::sort(sorted.begin(), sorted.end());
       root_ =
-          BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
+          BuildNode(sorted, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
       ++local.subtrees_retrained;
     } else {
       AddToNode(&root_, rows, /*depth=*/0,
@@ -542,7 +778,10 @@ void DareTree::AddRows(const std::vector<RowId>& rows,
   BumpGeneration();
   DeletionStats local;
   if (root_ == nullptr) {
-    root_ = BuildNode(rows, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
+    // Canonical build order (see Build).
+    std::vector<RowId> sorted = rows;
+    std::sort(sorted.begin(), sorted.end());
+    root_ = BuildNode(sorted, /*depth=*/0, RootPathKey(config_.seed, tree_id_));
     ++local.subtrees_retrained;
   } else if (config_.batched_unlearn_kernel) {
     scratch->route.assign(rows.begin(), rows.end());
@@ -573,6 +812,8 @@ void DareTree::AddToNode(std::shared_ptr<TreeNode>* slot,
     ++stats_out->leaves_updated;
     std::vector<RowId> merged = node->rows;
     merged.insert(merged.end(), rows.begin(), rows.end());
+    // Canonical rebuild order (see DeleteFromNode).
+    std::sort(merged.begin(), merged.end());
     stats_out->rows_retrained += static_cast<int64_t>(merged.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNode(merged, depth, path_key);
     *node = std::move(*rebuilt);
@@ -597,6 +838,8 @@ void DareTree::AddToNode(std::shared_ptr<TreeNode>* slot,
     std::vector<RowId> remaining;
     CollectLeafRows(node, &remaining);
     remaining.insert(remaining.end(), rows.begin(), rows.end());
+    // Canonical rebuild order (see DeleteFromNode).
+    std::sort(remaining.begin(), remaining.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNode(remaining, depth, path_key);
     *node = std::move(*rebuilt);
@@ -629,14 +872,16 @@ void DareTree::AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
 
   if (node->is_leaf()) {
     // Same rebuild-from-merged-rows step as the baseline, with the merge
-    // buffer reused across leaves and batches. The routed span kept batch
-    // order through the stable partition, so `merged` — and hence the
-    // rebuilt subtree's leaf lists — are byte-identical to the baseline's.
+    // buffer reused across leaves and batches. The canonical sort makes the
+    // merged order — and hence the rebuilt subtree's leaf lists —
+    // byte-identical to the baseline's.
     ++stats_out->leaves_updated;
     std::vector<RowId>& merged = scratch->remaining;
     merged.clear();
     merged.insert(merged.end(), node->rows.begin(), node->rows.end());
     merged.insert(merged.end(), begin, end);
+    // Canonical rebuild order (see DeleteFromNode).
+    std::sort(merged.begin(), merged.end());
     stats_out->rows_retrained += static_cast<int64_t>(merged.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
         merged.data(), merged.data() + merged.size(), depth, path_key,
@@ -645,9 +890,9 @@ void DareTree::AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
     return;
   }
 
-  // No fused update+partition here, unlike DeleteFromNodeKernel: an add
-  // retrain appends the routed span to the rebuild rows IN BATCH ORDER, so
-  // the span must not be reordered before the flip check.
+  // No fused update+partition here, unlike DeleteFromNodeKernel: add
+  // retrains are leaf-sized and rare enough that the separate partition
+  // after the flip check has never shown up in the bench.
   ++stats_out->nodes_updated;
   node->stats.AddRows(*store_, begin, n);
   node->count = node->stats.count;
@@ -667,6 +912,8 @@ void DareTree::AddToNodeKernel(std::shared_ptr<TreeNode>* slot, RowId* begin,
     remaining.clear();
     CollectLeafRows(node, &remaining);
     remaining.insert(remaining.end(), begin, end);
+    // Canonical rebuild order (see DeleteFromNode).
+    std::sort(remaining.begin(), remaining.end());
     stats_out->rows_retrained += static_cast<int64_t>(remaining.size());
     std::shared_ptr<TreeNode> rebuilt = BuildNodeKernel(
         remaining.data(), remaining.data() + remaining.size(), depth, path_key,
@@ -697,6 +944,9 @@ std::shared_ptr<TreeNode> DeepCloneNode(const TreeNode* node) {
   out->is_random = node->is_random;
   out->stats = node->stats;
   out->rows = node->rows;
+  if (node->lazy != nullptr) {
+    out->lazy = std::make_unique<LazyTag>(*node->lazy);
+  }
   if (!node->is_leaf()) {
     out->left = DeepCloneNode(node->left.get());
     out->right = DeepCloneNode(node->right.get());
@@ -828,6 +1078,11 @@ DareTree DareTree::Clone() const {
   // later mutations can evict the other's arena. The seeded snapshot (when
   // one exists) serves both trees until one of them mutates.
   out.generation_ = generation_;
+  // The clone shares any tagged nodes and owes the same flush work; its
+  // first flush (or delete) unshares them, deep-copying the tags, so the
+  // two trees never alias tag state.
+  out.lazy_rows_ = lazy_rows_;
+  out.lazy_nodes_ = lazy_nodes_;
   out.arena_slot_ = std::make_shared<arena_internal::ArenaSlot>();
   if (arena_slot_ != nullptr) {
     out.arena_slot_->arena.store(arena_slot_->arena.load());
@@ -844,6 +1099,8 @@ DareTree DareTree::DeepClone() const {
   out.config_ = config_;
   out.tree_id_ = tree_id_;
   if (root_ != nullptr) out.root_ = DeepCloneNode(root_.get());
+  out.lazy_rows_ = lazy_rows_;
+  out.lazy_nodes_ = lazy_nodes_;
   // Fresh node addresses: a fresh stamp keeps any shared arena (node_
   // points into the source graph) from ever serving this tree.
   out.generation_ = arena_internal::NextGeneration();

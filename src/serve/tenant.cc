@@ -61,6 +61,12 @@ const Dataset& Tenant::test_data() const {
 
 void Tenant::PublishSnapshotLocked() {
   static obs::Counter* published = obs::GetCounter("serve.snapshot.published");
+  // A published snapshot is shared with lock-free readers, so it must
+  // never contain a lazy tag (DESIGN.md §6 invariant 9): the clone below
+  // would owe a flush it could only pay by mutating shared nodes. The
+  // engine flushed at every publication point — ApplyStreamOp skips
+  // publication while deferring; checkpoints flush first.
+  FUME_CHECK(!engine_->deferring());
   auto snap = std::make_shared<TenantSnapshot>();
   snap->seq = engine_->last_seq();
   snap->metric = engine_->current_metric();
@@ -92,7 +98,10 @@ Result<stream::OpOutcome> Tenant::ApplyStreamOp(const stream::StreamOp& op) {
       return Status::IOError("op-log append failed for tenant " + name_);
     }
   }
-  PublishSnapshotLocked();
+  // During a deferred delete burst readers keep the older exact snapshot;
+  // the first flush boundary (insert, checkpoint, explicit Checkpoint())
+  // publishes the caught-up state.
+  if (!engine_->deferring()) PublishSnapshotLocked();
   return outcome;
 }
 
@@ -102,8 +111,12 @@ Result<std::string> Tenant::Checkpoint() {
   if (config_.engine.checkpoint_path.empty()) {
     return Status::Invalid("tenant " + name_ + " has no checkpoint_path");
   }
+  // Retire any deferred burst before persisting, then publish the flushed
+  // state so readers catch up along with the checkpoint.
+  engine_->FlushLazy();
   FUME_RETURN_NOT_OK(
       engine_->SaveCheckpointToFile(config_.engine.checkpoint_path));
+  PublishSnapshotLocked();
   return config_.engine.checkpoint_path;
 }
 
@@ -169,6 +182,11 @@ void Tenant::EvaluateWhatIf(const TenantSnapshot& snap, BatchJob* job,
 
   if (!worker->matched.empty()) {
     DareForest clone = snap.forest.Clone();
+    // The snapshot forest is flushed by contract, but the clone inherits
+    // lazy_unlearn from the tenant config; this delete is scored right
+    // away, so deferral would only add tag bookkeeping before ScoreWhatIf
+    // flushed it again.
+    if (clone.config().lazy_unlearn) clone.SetLazyUnlearn(false);
     FUME_CHECK(clone.DeleteRows(worker->matched, nullptr, &worker->deletion)
                    .ok());
     snap.cache->ScoreWhatIf(

@@ -13,6 +13,7 @@
 #include "fairness/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace fume {
@@ -257,6 +258,18 @@ Status StreamEngine::ApplyInsert(const StreamOp& op) {
     dirty[t] =
         per_tree[t].subtrees_retrained > 0 || per_tree[t].nodes_copied > 0;
   }
+  // An insert is a flush boundary: AddData flushed any pending tags first
+  // (its per_tree report already carries those retrains), so fold in the
+  // dirtiness accumulated by the deferred deletes themselves and resume
+  // exact per-op metrics.
+  if (!lazy_dirty_.empty()) {
+    FUME_CHECK_EQ(lazy_dirty_.size(), dirty.size());
+    for (size_t t = 0; t < dirty.size(); ++t) {
+      if (lazy_dirty_[t]) dirty[t] = true;
+    }
+    lazy_dirty_.assign(lazy_dirty_.size(), false);
+  }
+  metric_stale_ = false;
   cache_.Update(forest_, test_, dirty);
   StreamMetrics::Get().inserts->Inc();
   StreamMetrics::Get().rows_added->Inc(static_cast<int64_t>(op.rows.size()));
@@ -299,6 +312,22 @@ Status StreamEngine::ApplyDelete(const StreamOp& op) {
     dirty[t] =
         per_tree[t].subtrees_retrained > 0 || per_tree[t].nodes_copied > 0;
   }
+  if (config_.forest.lazy_unlearn) {
+    // Deferred burst: the forest parked retrain-triggering deletes under
+    // lazy tags (a budget overflow may already have flushed them — its
+    // retrains are in per_tree either way). Accumulate the dirtiness and
+    // leave the cache and metric describing the pre-burst model until the
+    // next flush boundary (insert, checkpoint, FlushLazy).
+    lazy_dirty_.resize(dirty.size(), false);
+    for (size_t t = 0; t < dirty.size(); ++t) {
+      if (dirty[t]) lazy_dirty_[t] = true;
+    }
+    metric_stale_ = true;
+    StreamMetrics::Get().deletes->Inc();
+    StreamMetrics::Get().rows_deleted->Inc(
+        static_cast<int64_t>(op.row_ids.size()));
+    return Status::OK();
+  }
   cache_.Update(forest_, test_, dirty);
   StreamMetrics::Get().deletes->Inc();
   StreamMetrics::Get().rows_deleted->Inc(
@@ -333,21 +362,28 @@ Result<OpOutcome> StreamEngine::Apply(const StreamOp& op) {
       break;
     case OpKind::kCheckpoint:
       metrics.checkpoints->Inc();
+      // A checkpoint op is a flush boundary: retire any deferred burst so
+      // the searched/persisted state is exact.
+      FlushLazy();
       break;
   }
   last_seq_ = op.seq;
   if (model_changed) {
-    RefreshMetric();
+    // While a deferred burst is pending the cache still describes the
+    // pre-burst model; the metric refreshes at the next flush boundary.
+    if (!metric_stale_) RefreshMetric();
     ++staleness_ops_;
   }
   outcome.apply_seconds = apply_watch.ElapsedSeconds();
 
   // Drift policy: checkpoints refresh whenever stale (so the persisted
   // explanation is current); data ops re-search only past the thresholds.
+  // Deferred bursts suspend drift gating — the metric is stale, so drift
+  // against it is meaningless; it is re-evaluated at flush points only.
   bool want_search = false;
   if (op.kind == OpKind::kCheckpoint) {
     want_search = config_.search_on_checkpoint && staleness_ops_ > 0;
-  } else {
+  } else if (!metric_stale_) {
     want_search =
         config_.drift.ShouldSearch(metric_at_last_search_, metric_);
   }
@@ -387,8 +423,44 @@ Result<std::vector<OpOutcome>> StreamEngine::Replay(
   return outcomes;
 }
 
+void StreamEngine::FlushLazy() {
+  if (!metric_stale_ && !forest_.HasLazyTags()) return;
+  obs::TraceSpan span("stream.lazy_flush",
+                      {{"rows", forest_.lazy_rows()},
+                       {"nodes", forest_.lazy_nodes()}});
+  std::vector<DeletionStats> per_tree;
+  forest_.FlushAll(&per_tree, &unlearn_scratch_);
+  // Rewalk trees the flush retrained OR the deferred deletes dirtied
+  // (CoW unshares / leaf removals) — everything else resumes in place.
+  // per_tree stays empty when a budget overflow inside DeleteRows already
+  // retired every tag (FlushAll is then a no-op) — the metric is still
+  // stale and lazy_dirty_ carries that burst's dirtiness below.
+  std::vector<bool> dirty(static_cast<size_t>(forest_.num_trees()), false);
+  FUME_CHECK(per_tree.empty() || per_tree.size() == dirty.size());
+  for (size_t t = 0; t < per_tree.size(); ++t) {
+    dirty[t] =
+        per_tree[t].subtrees_retrained > 0 || per_tree[t].nodes_copied > 0;
+  }
+  if (!lazy_dirty_.empty()) {
+    FUME_CHECK_EQ(lazy_dirty_.size(), dirty.size());
+    for (size_t t = 0; t < dirty.size(); ++t) {
+      if (lazy_dirty_[t]) dirty[t] = true;
+    }
+    lazy_dirty_.assign(lazy_dirty_.size(), false);
+  }
+  cache_.Update(forest_, test_, dirty);
+  metric_stale_ = false;
+  RefreshMetric();
+}
+
 Status StreamEngine::SaveCheckpoint(std::ostream& out) const {
   obs::TraceSpan span("stream.checkpoint.save", {{"seq", last_seq_}});
+  // Checkpoints never persist a deferred burst: Restore recomputes the
+  // metric from a fresh cache and verifies it against the saved value, so
+  // the state written here must be flush-exact. The const_cast mirrors
+  // DareForest::EnsureFlushed — a deferring engine is thread-confined
+  // (serve holds the writer lock around checkpoints).
+  const_cast<StreamEngine*>(this)->FlushLazy();
   out.write(kCkptMagic, sizeof(kCkptMagic));
   WritePod<uint32_t>(out, kCkptVersion);
   WritePod<int64_t>(out, last_seq_);

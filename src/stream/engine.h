@@ -90,6 +90,21 @@ class StreamEngine {
   /// Convenience: applies every op in order, returning per-op outcomes.
   Result<std::vector<OpOutcome>> Replay(const std::vector<StreamOp>& ops);
 
+  // ---- lazy deferral (config.forest.lazy_unlearn) --------------------
+  /// Retires every deferred subtree retrain, folds the retrain work into
+  /// the prediction cache's dirty flags, and refreshes the metric. No-op
+  /// unless a delete burst is pending. Called automatically at every flush
+  /// boundary — checkpoint ops, inserts, SaveCheckpoint — and callable
+  /// directly before reading forest()/current_metric() mid-burst.
+  void FlushLazy();
+  /// True while a deferred delete burst is pending: the forest may hold
+  /// lazy tags and current_metric()/prediction_cache() reflect the state
+  /// at the last flush, not the last op. Do NOT run predictions through
+  /// forest() while deferring — call FlushLazy() first (the forest would
+  /// flush itself on first descent, stranding the engine's cached leaf
+  /// pointers in freed nodes).
+  bool deferring() const { return metric_stale_ || forest_.HasLazyTags(); }
+
   // ---- serving state -------------------------------------------------
   int64_t last_seq() const { return last_seq_; }
   /// Signed F(h, D_test) of the current model.
@@ -165,6 +180,16 @@ class StreamEngine {
   /// Shared evaluation pool for every search this engine runs; created at
   /// the first search with config_.fume.num_threads > 1.
   std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Per-tree cache dirtiness accumulated across a deferred delete burst
+  /// (CoW unshares and in-place leaf removals invalidate cached pointers
+  /// even when the subtree retrain itself is deferred). Merged into the
+  /// flush's own dirty flags at the next flush boundary.
+  std::vector<bool> lazy_dirty_;
+  /// True between a deferred delete and the next flush boundary: metric_,
+  /// accuracy_ and cache_ describe the pre-burst model. Drift gating is
+  /// suspended while set (evaluated at flush points only).
+  bool metric_stale_ = false;
 
   int64_t last_seq_ = -1;
   double metric_ = 0.0;

@@ -103,6 +103,42 @@ TEST(SerializeTest, DeletionStatsSurviveMixedOpsRoundTrip) {
   EXPECT_EQ(loaded->deletion_stats(), forest.deletion_stats());
 }
 
+TEST(SerializeTest, LazyTagsNeverReachTheWire) {
+  // DESIGN.md §6 invariant 9: no tag escapes a flush boundary. SaveForest
+  // flushes a lazily-deleted forest before writing, so the bytes it emits
+  // equal the eager kernel's on the same op sequence (work counters zeroed
+  // on both sides — lazy deliberately does less retrain work).
+  DareForest eager = TrainedForest(8, ThresholdMode::kExact);
+  DareForest lazy = TrainedForest(8, ThresholdMode::kExact);
+  lazy.SetLazyUnlearn(true);
+  std::vector<RowId> doomed;
+  for (RowId r = 0; r < 160; r += 2) doomed.push_back(r);
+  ASSERT_TRUE(eager.DeleteRows(doomed).ok());
+  ASSERT_TRUE(lazy.DeleteRows(doomed).ok());
+  ASSERT_TRUE(lazy.HasLazyTags());
+
+  // The first save triggers the flush (its retrain work lands in the lazy
+  // DeletionStats, which v2 serializes); the byte comparison zeroes both
+  // sides' counters afterwards and saves again.
+  std::ostringstream first(std::ios::binary);
+  ASSERT_TRUE(SaveForest(lazy, first).ok());
+  EXPECT_FALSE(lazy.HasLazyTags());
+  eager.ResetDeletionStats();
+  lazy.ResetDeletionStats();
+  std::ostringstream eager_out(std::ios::binary);
+  std::ostringstream lazy_out(std::ios::binary);
+  ASSERT_TRUE(SaveForest(eager, eager_out).ok());
+  ASSERT_TRUE(SaveForest(lazy, lazy_out).ok());
+  EXPECT_EQ(lazy_out.str(), eager_out.str());
+
+  std::istringstream in(lazy_out.str(), std::ios::binary);
+  auto loaded = LoadForest(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->StructurallyEquals(eager));
+  // lazy_unlearn is a runtime knob, never model state.
+  EXPECT_FALSE(loaded->config().lazy_unlearn);
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   DareForest forest = TrainedForest(5, ThresholdMode::kExact);
   const std::string path = "/tmp/fume_forest_test.bin";

@@ -59,6 +59,8 @@ struct CliOptions {
   int threads = 1;
   double drift_abs = 0.01;
   double drift_rel = 0.10;
+  bool lazy = false;
+  int64_t lazy_budget = 0;  // 0 = ForestConfig default
   // Serving.
   int port = 7733;
   std::string port_file;
@@ -90,6 +92,12 @@ Model / search (applied to every tenant; same defaults as fume_stream):
   --trees N --depth N --random-depth N --model-seed N
   --k N --support-min F --support-max F --literals N --threads N
   --drift-abs F --drift-rel F
+  --lazy                defer subtree retrains across delete bursts; readers
+                        keep serving the last published (fully flushed)
+                        snapshot until the burst flushes — a published
+                        snapshot never contains pending work
+  --lazy-budget N       auto-flush once N doomed rows are pending per tenant
+                        (default 4096)
 
 Serving:
   --port N              TCP port on 127.0.0.1 (default 7733; 0 = ephemeral)
@@ -139,6 +147,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
     if (flag == "--help" || flag == "-h") {
       *want_help = true;
       return true;
+    } else if (flag == "--lazy") {
+      opts->lazy = true;
     } else if (flag == "--metrics") {
       opts->print_metrics = true;
     } else if (flag == "--tenant") {
@@ -176,7 +186,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
           "--support-max",  "--literals",     "--threads",
           "--drift-abs",    "--drift-rel",    "--port",
           "--max-connections", "--batch-window-us", "--max-batch",
-          "--queue-cap",    "--whatif-threads", "--deadline-ms"};
+          "--queue-cap",    "--whatif-threads", "--deadline-ms",
+          "--lazy-budget"};
       if (kNumericFlags.count(flag) == 0) {
         std::cerr << "unknown flag: " << flag << " (see --help)\n";
         return false;
@@ -207,6 +218,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       else if (flag == "--queue-cap" && is_int) opts->queue_cap = iv;
       else if (flag == "--whatif-threads" && is_int) opts->whatif_threads = iv;
       else if (flag == "--deadline-ms" && is_int) opts->deadline_ms = iv;
+      else if (flag == "--lazy-budget" && is_int) opts->lazy_budget = iv;
       else {
         std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
         return false;
@@ -331,6 +343,10 @@ int Run(const CliOptions& opts) {
     config.engine.fume.group = bundle->group;
     config.engine.drift.abs_threshold = opts.drift_abs;
     config.engine.drift.rel_threshold = opts.drift_rel;
+    config.engine.forest.lazy_unlearn = opts.lazy;
+    if (opts.lazy_budget > 0) {
+      config.engine.forest.max_lazy_rows = opts.lazy_budget;
+    }
     if (!opts.checkpoint_dir.empty()) {
       config.engine.checkpoint_path =
           opts.checkpoint_dir + "/" + name + ".ckpt";

@@ -22,6 +22,8 @@
 
 #include "core/report.h"
 #include "data/split.h"
+#include "fairness/metrics.h"
+#include "forest/forest.h"
 #include "forest/tree.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -54,6 +56,8 @@ struct CliOptions {
   int depth = 8;
   int random_depth = 2;
   uint64_t model_seed = 31;
+  bool lazy = false;
+  int64_t lazy_budget = 0;  // 0 = ForestConfig default
   // Search.
   FairnessMetric metric = FairnessMetric::kStatisticalParity;
   int top_k = 5;
@@ -96,6 +100,12 @@ Model:
   --depth N             max tree depth (default 8)
   --random-depth N      DaRE random upper levels (default 2)
   --model-seed N        forest seed (default 31)
+  --lazy                defer subtree retrains across delete bursts
+                        (DynFrs-style tags); flushed at inserts,
+                        checkpoints and queries — end of run attests the
+                        final model equals a cold retrain exactly
+  --lazy-budget N       auto-flush once N doomed rows are pending
+                        (default 4096)
 
 Search:
   --metric M            statistical-parity | equalized-odds |
@@ -171,6 +181,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       return true;
     } else if (flag == "--no-search-on-checkpoint") {
       opts->no_search_on_checkpoint = true;
+    } else if (flag == "--lazy") {
+      opts->lazy = true;
     } else if (flag == "--metrics") {
       opts->print_metrics = true;
     } else if (flag == "--query-cost") {
@@ -215,7 +227,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
           "--support-max",   "--literals",      "--threads",
           "--ops",           "--insert-batch",  "--delete-batch",
           "--checkpoint-every", "--workload-seed", "--drift-abs",
-          "--drift-rel"};
+          "--drift-rel",     "--lazy-budget"};
       if (kNumericFlags.count(flag) == 0) {
         std::cerr << "unknown flag: " << flag << " (see --help)\n";
         return false;
@@ -244,6 +256,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       else if (flag == "--workload-seed" && is_int) opts->workload_seed = static_cast<uint64_t>(iv);
       else if (flag == "--drift-abs" && is_double) opts->drift_abs = dv;
       else if (flag == "--drift-rel" && is_double) opts->drift_rel = dv;
+      else if (flag == "--lazy-budget" && is_int) opts->lazy_budget = iv;
       else {
         std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
         return false;
@@ -356,6 +369,8 @@ int Run(const CliOptions& opts) {
   config.forest.max_depth = opts.depth;
   config.forest.random_depth = opts.random_depth;
   config.forest.seed = opts.model_seed;
+  config.forest.lazy_unlearn = opts.lazy;
+  if (opts.lazy_budget > 0) config.forest.max_lazy_rows = opts.lazy_budget;
   config.fume.top_k = opts.top_k;
   config.fume.support_min = opts.support_min;
   config.fume.support_max = opts.support_max;
@@ -488,6 +503,40 @@ int Run(const CliOptions& opts) {
         std::cerr << st.ToString() << "\n";
       }
     }
+  }
+
+  if (opts.lazy) {
+    // Retire any retrains still deferred from the tail of the stream so the
+    // final metric below reflects a fully flushed model.
+    engine->FlushLazy();
+  }
+  if (opts.lazy && !interrupted) {
+    // Lazy identity attestation (DESIGN.md §6 invariant 9): after the final
+    // flush, the engine's model must be indistinguishable from a cold
+    // retrain on the surviving rows — predictions, fairness metric, and
+    // accuracy all exact. A mismatch is a correctness bug, not noise.
+    auto cold = DareForest::Train(engine->train_data(), config.forest);
+    if (!cold.ok()) {
+      std::cerr << cold.status().ToString() << "\n";
+      return 1;
+    }
+    const std::vector<double> live =
+        engine->forest().PredictProbAll(engine->test_data());
+    const std::vector<double> cold_probs =
+        cold->PredictProbAll(engine->test_data());
+    bool ok = engine->forest().ValidateStats();
+    ok = ok && live == cold_probs;
+    ok = ok && engine->current_metric() ==
+                   ComputeFairness(*cold, engine->test_data(),
+                                   config.fume.group, opts.metric);
+    ok = ok && engine->current_accuracy() == cold->Accuracy(engine->test_data());
+    if (!ok) {
+      std::cerr << "lazy identity: MISMATCH — flushed lazy model differs "
+                   "from a cold retrain on the surviving rows\n";
+      return 1;
+    }
+    std::cout << "\nlazy identity: ok (flushed model == cold retrain, "
+              << live.size() << " test predictions compared)\n";
   }
 
   std::cout << "\nfinal " << FairnessMetricName(opts.metric) << ": "
