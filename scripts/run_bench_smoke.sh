@@ -29,8 +29,8 @@ BUILD_DIR="${BUILD_DIR:-build-bench-smoke}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release \
   -DFUME_BUILD_EXAMPLES=OFF
 cmake --build "${BUILD_DIR}" -j --target bench_unlearn_kernel \
-  bench_eval_throughput bench_stream_throughput bench_serve bench_check \
-  fume_stream_cli fume_serve_cli fume_client
+  bench_eval_throughput bench_stream_throughput bench_serve bench_shard \
+  bench_check fume_stream_cli fume_serve_cli fume_client
 
 REPO_DIR="$(pwd)"
 BENCH_DIR="$(cd "${BUILD_DIR}" && pwd)/bench"
@@ -41,7 +41,7 @@ cd "${SCRATCH}"
 
 status=0
 for bench in bench_unlearn_kernel bench_eval_throughput bench_stream_throughput \
-             bench_serve; do
+             bench_serve bench_shard; do
   echo "=== ${bench} --smoke ==="
   if ! "${BENCH_DIR}/${bench}" --smoke; then
     echo "FAIL: ${bench} exited non-zero (crash or exactness violation)"
@@ -51,7 +51,8 @@ done
 
 # Belt and braces: no NaN/inf in the machine-readable artifacts.
 for artifact in bench_artifacts/BENCH_unlearn.json bench_artifacts/BENCH_eval.json \
-                bench_artifacts/BENCH_incremental.json bench_artifacts/BENCH_serve.json; do
+                bench_artifacts/BENCH_incremental.json bench_artifacts/BENCH_serve.json \
+                bench_artifacts/BENCH_shard.json; do
   if [ ! -f "${artifact}" ]; then
     echo "FAIL: ${artifact} was not written"
     status=1
@@ -92,6 +93,24 @@ if [ -f bench_artifacts/BENCH_unlearn.json ]; then
   done
 fi
 
+# The shard bench must attest every SISA exactness invariant: the 1-shard
+# container is byte- and top-k-identical to the monolithic forest, a
+# sharded delete equals per-shard standalone deletes, and results are
+# byte-identical across thread counts.
+if [ -f bench_artifacts/BENCH_shard.json ]; then
+  for key in shard1_bytes_identical shard1_topk_identical \
+             per_shard_delete_bytes_identical thread_counts_bytes_identical; do
+    if ! grep -q "\"${key}\": *true" bench_artifacts/BENCH_shard.json; then
+      echo "FAIL: ${key} attestation missing or false in BENCH_shard.json"
+      status=1
+    fi
+  done
+  if ! grep -q '"kind": *"delete-cohort"' bench_artifacts/BENCH_shard.json; then
+    echo "FAIL: no delete-cohort cells in BENCH_shard.json"
+    status=1
+  fi
+fi
+
 # Lazy stream smoke: a delete-heavy run with deferred subtree retrains must
 # end with the in-binary identity attestation — the flushed model equals a
 # cold retrain on the surviving rows (fume_stream exits non-zero and prints
@@ -108,13 +127,46 @@ elif ! grep -q "lazy identity: ok" stream-lazy.log; then
   status=1
 fi
 
-# End-to-end serving smoke: boot fume_serve on an ephemeral port, run the
-# canned fume_client round trips (health/metrics/explain/predict/whatif/
-# stream/checkpoint), then check SIGTERM drains to a clean exit.
-echo "=== fume_serve / fume_client --smoke ==="
+# Sharded stream replay smoke: a slice-placed 4-shard run writes its op
+# log and a mid-run checkpoint; restoring the checkpoint and replaying the
+# tail of the log must land on the same final metric and accuracy as the
+# uninterrupted run (v2 per-shard checkpoint container + dirty-shard
+# recovery).
+echo "=== fume_stream --shards replay smoke ==="
+rm -f shard-ops.log shard.ckpt
+if ! "${TOOLS_DIR}/fume_stream" --dataset german-credit --rows 500 --ops 30 \
+    --delete-batch 6 --checkpoint-every 20 --shards 4 --placement slice \
+    --oplog-out shard-ops.log --checkpoint shard.ckpt \
+    > stream-shard.log 2>&1; then
+  echo "FAIL: sharded fume_stream exited non-zero"
+  tail -5 stream-shard.log
+  status=1
+elif ! "${TOOLS_DIR}/fume_stream" --dataset german-credit --rows 500 \
+    --shards 4 --placement slice --oplog shard-ops.log --resume shard.ckpt \
+    > stream-shard-resume.log 2>&1; then
+  echo "FAIL: sharded fume_stream --resume exited non-zero"
+  tail -5 stream-shard-resume.log
+  status=1
+else
+  final_run="$(grep '^final' stream-shard.log)"
+  final_resumed="$(grep '^final' stream-shard-resume.log)"
+  if [ -z "${final_run}" ] || [ "${final_run}" != "${final_resumed}" ]; then
+    echo "FAIL: sharded replay diverged from the uninterrupted run"
+    echo "  run:     ${final_run}"
+    echo "  resumed: ${final_resumed}"
+    status=1
+  fi
+fi
+
+# End-to-end serving smoke: boot fume_serve with a sharded default tenant
+# on an ephemeral port, run the canned fume_client round trips (health/
+# metrics/explain/predict/whatif/stream/checkpoint — all through the SISA
+# ensemble), then check SIGTERM drains to a clean exit.
+echo "=== fume_serve --shards / fume_client --smoke ==="
 rm -f serve.port
 "${TOOLS_DIR}/fume_serve" --rows 600 --port 0 --port-file serve.port \
-  --checkpoint-dir serve-state --oplog-dir serve-state --lazy &
+  --checkpoint-dir serve-state --oplog-dir serve-state --lazy \
+  --shards 2 --placement slice &
 SERVE_PID=$!
 for _ in $(seq 1 100); do
   [ -s serve.port ] && break

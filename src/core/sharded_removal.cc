@@ -1,0 +1,147 @@
+#include "core/sharded_removal.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace fume {
+
+ShardedRemovalMethod::ShardedRemovalMethod(const ShardedForest* model,
+                                           const Dataset* test,
+                                           GroupSpec group,
+                                           FairnessMetric metric)
+    : ShardedRemovalMethod(model, test, group, metric, Options{}) {}
+
+ShardedRemovalMethod::ShardedRemovalMethod(const ShardedForest* model,
+                                           const Dataset* test,
+                                           GroupSpec group,
+                                           FairnessMetric metric,
+                                           Options options)
+    : ShardedRemovalMethod(model, test, group, metric, options, nullptr) {}
+
+ShardedRemovalMethod::ShardedRemovalMethod(
+    const ShardedForest* model, const Dataset* test, GroupSpec group,
+    FairnessMetric metric, Options options,
+    const ShardedPredictionCache* base_cache)
+    : model_(model),
+      test_(test),
+      group_(group),
+      metric_(metric),
+      options_(options),
+      external_cache_(base_cache) {}
+
+ShardedRemovalMethod::Worker& ShardedRemovalMethod::WorkerSlot(int worker) {
+  FUME_CHECK_GE(worker, 0);
+  if (!in_parallel_ && static_cast<size_t>(worker) >= workers_.size()) {
+    // Non-bracketed use is serialized by serial_mutex_, so on-demand growth
+    // cannot race; bracketed slots are pre-sized by BeginParallel.
+    workers_.resize(static_cast<size_t>(worker) + 1);
+  }
+  FUME_CHECK(static_cast<size_t>(worker) < workers_.size());
+  auto& slot = workers_[static_cast<size_t>(worker)];
+  if (slot == nullptr) slot = std::make_unique<Worker>();
+  return *slot;
+}
+
+const ShardedPredictionCache& ShardedRemovalMethod::BaseCache() {
+  if (external_cache_ != nullptr) return *external_cache_;
+  std::call_once(base_cache_once_,
+                 [this] { base_cache_.Rebuild(*model_, *test_); });
+  return base_cache_;
+}
+
+void ShardedRemovalMethod::BeginParallel(int num_workers) {
+  FUME_CHECK_GE(num_workers, 1);
+  FUME_CHECK(!in_parallel_);
+  if (workers_.size() < static_cast<size_t>(num_workers)) {
+    workers_.resize(static_cast<size_t>(num_workers));
+  }
+  for (auto& slot : workers_) {
+    if (slot == nullptr) slot = std::make_unique<Worker>();
+  }
+  BaseCache();  // seed before threads fan out
+  in_parallel_ = true;
+}
+
+void ShardedRemovalMethod::EndParallel() {
+  FUME_CHECK(in_parallel_);
+  in_parallel_ = false;
+  for (auto& slot : workers_) {
+    if (slot == nullptr) continue;
+    deletion_stats_.Add(slot->stats);
+    slot->stats = DeletionStats{};
+  }
+}
+
+Result<ModelEval> ShardedRemovalMethod::EvaluateWithout(
+    const std::vector<RowId>& rows) {
+  return EvaluateWithoutOn(0, rows);
+}
+
+Result<ModelEval> ShardedRemovalMethod::EvaluateWithoutOn(
+    int worker, const std::vector<RowId>& rows) {
+  if (!in_parallel_) {
+    std::lock_guard<std::mutex> lock(serial_mutex_);
+    return EvaluateOnSlot(worker, rows);
+  }
+  return EvaluateOnSlot(worker, rows);
+}
+
+Result<ModelEval> ShardedRemovalMethod::EvaluateOnSlot(
+    int worker, const std::vector<RowId>& rows) {
+  static obs::Counter* evals = obs::GetCounter("removal.sharded.evaluations");
+  static obs::Histogram* rows_hist =
+      obs::GetHistogram("removal.sharded.rows_per_evaluation");
+  static obs::Counter* shards_changed =
+      obs::GetCounter("removal.sharded.shards_changed");
+  static obs::Counter* rows_rescored =
+      obs::GetCounter("removal.sharded.rows_rescored");
+  evals->Inc();
+  rows_hist->Record(static_cast<int64_t>(rows.size()));
+  obs::TraceSpan span("removal.sharded.evaluate",
+                      {{"rows", static_cast<int64_t>(rows.size())}});
+  Worker& w = WorkerSlot(worker);
+  ShardedForest what_if = model_->Clone();
+  if (what_if.num_shards() > 0 &&
+      what_if.shard(0).config().lazy_unlearn) {
+    // Like the monolithic method: a what-if delete is scored immediately,
+    // so deferral would only add tag bookkeeping on top of the same work.
+    what_if.SetLazyUnlearn(false);
+  }
+  // Shard-local unlearning runs serially here: FUME's parallelism is
+  // across evaluations (one worker per lattice job, this pool is not
+  // reentrant), and a what-if batch rarely crosses many shards anyway.
+  FUME_RETURN_NOT_OK(what_if.DeleteRows(rows, /*per_shard_tree=*/nullptr,
+                                        /*pool=*/nullptr,
+                                        &w.unlearn_scratch));
+  // The clone's counters started at zero, so this sum is exactly the work
+  // of this evaluation, merged in shard order.
+  w.stats.Add(what_if.deletion_stats());
+
+  const bool arena_rescore =
+      options_.arena &&
+      rows.size() >= UnlearnRemovalMethod::kArenaFullRescoreMinBatch;
+  BaseCache().ScoreWhatIf(*model_, what_if, *test_, &w.scratch,
+                          arena_rescore);
+  shards_changed->Inc(w.scratch.shards_changed);
+  rows_rescored->Inc(w.scratch.rows_rescored);
+
+  ModelEval eval;
+  const std::vector<int>& preds = w.scratch.preds;
+  eval.fairness = ComputeFairness(*test_, preds, group_, metric_);
+  int64_t correct = 0;
+  for (int64_t r = 0; r < test_->num_rows(); ++r) {
+    if (preds[static_cast<size_t>(r)] == test_->Label(r)) ++correct;
+  }
+  eval.accuracy = test_->num_rows() == 0
+                      ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(test_->num_rows());
+  if (!in_parallel_) {
+    deletion_stats_.Add(w.stats);
+    w.stats = DeletionStats{};
+  }
+  return eval;
+}
+
+}  // namespace fume

@@ -101,7 +101,18 @@ struct DeletionStats {
            a.leaves_updated == b.leaves_updated &&
            a.nodes_copied == b.nodes_copied;
   }
+
+  /// Field count guard. Add()/operator==/the serializer's stats block and
+  /// the stats_test field sweep all enumerate the fields by hand; a new
+  /// counter that misses one of those paths would merge/compare/serialize
+  /// silently wrong. Adding a field trips this assert — bump the count
+  /// AFTER extending every enumeration (see deletion_stats_test.cc).
+  static constexpr int kNumFields = 6;
 };
+static_assert(sizeof(DeletionStats) == DeletionStats::kNumFields * sizeof(int64_t),
+              "DeletionStats gained or lost a field: update Add(), "
+              "operator==, serialize.cc's stats block and "
+              "deletion_stats_test.cc, then adjust kNumFields");
 
 }  // namespace fume
 

@@ -253,6 +253,7 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
   // byte-identical to what_if.PredictAll(test). A full arena rescore
   // invalidates every row's sum, not just the diff-walk's touched list.
   s->preds = pred_;
+  if (s->want_probs) s->probs = mean_prob_;
   const double tree_count = static_cast<double>(num_trees);
   auto resum = [&](int64_t r) {
     double sum = 0.0;
@@ -261,7 +262,9 @@ void TestPredictionCache::ScoreWhatIf(const DareForest& base,
                  ? s->tree_prob[t][static_cast<size_t>(r)]
                  : prob_[t][static_cast<size_t>(r)];
     }
-    s->preds[static_cast<size_t>(r)] = sum / tree_count >= 0.5 ? 1 : 0;
+    const double mean = sum / tree_count;
+    if (s->want_probs) s->probs[static_cast<size_t>(r)] = mean;
+    s->preds[static_cast<size_t>(r)] = mean >= 0.5 ? 1 : 0;
   };
   if (rescored_all) {
     for (size_t r = 0; r < n_rows; ++r) resum(static_cast<int64_t>(r));

@@ -43,6 +43,14 @@ class TestPredictionCache {
     /// what_if.PredictAll(test). Valid after ScoreWhatIf returns, until
     /// the next call on this scratch.
     std::vector<int> preds;
+    /// Opt-in: when true, ScoreWhatIf also fills `probs` with the what-if
+    /// mean probability per row, byte-identical to
+    /// what_if.PredictProbAll(test) (same sum-then-divide arithmetic that
+    /// produces preds). Off by default — the extra row-major vector only
+    /// pays for itself when a consumer needs the probabilities, e.g. the
+    /// sharded cache voting across shards.
+    bool want_probs = false;
+    std::vector<double> probs;
     /// Test rows whose prediction path crossed a mutated region (their
     /// hard prediction did not necessarily flip).
     int64_t rows_rescored = 0;

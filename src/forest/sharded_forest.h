@@ -1,0 +1,290 @@
+// SISA-style sharded DaRE ensemble (Bourtoule et al., arXiv 1912.03817).
+//
+// Training data is partitioned across N independent DaRE sub-forests
+// ("shards"); the ensemble prediction is a vote over the shard outputs.
+// Because a training row lives in exactly one shard, deleting it touches
+// only that shard — a deletion burst becomes shard-local unlearning that
+// runs concurrently on the shared util::ThreadPool, and a checkpoint only
+// needs to re-serialize the shards an op actually dirtied.
+//
+// Determinism contract (docs/sharding.md):
+//  * Row placement is a pure function of the global row id (and, in slice
+//    mode, the row's slice attribute code) — never of thread schedule.
+//  * Shard s trains with seed `config.seed + kShardSeedStride * s`, so
+//    shard contents and structure are a pure function of (data, config,
+//    shard config). With num_shards == 1 the stride term vanishes and the
+//    single shard is byte-identical to the monolithic DareForest.
+//  * DeleteRows/AddData/FlushAll may fan out across shards on a pool, but
+//    every observable result — per-shard DeletionStats, serialized bytes,
+//    vote outputs — is merged in ascending shard order, so runs are
+//    reproducible across thread counts {1, 4, 8, ...}.
+//  * Votes accumulate shard mean probabilities in shard order and divide
+//    once, mirroring DareForest::PredictProb's sum-then-divide; for one
+//    shard the division is by 1.0 and the ensemble probability is
+//    bit-identical to the monolithic forest's.
+
+#ifndef FUME_FOREST_SHARDED_FOREST_H_
+#define FUME_FOREST_SHARDED_FOREST_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "forest/config.h"
+#include "forest/deletion_scratch.h"
+#include "forest/forest.h"
+#include "forest/prediction_cache.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace fume {
+
+/// \brief How rows are partitioned across shards and how shard outputs are
+/// aggregated. Routing fields are model state: they are serialized with the
+/// sharded container (a checkpoint must re-route future ops identically),
+/// unlike the runtime execution knobs of ForestConfig.
+struct ShardConfig {
+  enum class Placement : uint8_t {
+    /// splitmix64(global id) % num_shards — uniform, workload-oblivious.
+    kHash = 0,
+    /// Rows whose `slice_attr` code equals `slice_value` (the planted-bias
+    /// cohort — the rows FUME's search is most likely to delete) are
+    /// concentrated into the LAST `hot_shards` shards; the rest hash across
+    /// the remaining cold shards. A deletion burst aimed at the biased
+    /// slice then touches only the hot shards.
+    kSlice = 1,
+  };
+  enum class Vote : uint8_t {
+    /// Ensemble probability = mean of shard mean-probabilities; predict
+    /// mean >= 0.5. Monolithic-identical at num_shards == 1.
+    kSoft = 0,
+    /// Each shard casts a hard 0/1 vote (its mean prob >= 0.5); majority
+    /// wins, ties fall back to the soft mean.
+    kMajority = 1,
+  };
+
+  int num_shards = 1;
+  Placement placement = Placement::kHash;
+  Vote vote = Vote::kSoft;
+  /// kSlice only: the attribute/code defining the hot cohort.
+  int slice_attr = -1;
+  int32_t slice_value = 0;
+  /// kSlice only: number of trailing shards reserved for the hot cohort.
+  int hot_shards = 1;
+};
+
+/// Parses "hash" / "slice" into a Placement.
+Result<ShardConfig::Placement> ParsePlacement(const std::string& name);
+const char* PlacementName(ShardConfig::Placement placement);
+
+/// \brief Ensemble of independently trained/unlearned DaRE sub-forests.
+///
+/// Global row ids are assigned sequentially in arrival order (training rows
+/// first, then AddData batches), exactly like TrainingStore ids in the
+/// monolithic forest — the same op log drives both. shard_of/local_of map a
+/// global id to its owning shard and the row's TrainingStore id inside it;
+/// like store ids, global ids are never recycled.
+class ShardedForest {
+ public:
+  ShardedForest() = default;
+  ShardedForest(const ShardedForest&) = delete;
+  ShardedForest& operator=(const ShardedForest&) = delete;
+  ShardedForest(ShardedForest&&) = default;
+  ShardedForest& operator=(ShardedForest&&) = default;
+
+  /// Partitions `train` per `shard.placement` and trains each shard with
+  /// its derived seed, concurrently when `pool` is non-null. Errors if any
+  /// shard would receive zero rows.
+  static Result<ShardedForest> Train(const Dataset& train,
+                                     const ForestConfig& config,
+                                     const ShardConfig& shard,
+                                     util::ThreadPool* pool = nullptr);
+
+  /// Exactly unlearns the given global row ids: buckets them per owning
+  /// shard (preserving batch order within a shard) and runs shard-local
+  /// DeleteRows, fanning out on `pool` when given. `per_shard_tree`, when
+  /// non-null, is sized to num_shards; entry s is that shard's per-tree
+  /// DeletionStats report for THIS call, left empty when shard s owned no
+  /// row of the batch. `scratch`, when non-null, is resized to num_shards
+  /// and entry s is handed to shard s (shard-affine, so reuse stays warm
+  /// across calls). Statuses are checked in shard order.
+  Status DeleteRows(const std::vector<RowId>& global_rows,
+                    std::vector<std::vector<DeletionStats>>* per_shard_tree =
+                        nullptr,
+                    util::ThreadPool* pool = nullptr,
+                    std::vector<DeletionScratch>* scratch = nullptr);
+
+  /// Exactly adds new rows, routing each to its placed shard; returns the
+  /// assigned global ids in input order. An insert is a flush boundary for
+  /// the WHOLE ensemble: shards holding pending lazy tags are flushed even
+  /// if they receive no new row (their flush retrains land in their
+  /// `per_shard_tree` entry), mirroring DareForest::AddData's contract.
+  Result<std::vector<RowId>> AddData(
+      const Dataset& rows,
+      std::vector<std::vector<DeletionStats>>* per_shard_tree = nullptr,
+      util::ThreadPool* pool = nullptr,
+      std::vector<DeletionScratch>* scratch = nullptr);
+
+  /// Flushes pending lazy-tag subtrees in every shard (see DareForest::
+  /// FlushAll); `per_shard_tree` entry s stays empty when shard s had no
+  /// tags. Fans out on `pool` when given.
+  void FlushAll(std::vector<std::vector<DeletionStats>>* per_shard_tree =
+                    nullptr,
+                util::ThreadPool* pool = nullptr,
+                std::vector<DeletionScratch>* scratch = nullptr);
+  bool HasLazyTags() const;
+  int64_t lazy_rows() const;
+  int64_t lazy_nodes() const;
+  void SetLazyUnlearn(bool on);
+  void EnsureFlushed() const;
+  void ResetDeletionStats();
+
+  /// Ensemble probability per row of `data` (vote over shard means).
+  std::vector<double> PredictProbAll(const Dataset& data) const;
+  /// Hard ensemble predictions per the configured vote mode.
+  std::vector<int> PredictAll(const Dataset& data) const;
+  /// Both of the above in one pass over the shards.
+  void Predict(const Dataset& data, std::vector<double>* probs,
+               std::vector<int>* preds) const;
+  double Accuracy(const Dataset& data) const;
+
+  /// Copy-on-write clone: every shard Clone()s (sharing all nodes);
+  /// deletion_stats() of the clone starts at zero. O(num_shards · trees).
+  ShardedForest Clone() const;
+
+  bool StructurallyEquals(const ShardedForest& other) const;
+  bool ValidateStats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const DareForest& shard(int s) const { return shards_[s]; }
+  DareForest& mutable_shard(int s) { return shards_[s]; }
+  const ShardConfig& shard_config() const { return shard_config_; }
+
+  /// Total global ids ever assigned (live + deleted), == the id the next
+  /// AddData row would get.
+  int64_t num_global_ids() const {
+    return shard_of_ == nullptr ? 0
+                                : static_cast<int64_t>(shard_of_->size());
+  }
+  int shard_of(RowId global) const { return (*shard_of_)[global]; }
+  RowId local_of(RowId global) const { return (*local_of_)[global]; }
+  /// Cell accessors by global id (rows stay addressable after deletion,
+  /// like TrainingStore).
+  int32_t Code(RowId global, int attr) const;
+  int Label(RowId global) const;
+
+  /// Live training rows summed across shards.
+  int64_t num_training_rows() const;
+  int64_t num_nodes() const;
+  int64_t ApproxHeapBytes() const;
+  /// Cumulative unlearning work, summed in shard order.
+  DeletionStats deletion_stats() const;
+
+  /// Serializes the sharded container: shard config + placement maps +
+  /// one independent SaveForest blob per shard. Requires no pending lazy
+  /// tags (flush first).
+  Status Save(std::ostream& out) const;
+  /// As Save, but re-serializes only shards with `dirty[s]` true (or with
+  /// no cached blob yet); clean shards reuse `(*blobs)[s]` verbatim.
+  /// `blobs` is updated in place and afterwards holds every shard's
+  /// current bytes — the incremental-checkpoint fast path. Output bytes
+  /// are identical to Save().
+  Status SaveWithCache(std::ostream& out, std::vector<std::string>* blobs,
+                       const std::vector<bool>& dirty) const;
+  static Result<ShardedForest> Load(std::istream& in);
+
+  /// Deterministic id hash used by kHash placement (exposed for tests).
+  static uint64_t HashGlobalId(RowId global);
+  /// The shard a new global row id would be routed to. `slice_code` is the
+  /// row's code at shard_config().slice_attr (ignored under kHash).
+  int PlaceRow(RowId global, int32_t slice_code) const;
+
+  /// Per-shard derived seed stride (shard s trains with base seed +
+  /// stride * s; golden-ratio odd constant so nearby shards decorrelate).
+  static constexpr uint64_t kShardSeedStride = 0x9E3779B97F4A7C15ull;
+
+ private:
+  Status ValidateGlobalRows(const std::vector<RowId>& global_rows) const;
+
+  ShardConfig shard_config_;
+  std::vector<DareForest> shards_;
+  /// Owning shard / local TrainingStore id for every global id ever
+  /// assigned. uint8_t caps num_shards at 255 (validated ≤ 64). Shared
+  /// copy-on-write with clones/snapshots: a what-if Clone() is O(shards ·
+  /// trees), not O(rows); AddData takes a private copy first when the maps
+  /// are still shared (single-writer contract, same as TrainingStore).
+  std::shared_ptr<std::vector<uint8_t>> shard_of_;
+  std::shared_ptr<std::vector<RowId>> local_of_;
+};
+
+/// Combines per-shard mean probabilities (shard order) into ensemble
+/// probabilities and hard predictions. `mean` is always filled; `preds`
+/// may be null. Shared by ShardedForest::Predict and the sharded
+/// prediction cache so every consumer votes identically.
+void VoteFromShardProbs(const std::vector<const std::vector<double>*>& shard_probs,
+                        ShardConfig::Vote vote, std::vector<double>* mean,
+                        std::vector<int>* preds);
+
+/// \brief Per-shard TestPredictionCache with a voted ensemble view.
+///
+/// Mirrors TestPredictionCache's API one level up: Rebuild after training
+/// or loading, Update after an op with the per-shard dirty report, and
+/// ScoreWhatIf against a CoW clone. A what-if evaluation typically mutates
+/// one or two shards; untouched shards (every tree root identical to the
+/// base) contribute their cached probabilities without any walk or copy.
+class ShardedPredictionCache {
+ public:
+  struct WhatIfScratch {
+    /// Voted ensemble predictions for the what-if forest, byte-identical
+    /// to what_if.PredictAll(test).
+    std::vector<int> preds;
+    /// Summed across shards (see TestPredictionCache::WhatIfScratch).
+    int64_t rows_rescored = 0;
+    int64_t trees_changed = 0;
+    /// Shards with at least one changed tree root this evaluation.
+    int64_t shards_changed = 0;
+
+   private:
+    friend class ShardedPredictionCache;
+    std::vector<TestPredictionCache::WhatIfScratch> shard_scratch;
+    std::vector<double> sum;
+  };
+
+  void Rebuild(const ShardedForest& forest, const Dataset& test);
+
+  /// Refreshes after one ensemble op. `shard_tree_dirty[s]` is shard s's
+  /// per-tree dirty flags; an EMPTY entry means shard s was untouched by
+  /// the op and is skipped entirely.
+  void Update(const ShardedForest& forest, const Dataset& test,
+              const std::vector<std::vector<bool>>& shard_tree_dirty);
+
+  /// Scores a Clone() of the seed ensemble (see TestPredictionCache::
+  /// ScoreWhatIf). Thread-safe for concurrent calls with distinct
+  /// scratches.
+  void ScoreWhatIf(const ShardedForest& base, const ShardedForest& what_if,
+                   const Dataset& test, WhatIfScratch* scratch,
+                   bool arena_full_rescore = false) const;
+
+  /// Voted ensemble probability / predictions per test row;
+  /// byte-identical to forest.PredictProbAll / PredictAll.
+  const std::vector<double>& probs() const { return mean_prob_; }
+  const std::vector<int>& predictions() const { return pred_; }
+
+  int num_shards() const { return static_cast<int>(caches_.size()); }
+  const TestPredictionCache& shard(int s) const { return caches_[s]; }
+
+ private:
+  void FinalizeVote();
+
+  ShardConfig::Vote vote_ = ShardConfig::Vote::kSoft;
+  std::vector<TestPredictionCache> caches_;
+  std::vector<double> mean_prob_;
+  std::vector<int> pred_;
+};
+
+}  // namespace fume
+
+#endif  // FUME_FOREST_SHARDED_FOREST_H_

@@ -268,14 +268,25 @@ std::string Server::HandlePredict(const Request& req, Tenant& tenant) {
       return ErrorResponse(req.id, "bad_request", st.message());
     }
   }
-  const std::vector<double> probs = snap->forest.PredictProbAll(rows);
+  std::vector<double> probs;
+  std::vector<int> preds;
+  if (snap->sharded.has_value()) {
+    // Ensemble vote (soft or majority per the tenant's shard config).
+    snap->sharded->Predict(rows, &probs, &preds);
+  } else {
+    probs = snap->forest.PredictProbAll(rows);
+    preds.resize(probs.size());
+    for (size_t i = 0; i < probs.size(); ++i) {
+      // Same 0.5 threshold as DareForest::PredictAll.
+      preds[i] = probs[i] >= 0.5 ? 1 : 0;
+    }
+  }
   std::string out = OkHead(req.id);
   AppendField(&out, "seq", snap->seq);
   out.append(",\"predictions\":[");
-  for (size_t i = 0; i < probs.size(); ++i) {
+  for (size_t i = 0; i < preds.size(); ++i) {
     if (i > 0) out.push_back(',');
-    // Same 0.5 threshold as DareForest::PredictAll.
-    out.push_back(probs[i] >= 0.5 ? '1' : '0');
+    out.push_back(preds[i] != 0 ? '1' : '0');
   }
   out.append("],\"probs\":[");
   for (size_t i = 0; i < probs.size(); ++i) {

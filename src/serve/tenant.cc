@@ -73,10 +73,16 @@ void Tenant::PublishSnapshotLocked() {
   snap->accuracy = engine_->current_accuracy();
   snap->staleness = engine_->staleness();
   snap->rows_live = engine_->rows_live();
-  snap->forest = engine_->forest().Clone();
+  if (engine_->is_sharded()) {
+    snap->sharded.emplace(engine_->sharded_forest().Clone());
+    snap->shard_cache = std::make_shared<const ShardedPredictionCache>(
+        engine_->shard_prediction_cache());
+  } else {
+    snap->forest = engine_->forest().Clone();
+    snap->cache = std::make_shared<const TestPredictionCache>(
+        engine_->prediction_cache());
+  }
   snap->live_ids = engine_->live_ids();
-  snap->cache =
-      std::make_shared<const TestPredictionCache>(engine_->prediction_cache());
   if (const FumeResult* expl = engine_->explanation()) {
     snap->explanation = std::make_shared<const FumeResult>(*expl);
   }
@@ -165,41 +171,69 @@ void Tenant::EvaluateWhatIf(const TenantSnapshot& snap, BatchJob* job,
   out.before_accuracy = snap.accuracy;
 
   // Live rows matching the candidate predicate, against the append-stable
-  // store the snapshot forest references.
-  const TrainingStore& store = snap.forest.store();
+  // store the snapshot forest references (global ids route through the
+  // sharded placement maps when the tenant is sharded).
+  const bool is_sharded = snap.sharded.has_value();
   worker->matched.clear();
-  for (const RowId id : snap.live_ids) {
-    bool all = true;
-    for (const Literal& lit : job->predicate.literals()) {
-      if (!lit.Matches(store.code(id, lit.attr))) {
-        all = false;
-        break;
+  if (is_sharded) {
+    for (const RowId id : snap.live_ids) {
+      bool all = true;
+      for (const Literal& lit : job->predicate.literals()) {
+        if (!lit.Matches(snap.sharded->Code(id, lit.attr))) {
+          all = false;
+          break;
+        }
       }
+      if (all) worker->matched.push_back(id);
     }
-    if (all) worker->matched.push_back(id);
+  } else {
+    const TrainingStore& store = snap.forest.store();
+    for (const RowId id : snap.live_ids) {
+      bool all = true;
+      for (const Literal& lit : job->predicate.literals()) {
+        if (!lit.Matches(store.code(id, lit.attr))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) worker->matched.push_back(id);
+    }
   }
   out.rows_matched = static_cast<int64_t>(worker->matched.size());
 
   if (!worker->matched.empty()) {
-    DareForest clone = snap.forest.Clone();
-    // The snapshot forest is flushed by contract, but the clone inherits
+    // The snapshot forest is flushed by contract, but a clone inherits
     // lazy_unlearn from the tenant config; this delete is scored right
     // away, so deferral would only add tag bookkeeping before ScoreWhatIf
     // flushed it again.
-    if (clone.config().lazy_unlearn) clone.SetLazyUnlearn(false);
-    FUME_CHECK(clone.DeleteRows(worker->matched, nullptr, &worker->deletion)
-                   .ok());
-    snap.cache->ScoreWhatIf(
-        snap.forest, clone, test_data(), &worker->scratch,
+    const bool arena_rescore =
         worker->matched.size() >=
-            UnlearnRemovalMethod::kArenaFullRescoreMinBatch);
+        UnlearnRemovalMethod::kArenaFullRescoreMinBatch;
+    const std::vector<int>* preds = nullptr;
+    if (is_sharded) {
+      ShardedForest clone = snap.sharded->Clone();
+      if (clone.shard(0).config().lazy_unlearn) clone.SetLazyUnlearn(false);
+      FUME_CHECK(clone.DeleteRows(worker->matched, nullptr, /*pool=*/nullptr,
+                                  &worker->shard_deletion)
+                     .ok());
+      snap.shard_cache->ScoreWhatIf(*snap.sharded, clone, test_data(),
+                                    &worker->shard_scratch, arena_rescore);
+      preds = &worker->shard_scratch.preds;
+    } else {
+      DareForest clone = snap.forest.Clone();
+      if (clone.config().lazy_unlearn) clone.SetLazyUnlearn(false);
+      FUME_CHECK(clone.DeleteRows(worker->matched, nullptr, &worker->deletion)
+                     .ok());
+      snap.cache->ScoreWhatIf(snap.forest, clone, test_data(),
+                              &worker->scratch, arena_rescore);
+      preds = &worker->scratch.preds;
+    }
     const Dataset& test = test_data();
-    out.after_fairness =
-        ComputeFairness(test, worker->scratch.preds, config_.engine.fume.group,
-                        config_.engine.fume.metric);
+    out.after_fairness = ComputeFairness(
+        test, *preds, config_.engine.fume.group, config_.engine.fume.metric);
     int64_t correct = 0;
     for (int64_t r = 0; r < test.num_rows(); ++r) {
-      if (worker->scratch.preds[static_cast<size_t>(r)] == test.Label(r)) {
+      if ((*preds)[static_cast<size_t>(r)] == test.Label(r)) {
         ++correct;
       }
     }

@@ -51,9 +51,14 @@ struct TenantSnapshot {
   double accuracy = 0.0;
   int64_t staleness = 0;
   int64_t rows_live = 0;
+  /// Monolithic tenants publish forest/cache; sharded tenants (engine
+  /// config shard.num_shards > 1) publish sharded/shard_cache instead and
+  /// leave forest empty. live_ids are then global row ids.
   DareForest forest;
+  std::optional<ShardedForest> sharded;
   std::vector<RowId> live_ids;
   std::shared_ptr<const TestPredictionCache> cache;
+  std::shared_ptr<const ShardedPredictionCache> shard_cache;
   std::shared_ptr<const FumeResult> explanation;  // null while fair
 };
 
@@ -104,6 +109,9 @@ class Tenant {
     std::vector<RowId> matched;
     DeletionScratch deletion;
     TestPredictionCache::WhatIfScratch scratch;
+    /// Sharded-tenant counterparts (shard_deletion entry s serves shard s).
+    std::vector<DeletionScratch> shard_deletion;
+    ShardedPredictionCache::WhatIfScratch shard_scratch;
   };
 
   Tenant(std::string name, TenantConfig config);

@@ -10,6 +10,7 @@
 #include "forest/serialize.h"
 
 #include "core/removal_method.h"
+#include "core/sharded_removal.h"
 #include "fairness/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -44,15 +45,15 @@ struct StreamMetrics {
 };
 
 /// The engine's removal method: FUME hands it dense indices into
-/// train_data(); it forwards the corresponding training-store ids to a
-/// plain UnlearnRemovalMethod over the streaming forest. Thread-safe like
-/// the inner method (the map is read-only during a search).
-class MappedUnlearnRemoval : public RemovalMethod {
+/// train_data(); it forwards the corresponding engine ids (training-store
+/// ids, or global ids on the sharded path) to the wrapped unlearning
+/// method over the streaming model. Thread-safe like the inner method
+/// (the map is read-only during a search).
+class MappedRemoval : public RemovalMethod {
  public:
-  MappedUnlearnRemoval(const DareForest* model, const Dataset* test,
-                       const std::vector<RowId>* dense_to_id, GroupSpec group,
-                       FairnessMetric metric)
-      : inner_(model, test, group, metric), dense_to_id_(dense_to_id) {}
+  MappedRemoval(RemovalMethod* inner, const char* name,
+                const std::vector<RowId>* dense_to_id)
+      : inner_(inner), name_(name), dense_to_id_(dense_to_id) {}
 
   Result<ModelEval> EvaluateWithout(const std::vector<RowId>& rows) override {
     return EvaluateWithoutOn(0, rows);
@@ -68,23 +69,29 @@ class MappedUnlearnRemoval : public RemovalMethod {
       }
       mapped[i] = (*dense_to_id_)[dense];
     }
-    return inner_.EvaluateWithoutOn(worker, mapped);
+    return inner_->EvaluateWithoutOn(worker, mapped);
   }
   void BeginParallel(int num_workers) override {
-    inner_.BeginParallel(num_workers);
+    inner_->BeginParallel(num_workers);
   }
-  void EndParallel() override { inner_.EndParallel(); }
-  const char* name() const override { return "dare-unlearn-stream"; }
+  void EndParallel() override { inner_->EndParallel(); }
+  const char* name() const override { return name_; }
 
  private:
-  UnlearnRemovalMethod inner_;
+  RemovalMethod* inner_;
+  const char* name_;
   const std::vector<RowId>* dense_to_id_;
 };
 
 // ---- checkpoint primitives (little-endian native, like forest/serialize).
 
 constexpr char kCkptMagic[8] = {'F', 'U', 'M', 'E', 'S', 'T', 'R', 'M'};
+/// v1: engine state + one monolithic SaveForest blob. v2: identical engine
+/// state block, then a ShardedForest container (shard config + placement
+/// maps + one independent forest blob per shard) instead of the single
+/// forest — written incrementally, re-serializing only dirty shards.
 constexpr uint32_t kCkptVersion = 1;
+constexpr uint32_t kCkptVersionSharded = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, T value) {
@@ -161,18 +168,72 @@ Result<StreamEngine> StreamEngine::Create(const Dataset& initial_train,
   obs::TraceSpan span("stream.engine.create",
                       {{"rows", initial_train.num_rows()}});
   StreamEngine engine(std::move(test), std::move(config));
-  FUME_ASSIGN_OR_RETURN(
-      engine.forest_, DareForest::Train(initial_train, engine.config_.forest));
+  if (engine.config_.shard.num_shards > 1) {
+    FUME_ASSIGN_OR_RETURN(
+        ShardedForest sharded,
+        ShardedForest::Train(initial_train, engine.config_.forest,
+                             engine.config_.shard, engine.MaybePool()));
+    engine.sharded_.emplace(std::move(sharded));
+    engine.ckpt_dirty_.assign(
+        static_cast<size_t>(engine.sharded_->num_shards()), true);
+  } else {
+    FUME_ASSIGN_OR_RETURN(engine.forest_, DareForest::Train(
+                                              initial_train,
+                                              engine.config_.forest));
+  }
   engine.train_data_ = initial_train;
   engine.store_ids_.resize(static_cast<size_t>(initial_train.num_rows()));
   for (int64_t r = 0; r < initial_train.num_rows(); ++r) {
     engine.store_ids_[static_cast<size_t>(r)] = static_cast<RowId>(r);
   }
   engine.RebuildLiveIndex();
-  engine.cache_.Rebuild(engine.forest_, engine.test_);
+  if (engine.sharded_.has_value()) {
+    engine.shard_cache_.Rebuild(*engine.sharded_, engine.test_);
+  } else {
+    engine.cache_.Rebuild(engine.forest_, engine.test_);
+  }
   engine.RefreshMetric();
   FUME_RETURN_NOT_OK(engine.RunSearch());
   return engine;
+}
+
+util::ThreadPool* StreamEngine::MaybePool() {
+  if (config_.fume.num_threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.fume.num_threads);
+  }
+  return pool_.get();
+}
+
+std::vector<std::vector<bool>> StreamEngine::FoldShardDirty(
+    const std::vector<std::vector<DeletionStats>>& per_shard) {
+  const size_t n = per_shard.size();
+  std::vector<std::vector<bool>> dirty(n);
+  shard_lazy_dirty_.resize(n);
+  if (ckpt_dirty_.size() < n) ckpt_dirty_.resize(n, true);
+  for (size_t s = 0; s < n; ++s) {
+    const auto& per_tree = per_shard[s];
+    if (!per_tree.empty()) {
+      // The op touched this shard: its serialized bytes changed (store
+      // rows and/or node stats), so the next incremental checkpoint must
+      // re-serialize it even if no tree needs a cache re-walk.
+      ckpt_dirty_[s] = true;
+      dirty[s].assign(per_tree.size(), false);
+      for (size_t t = 0; t < per_tree.size(); ++t) {
+        dirty[s][t] = per_tree[t].subtrees_retrained > 0 ||
+                      per_tree[t].nodes_copied > 0;
+      }
+    }
+    auto& lazy = shard_lazy_dirty_[s];
+    if (!lazy.empty()) {
+      if (dirty[s].empty()) dirty[s].assign(lazy.size(), false);
+      FUME_CHECK_EQ(lazy.size(), dirty[s].size());
+      for (size_t t = 0; t < lazy.size(); ++t) {
+        if (lazy[t]) dirty[s][t] = true;
+      }
+      lazy.clear();
+    }
+  }
+  return dirty;
 }
 
 void StreamEngine::RebuildLiveIndex() {
@@ -184,7 +245,9 @@ void StreamEngine::RebuildLiveIndex() {
 }
 
 void StreamEngine::RefreshMetric() {
-  const std::vector<int>& preds = cache_.predictions();
+  const std::vector<int>& preds = sharded_.has_value()
+                                      ? shard_cache_.predictions()
+                                      : cache_.predictions();
   metric_ = ComputeFairness(test_, preds, config_.fume.group,
                             config_.fume.metric);
   int64_t correct = 0;
@@ -213,16 +276,27 @@ Status StreamEngine::RunSearch() {
   ModelEval original;
   original.fairness = metric_;
   original.accuracy = accuracy_;
-  MappedUnlearnRemoval removal(&forest_, &test_, &store_ids_,
-                               config_.fume.group, config_.fume.metric);
+  // Sharded engines evaluate leave-outs shard-locally through the warm
+  // per-shard cache; monolithic engines keep the original method.
+  std::optional<UnlearnRemovalMethod> mono;
+  std::optional<ShardedRemovalMethod> shard;
+  RemovalMethod* inner = nullptr;
+  const char* name = "dare-unlearn-stream";
+  if (sharded_.has_value()) {
+    shard.emplace(&*sharded_, &test_, config_.fume.group, config_.fume.metric,
+                  ShardedRemovalMethod::Options{}, &shard_cache_);
+    inner = &*shard;
+    name = "dare-unlearn-sharded-stream";
+  } else {
+    mono.emplace(&forest_, &test_, config_.fume.group, config_.fume.metric);
+    inner = &*mono;
+  }
+  MappedRemoval removal(inner, name, &store_ids_);
   // Every search of this engine's lifetime shares one worker pool, created
   // at the first parallel search.
   FumeConfig fume_config = config_.fume;
   if (fume_config.pool == nullptr && fume_config.num_threads > 1) {
-    if (pool_ == nullptr) {
-      pool_ = std::make_unique<util::ThreadPool>(fume_config.num_threads);
-    }
-    fume_config.pool = pool_.get();
+    fume_config.pool = MaybePool();
   }
   FUME_ASSIGN_OR_RETURN(
       FumeResult result,
@@ -238,14 +312,35 @@ Status StreamEngine::ApplyInsert(const StreamOp& op) {
     FUME_RETURN_NOT_OK(batch.AppendRow(row.codes, row.label));
   }
   std::vector<DeletionStats> per_tree;
-  FUME_ASSIGN_OR_RETURN(std::vector<RowId> new_ids,
-                        forest_.AddData(batch, &per_tree, &unlearn_scratch_));
+  std::vector<std::vector<DeletionStats>> per_shard;
+  std::vector<RowId> new_ids;
+  if (sharded_.has_value()) {
+    FUME_ASSIGN_OR_RETURN(new_ids, sharded_->AddData(batch, &per_shard,
+                                                     MaybePool(),
+                                                     &shard_scratch_));
+  } else {
+    FUME_ASSIGN_OR_RETURN(
+        new_ids, forest_.AddData(batch, &per_tree, &unlearn_scratch_));
+  }
   for (size_t i = 0; i < op.rows.size(); ++i) {
     // Validated above; appending to the mirror cannot fail now.
     FUME_CHECK(train_data_.AppendRow(op.rows[i].codes, op.rows[i].label).ok());
     dense_of_id_[new_ids[i]] =
         static_cast<int64_t>(store_ids_.size());
     store_ids_.push_back(new_ids[i]);
+  }
+  if (sharded_.has_value()) {
+    // Same flush-boundary contract as the monolithic branch below: AddData
+    // flushed every pending tag (per-shard reports carry those retrains),
+    // so fold the deferred-burst dirtiness and resume exact metrics.
+    const std::vector<std::vector<bool>> shard_dirty =
+        FoldShardDirty(per_shard);
+    metric_stale_ = false;
+    shard_cache_.Update(*sharded_, test_, shard_dirty);
+    StreamMetrics::Get().inserts->Inc();
+    StreamMetrics::Get().rows_added->Inc(
+        static_cast<int64_t>(op.rows.size()));
+    return Status::OK();
   }
   // Addition rebuilds absorbed leaves *in place* (same node address, fresh
   // children), so cached pointers stay valid and the cache resumes each
@@ -290,8 +385,14 @@ Status StreamEngine::ApplyDelete(const StreamOp& op) {
     dense_rows.push_back(it->second);
   }
   std::vector<DeletionStats> per_tree;
-  FUME_RETURN_NOT_OK(
-      forest_.DeleteRows(op.row_ids, &per_tree, &unlearn_scratch_));
+  std::vector<std::vector<DeletionStats>> per_shard;
+  if (sharded_.has_value()) {
+    FUME_RETURN_NOT_OK(sharded_->DeleteRows(op.row_ids, &per_shard,
+                                            MaybePool(), &shard_scratch_));
+  } else {
+    FUME_RETURN_NOT_OK(
+        forest_.DeleteRows(op.row_ids, &per_tree, &unlearn_scratch_));
+  }
   train_data_ = train_data_.DropRows(dense_rows);
   // Drop the same dense positions from the id map, preserving order.
   std::vector<bool> doomed(store_ids_.size(), false);
@@ -302,6 +403,38 @@ Status StreamEngine::ApplyDelete(const StreamOp& op) {
   }
   store_ids_.resize(kept);
   RebuildLiveIndex();
+  if (sharded_.has_value()) {
+    if (config_.forest.lazy_unlearn) {
+      // Deferred burst (see the monolithic branch below): accumulate each
+      // touched shard's per-tree dirtiness and mark it dirty for the next
+      // incremental checkpoint; the cache and metric keep describing the
+      // pre-burst model until the next flush boundary.
+      shard_lazy_dirty_.resize(per_shard.size());
+      if (ckpt_dirty_.size() < per_shard.size()) {
+        ckpt_dirty_.resize(per_shard.size(), true);
+      }
+      for (size_t s = 0; s < per_shard.size(); ++s) {
+        const auto& shard_trees = per_shard[s];
+        if (shard_trees.empty()) continue;
+        ckpt_dirty_[s] = true;
+        auto& lazy = shard_lazy_dirty_[s];
+        lazy.resize(shard_trees.size(), false);
+        for (size_t t = 0; t < shard_trees.size(); ++t) {
+          if (shard_trees[t].subtrees_retrained > 0 ||
+              shard_trees[t].nodes_copied > 0) {
+            lazy[t] = true;
+          }
+        }
+      }
+      metric_stale_ = true;
+    } else {
+      shard_cache_.Update(*sharded_, test_, FoldShardDirty(per_shard));
+    }
+    StreamMetrics::Get().deletes->Inc();
+    StreamMetrics::Get().rows_deleted->Inc(
+        static_cast<int64_t>(op.row_ids.size()));
+    return Status::OK();
+  }
   // Deletion mutates statistics strictly in place unless a subtree
   // retrained; leaves stay leaves, so cached pointers survive. As above,
   // CoW unsharing also invalidates cached pointers: the mutation lands in
@@ -424,6 +557,21 @@ Result<std::vector<OpOutcome>> StreamEngine::Replay(
 }
 
 void StreamEngine::FlushLazy() {
+  if (sharded_.has_value()) {
+    if (!metric_stale_ && !sharded_->HasLazyTags()) return;
+    obs::TraceSpan span("stream.lazy_flush",
+                        {{"rows", sharded_->lazy_rows()},
+                         {"nodes", sharded_->lazy_nodes()}});
+    std::vector<std::vector<DeletionStats>> per_shard;
+    sharded_->FlushAll(&per_shard, MaybePool(), &shard_scratch_);
+    // FoldShardDirty merges each shard's flush retrains with the dirtiness
+    // its deferred deletes accumulated (shard_lazy_dirty_); shards with
+    // neither stay untouched in the cache.
+    shard_cache_.Update(*sharded_, test_, FoldShardDirty(per_shard));
+    metric_stale_ = false;
+    RefreshMetric();
+    return;
+  }
   if (!metric_stale_ && !forest_.HasLazyTags()) return;
   obs::TraceSpan span("stream.lazy_flush",
                       {{"rows", forest_.lazy_rows()},
@@ -462,7 +610,8 @@ Status StreamEngine::SaveCheckpoint(std::ostream& out) const {
   // (serve holds the writer lock around checkpoints).
   const_cast<StreamEngine*>(this)->FlushLazy();
   out.write(kCkptMagic, sizeof(kCkptMagic));
-  WritePod<uint32_t>(out, kCkptVersion);
+  WritePod<uint32_t>(out, sharded_.has_value() ? kCkptVersionSharded
+                                               : kCkptVersion);
   WritePod<int64_t>(out, last_seq_);
   WritePod<double>(out, metric_);
   WritePod<double>(out, accuracy_);
@@ -484,7 +633,20 @@ Status StreamEngine::SaveCheckpoint(std::ostream& out) const {
       WriteSubset(out, s);
     }
   }
-  FUME_RETURN_NOT_OK(SaveForest(forest_, out));
+  if (sharded_.has_value()) {
+    // Incremental: only shards dirtied since the previous checkpoint are
+    // re-serialized; the rest reuse their cached bytes verbatim (counted
+    // by shard.checkpoint.* inside SaveWithCache).
+    if (ckpt_dirty_.size() <
+        static_cast<size_t>(sharded_->num_shards())) {
+      ckpt_dirty_.resize(static_cast<size_t>(sharded_->num_shards()), true);
+    }
+    FUME_RETURN_NOT_OK(
+        sharded_->SaveWithCache(out, &ckpt_blobs_, ckpt_dirty_));
+    ckpt_dirty_.assign(ckpt_dirty_.size(), false);
+  } else {
+    FUME_RETURN_NOT_OK(SaveForest(forest_, out));
+  }
   if (!out) return Status::IOError("checkpoint write failed");
   StreamMetrics::Get().saves->Inc();
   return Status::OK();
@@ -506,7 +668,8 @@ Result<StreamEngine> StreamEngine::Restore(std::istream& in,
     return Status::IOError("not a FUME stream checkpoint (bad magic)");
   }
   uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kCkptVersion) {
+  if (!ReadPod(in, &version) ||
+      (version != kCkptVersion && version != kCkptVersionSharded)) {
     return Status::IOError("unsupported stream checkpoint version");
   }
   StreamEngine engine(std::move(test), std::move(config));
@@ -546,41 +709,93 @@ Result<StreamEngine> StreamEngine::Restore(std::istream& in,
     }
     engine.explanation_ = std::move(cached);
   }
-  FUME_ASSIGN_OR_RETURN(engine.forest_, LoadForest(in));
+  if (version == kCkptVersionSharded) {
+    // A sharded checkpoint must be restored as the same SISA deployment:
+    // the persisted routing config is authoritative, and the caller's
+    // config must agree so future ops route and vote identically.
+    if (engine.config_.shard.num_shards <= 1) {
+      return Status::Invalid(
+          "sharded checkpoint restored with config.shard.num_shards <= 1");
+    }
+    FUME_ASSIGN_OR_RETURN(ShardedForest loaded, ShardedForest::Load(in));
+    const ShardConfig& saved = loaded.shard_config();
+    const ShardConfig& want = engine.config_.shard;
+    if (saved.num_shards != want.num_shards ||
+        saved.placement != want.placement || saved.vote != want.vote ||
+        saved.slice_attr != want.slice_attr ||
+        saved.slice_value != want.slice_value ||
+        saved.hot_shards != want.hot_shards) {
+      return Status::Invalid(
+          "checkpoint shard config disagrees with engine config");
+    }
+    engine.sharded_.emplace(std::move(loaded));
+  } else {
+    if (engine.config_.shard.num_shards > 1) {
+      return Status::Invalid(
+          "monolithic checkpoint restored with config.shard.num_shards > 1");
+    }
+    FUME_ASSIGN_OR_RETURN(engine.forest_, LoadForest(in));
+  }
 
   // Reassemble the dense training mirror from the store and the live-id
-  // map, then verify the checkpoint is self-consistent.
+  // map, then verify the checkpoint is self-consistent. All shards share
+  // one schema (they partition one dataset), so shard 0 speaks for it.
+  const TrainingStore& store = engine.sharded_.has_value()
+                                   ? engine.sharded_->shard(0).store()
+                                   : engine.forest_.store();
   if (!schema.AllCategorical() ||
-      schema.num_attributes() != engine.forest_.store().num_attrs()) {
+      schema.num_attributes() != store.num_attrs()) {
     return Status::Invalid("restore schema does not match checkpoint store");
   }
   for (int j = 0; j < schema.num_attributes(); ++j) {
-    if (schema.attribute(j).cardinality() !=
-        engine.forest_.store().cardinality(j)) {
+    if (schema.attribute(j).cardinality() != store.cardinality(j)) {
       return Status::Invalid("restore schema cardinality mismatch at '" +
                              schema.attribute(j).name + "'");
     }
   }
-  const TrainingStore& store = engine.forest_.store();
   engine.train_data_ = Dataset(schema);
   std::vector<int32_t> codes(static_cast<size_t>(store.num_attrs()));
-  for (RowId id : engine.store_ids_) {
-    if (id < 0 || id >= store.num_rows()) {
-      return Status::IOError("checkpoint: live id out of store range");
+  if (engine.sharded_.has_value()) {
+    const int64_t limit = engine.sharded_->num_global_ids();
+    for (RowId id : engine.store_ids_) {
+      if (id < 0 || static_cast<int64_t>(id) >= limit) {
+        return Status::IOError("checkpoint: live id out of store range");
+      }
+      for (int j = 0; j < store.num_attrs(); ++j) {
+        codes[static_cast<size_t>(j)] = engine.sharded_->Code(id, j);
+      }
+      FUME_RETURN_NOT_OK(
+          engine.train_data_.AppendRow(codes, engine.sharded_->Label(id)));
     }
-    for (int j = 0; j < store.num_attrs(); ++j) {
-      codes[static_cast<size_t>(j)] = store.code(id, j);
+    if (engine.train_data_.num_rows() !=
+        engine.sharded_->num_training_rows()) {
+      return Status::IOError("checkpoint: live ids disagree with forest");
     }
-    FUME_RETURN_NOT_OK(engine.train_data_.AppendRow(codes, store.label(id)));
-  }
-  if (engine.train_data_.num_rows() != engine.forest_.num_training_rows()) {
-    return Status::IOError("checkpoint: live ids disagree with forest");
+  } else {
+    for (RowId id : engine.store_ids_) {
+      if (id < 0 || id >= store.num_rows()) {
+        return Status::IOError("checkpoint: live id out of store range");
+      }
+      for (int j = 0; j < store.num_attrs(); ++j) {
+        codes[static_cast<size_t>(j)] = store.code(id, j);
+      }
+      FUME_RETURN_NOT_OK(engine.train_data_.AppendRow(codes, store.label(id)));
+    }
+    if (engine.train_data_.num_rows() != engine.forest_.num_training_rows()) {
+      return Status::IOError("checkpoint: live ids disagree with forest");
+    }
   }
   engine.RebuildLiveIndex();
   if (engine.dense_of_id_.size() != engine.store_ids_.size()) {
     return Status::IOError("checkpoint: duplicate live ids");
   }
-  engine.cache_.Rebuild(engine.forest_, engine.test_);
+  if (engine.sharded_.has_value()) {
+    engine.ckpt_dirty_.assign(
+        static_cast<size_t>(engine.sharded_->num_shards()), true);
+    engine.shard_cache_.Rebuild(*engine.sharded_, engine.test_);
+  } else {
+    engine.cache_.Rebuild(engine.forest_, engine.test_);
+  }
   engine.RefreshMetric();
   if (engine.metric_ != saved_metric || engine.accuracy_ != saved_accuracy) {
     return Status::IOError(

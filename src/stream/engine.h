@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/fume.h"
+#include "forest/sharded_forest.h"
 #include "stream/op_log.h"
 #include "stream/prediction_cache.h"
 #include "util/result.h"
@@ -50,6 +51,11 @@ struct StreamEngineConfig {
   ForestConfig forest;
   FumeConfig fume;
   DriftPolicy drift;
+  /// shard.num_shards > 1 runs the engine over a SISA ShardedForest: ops
+  /// route to owning shards (fanned out on the search pool), searches use
+  /// ShardedRemovalMethod, and checkpoints re-serialize only dirty shards.
+  /// The monolithic path is untouched at the default of 1.
+  ShardConfig shard;
   /// Refresh the explanation at Checkpoint ops when any op was applied
   /// since the last search, regardless of drift — so checkpointed top-k is
   /// never stale (and the exactness tests can compare it cold).
@@ -103,7 +109,11 @@ class StreamEngine {
   /// forest() while deferring — call FlushLazy() first (the forest would
   /// flush itself on first descent, stranding the engine's cached leaf
   /// pointers in freed nodes).
-  bool deferring() const { return metric_stale_ || forest_.HasLazyTags(); }
+  bool deferring() const {
+    return metric_stale_ ||
+           (sharded_.has_value() ? sharded_->HasLazyTags()
+                                 : forest_.HasLazyTags());
+  }
 
   // ---- serving state -------------------------------------------------
   int64_t last_seq() const { return last_seq_; }
@@ -120,10 +130,19 @@ class StreamEngine {
   const FumeResult* explanation() const {
     return explanation_.has_value() ? &*explanation_ : nullptr;
   }
+  /// Monolithic accessors; meaningless when is_sharded() (the engine then
+  /// holds an empty DareForest — use sharded_forest() and
+  /// shard_prediction_cache() instead).
   const DareForest& forest() const { return forest_; }
   /// Warm test-set prediction cache, kept exact after every Apply. A served
   /// snapshot copies it so ScoreWhatIf runs off the snapshot's own state.
   const TestPredictionCache& prediction_cache() const { return cache_; }
+  /// True when config().shard.num_shards > 1 engaged the SISA path.
+  bool is_sharded() const { return sharded_.has_value(); }
+  const ShardedForest& sharded_forest() const { return *sharded_; }
+  const ShardedPredictionCache& shard_prediction_cache() const {
+    return shard_cache_;
+  }
   const StreamEngineConfig& config() const { return config_; }
   /// Surviving training rows, dense, in arrival order — what a cold
   /// retrain would train on.
@@ -164,10 +183,26 @@ class StreamEngine {
   /// violation" when |F| is below the configured floor).
   Status RunSearch();
   void RebuildLiveIndex();
+  /// The shared pool, created lazily at first use (nullptr while
+  /// config_.fume.num_threads <= 1). Serves both search fan-out and
+  /// sharded op fan-out — never both at once (ops and searches are
+  /// strictly sequenced by Apply).
+  util::ThreadPool* MaybePool();
+  /// Builds the per-shard cache-dirty report from an op's per-shard
+  /// per-tree stats, folding in (and clearing) shard_lazy_dirty_; also
+  /// marks touched shards dirty for the next incremental checkpoint.
+  std::vector<std::vector<bool>> FoldShardDirty(
+      const std::vector<std::vector<DeletionStats>>& per_shard);
 
   Dataset test_;
   StreamEngineConfig config_;
   DareForest forest_;
+  /// Engaged instead of forest_ when config_.shard.num_shards > 1.
+  std::optional<ShardedForest> sharded_;
+  /// Per-shard warm prediction cache (sharded mode only).
+  ShardedPredictionCache shard_cache_;
+  /// Shard-affine kernel scratches for sharded ops (entry s serves shard s).
+  std::vector<DeletionScratch> shard_scratch_;
   /// Reused across every insert/delete op this engine applies, keeping the
   /// unlearning kernel allocation-free in the steady state.
   DeletionScratch unlearn_scratch_;
@@ -186,6 +221,15 @@ class StreamEngine {
   /// even when the subtree retrain itself is deferred). Merged into the
   /// flush's own dirty flags at the next flush boundary.
   std::vector<bool> lazy_dirty_;
+  /// Sharded counterpart of lazy_dirty_: entry s is shard s's accumulated
+  /// per-tree dirtiness (empty = clean since the last flush boundary).
+  std::vector<std::vector<bool>> shard_lazy_dirty_;
+  /// Incremental-checkpoint state (sharded mode): the last serialized
+  /// bytes per shard and which shards an op has dirtied since. Mutable
+  /// because SaveCheckpoint is logically const (same reasoning as its
+  /// FlushLazy const_cast).
+  mutable std::vector<std::string> ckpt_blobs_;
+  mutable std::vector<bool> ckpt_dirty_;
   /// True between a deferred delete and the next flush boundary: metric_,
   /// accuracy_ and cache_ describe the pre-burst model. Drift gating is
   /// suspended while set (evaluated at flush points only).

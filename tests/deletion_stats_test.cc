@@ -1,0 +1,57 @@
+// Field-count guard for DeletionStats (forest/config.h). The struct is
+// enumerated by hand in Add(), operator==, the serializer's stats block and
+// the member-pointer sweep below; the static_assert on kNumFields trips at
+// compile time when a field is added or removed, and these tests keep the
+// hand-written enumerations honest for the fields that exist.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/config.h"
+
+namespace fume {
+namespace {
+
+// One member pointer per field, in declaration order. Extending
+// DeletionStats means extending this list (the size check below fails
+// loudly until you do).
+std::vector<int64_t DeletionStats::*> Fields() {
+  return {&DeletionStats::nodes_visited,      &DeletionStats::nodes_updated,
+          &DeletionStats::subtrees_retrained, &DeletionStats::rows_retrained,
+          &DeletionStats::leaves_updated,     &DeletionStats::nodes_copied};
+}
+
+TEST(DeletionStatsTest, FieldListCoversTheStruct) {
+  EXPECT_EQ(Fields().size(), static_cast<size_t>(DeletionStats::kNumFields));
+  // No padding, no non-counter members: the struct is exactly its fields.
+  // (Also asserted at compile time in config.h.)
+  EXPECT_EQ(sizeof(DeletionStats),
+            static_cast<size_t>(DeletionStats::kNumFields) * sizeof(int64_t));
+}
+
+TEST(DeletionStatsTest, EqualityDetectsEveryField) {
+  for (auto field : Fields()) {
+    DeletionStats a, b;
+    EXPECT_EQ(a, b);
+    b.*field = 7;
+    EXPECT_FALSE(a == b) << "operator== ignores a field";
+  }
+}
+
+TEST(DeletionStatsTest, AddSumsEveryField) {
+  DeletionStats acc, delta, expect;
+  int64_t v = 1;
+  for (auto field : Fields()) {
+    acc.*field = v;
+    delta.*field = 10 * v;
+    expect.*field = 11 * v;
+    ++v;
+  }
+  acc.Add(delta);
+  EXPECT_EQ(acc, expect);
+}
+
+}  // namespace
+}  // namespace fume

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "forest/serialize.h"
+#include "forest/sharded_forest.h"
 #include "synth/datasets.h"
 #include "util/rng.h"
 
@@ -137,6 +138,82 @@ TEST(SerializeTest, LazyTagsNeverReachTheWire) {
   EXPECT_TRUE(loaded->StructurallyEquals(eager));
   // lazy_unlearn is a runtime knob, never model state.
   EXPECT_FALSE(loaded->config().lazy_unlearn);
+}
+
+TEST(SerializeTest, RuntimeKnobsNeverReachTheWire) {
+  // batched_unlearn_kernel / arena_traversal / lazy_unlearn (and the
+  // ShardConfig routing of a 1-shard container) are execution knobs, not
+  // model state: every combination run over the same train + mutate
+  // sequence must serialize to the same bytes. A knob leaking into the
+  // wire format would fork checkpoints between deployments that only
+  // differ in execution strategy.
+  struct Knobs {
+    bool batched;
+    bool arena;
+    bool lazy;  // requires batched
+  };
+  const std::vector<Knobs> combos = {
+      {true, true, false},  {true, false, false}, {false, true, false},
+      {false, false, false}, {true, true, true},   {true, false, true},
+  };
+  auto bundle = synth::MakeParametric(400, 6, 4, 17);
+  ASSERT_TRUE(bundle.ok());
+  auto extra = synth::MakeParametric(30, 6, 4, 18);
+  ASSERT_TRUE(extra.ok());
+
+  std::string reference_mono;
+  std::string reference_sharded;
+  for (const Knobs& k : combos) {
+    ForestConfig config;
+    config.num_trees = 4;
+    config.max_depth = 7;
+    config.random_depth = 2;
+    config.seed = 5;
+    config.batched_unlearn_kernel = k.batched;
+    config.arena_traversal = k.arena;
+    config.lazy_unlearn = k.lazy;
+    const std::string label = std::string("batched=") +
+                              (k.batched ? "1" : "0") +
+                              " arena=" + (k.arena ? "1" : "0") +
+                              " lazy=" + (k.lazy ? "1" : "0");
+
+    auto forest = DareForest::Train(bundle->data, config);
+    ASSERT_TRUE(forest.ok()) << label;
+    ASSERT_TRUE(forest->DeleteRows({2, 17, 90, 250, 399}).ok()) << label;
+    ASSERT_TRUE(forest->AddData(extra->data).ok()) << label;
+    ASSERT_TRUE(forest->DeleteRows({5, 6, 401}).ok()) << label;
+    if (k.lazy) forest->FlushAll();
+    // Lazy does less retrain work by design, so its counters differ;
+    // zero them everywhere so the comparison pins pure model bytes.
+    forest->ResetDeletionStats();
+    std::ostringstream out(std::ios::binary);
+    ASSERT_TRUE(SaveForest(*forest, out).ok()) << label;
+    if (reference_mono.empty()) {
+      reference_mono = out.str();
+    } else {
+      EXPECT_EQ(out.str(), reference_mono) << label;
+    }
+
+    // Same sweep through the sharded container (trained as one shard so
+    // the knobs are the only variable; ShardConfig routing fields ARE
+    // serialized — deliberately, a checkpoint must re-route identically).
+    ShardConfig shard;
+    shard.num_shards = 1;
+    auto sharded = ShardedForest::Train(bundle->data, config, shard);
+    ASSERT_TRUE(sharded.ok()) << label;
+    ASSERT_TRUE(sharded->DeleteRows({2, 17, 90, 250, 399}).ok()) << label;
+    ASSERT_TRUE(sharded->AddData(extra->data).ok()) << label;
+    ASSERT_TRUE(sharded->DeleteRows({5, 6, 401}).ok()) << label;
+    if (k.lazy) sharded->FlushAll();
+    sharded->ResetDeletionStats();
+    std::ostringstream shard_out(std::ios::binary);
+    ASSERT_TRUE(sharded->Save(shard_out).ok()) << label;
+    if (reference_sharded.empty()) {
+      reference_sharded = shard_out.str();
+    } else {
+      EXPECT_EQ(shard_out.str(), reference_sharded) << label;
+    }
+  }
 }
 
 TEST(SerializeTest, FileRoundTrip) {

@@ -1,0 +1,520 @@
+// Exactness suite for the SISA sharded ensemble (forest/sharded_forest.h).
+//
+// Pins the determinism contract from docs/sharding.md: placement is a pure
+// function of the global id, a 1-shard ensemble is byte-identical to the
+// monolithic forest, a sharded delete equals running each shard's rows
+// through that shard as a standalone monolithic forest, every observable
+// result is identical across thread counts, and the per-shard incremental
+// serialization path (SaveWithCache) emits the same bytes as a full Save.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sharded_removal.h"
+#include "fairness/metrics.h"
+#include "forest/serialize.h"
+#include "forest/sharded_forest.h"
+#include "synth/datasets.h"
+#include "util/thread_pool.h"
+
+namespace fume {
+namespace {
+
+synth::DatasetBundle Bundle(int64_t rows, uint64_t seed) {
+  auto bundle = synth::MakeParametric(rows, 8, 4, seed);
+  EXPECT_TRUE(bundle.ok());
+  return std::move(*bundle);
+}
+
+ForestConfig Config(uint64_t seed) {
+  ForestConfig config;
+  config.num_trees = 6;
+  config.max_depth = 6;
+  config.random_depth = 2;
+  config.seed = seed;
+  return config;
+}
+
+ShardConfig Shards(int n) {
+  ShardConfig shard;
+  shard.num_shards = n;
+  return shard;
+}
+
+std::string Bytes(const ShardedForest& forest) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(forest.Save(out).ok());
+  return out.str();
+}
+
+std::string Bytes(const DareForest& forest) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(SaveForest(forest, out).ok());
+  return out.str();
+}
+
+// The rows each shard owns, as indices into the training dataset (global
+// ids == dense train indices for a one-shot Train).
+std::vector<std::vector<int64_t>> MembersPerShard(const ShardedForest& f) {
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(f.num_shards()));
+  for (RowId g = 0; g < f.num_global_ids(); ++g) {
+    members[static_cast<size_t>(f.shard_of(g))].push_back(g);
+  }
+  return members;
+}
+
+TEST(ShardedForestTest, ParsePlacementRoundTrips) {
+  auto hash = ParsePlacement("hash");
+  ASSERT_TRUE(hash.ok());
+  EXPECT_EQ(*hash, ShardConfig::Placement::kHash);
+  auto slice = ParsePlacement("slice");
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(*slice, ShardConfig::Placement::kSlice);
+  EXPECT_FALSE(ParsePlacement("round-robin").ok());
+  EXPECT_STREQ(PlacementName(ShardConfig::Placement::kHash), "hash");
+  EXPECT_STREQ(PlacementName(ShardConfig::Placement::kSlice), "slice");
+}
+
+TEST(ShardedForestTest, RejectsBadConfigs) {
+  auto bundle = Bundle(200, 1);
+  EXPECT_FALSE(
+      ShardedForest::Train(bundle.data, Config(9), Shards(0)).ok());
+  EXPECT_FALSE(
+      ShardedForest::Train(bundle.data, Config(9), Shards(65)).ok());
+  ShardConfig slice = Shards(4);
+  slice.placement = ShardConfig::Placement::kSlice;
+  slice.slice_attr = -1;  // slice mode needs a slice attribute
+  EXPECT_FALSE(ShardedForest::Train(bundle.data, Config(9), slice).ok());
+  slice.slice_attr = 0;
+  slice.hot_shards = 4;  // must leave at least one cold shard
+  EXPECT_FALSE(ShardedForest::Train(bundle.data, Config(9), slice).ok());
+}
+
+TEST(ShardedForestTest, OneShardIsByteIdenticalToMonolithic) {
+  auto bundle = Bundle(400, 2);
+  const ForestConfig config = Config(11);
+  auto mono = DareForest::Train(bundle.data, config);
+  ASSERT_TRUE(mono.ok());
+  auto sharded = ShardedForest::Train(bundle.data, config, Shards(1));
+  ASSERT_TRUE(sharded.ok());
+
+  EXPECT_TRUE(sharded->shard(0).StructurallyEquals(*mono));
+  EXPECT_EQ(Bytes(sharded->shard(0)), Bytes(*mono));
+
+  // Soft vote over one shard divides by 1.0: bit-identical probabilities.
+  const auto mono_probs = mono->PredictProbAll(bundle.data);
+  const auto shard_probs = sharded->PredictProbAll(bundle.data);
+  ASSERT_EQ(mono_probs.size(), shard_probs.size());
+  for (size_t r = 0; r < mono_probs.size(); ++r) {
+    ASSERT_EQ(mono_probs[r], shard_probs[r]) << "row " << r;
+  }
+  EXPECT_EQ(mono->PredictAll(bundle.data), sharded->PredictAll(bundle.data));
+
+  // And the equivalence survives unlearning.
+  const std::vector<RowId> doomed = {3, 17, 90, 222, 391};
+  ASSERT_TRUE(mono->DeleteRows(doomed).ok());
+  ASSERT_TRUE(sharded->DeleteRows(doomed).ok());
+  EXPECT_TRUE(sharded->shard(0).StructurallyEquals(*mono));
+  EXPECT_EQ(Bytes(sharded->shard(0)), Bytes(*mono));
+}
+
+TEST(ShardedForestTest, HashPlacementIsAPureFunctionOfTheId) {
+  auto bundle = Bundle(300, 3);
+  auto forest = ShardedForest::Train(bundle.data, Config(5), Shards(4));
+  ASSERT_TRUE(forest.ok());
+  for (RowId g = 0; g < forest->num_global_ids(); ++g) {
+    const int expect =
+        static_cast<int>(ShardedForest::HashGlobalId(g) % 4);
+    EXPECT_EQ(forest->shard_of(g), expect) << "global id " << g;
+    EXPECT_EQ(forest->PlaceRow(g, /*slice_code=*/0), expect);
+  }
+  // Placement maps address the original cells by global id.
+  for (RowId g = 0; g < forest->num_global_ids(); ++g) {
+    EXPECT_EQ(forest->Label(g), bundle.data.Label(g));
+    for (int a = 0; a < bundle.data.num_attributes(); ++a) {
+      ASSERT_EQ(forest->Code(g, a), bundle.data.Code(g, a));
+    }
+  }
+}
+
+TEST(ShardedForestTest, SlicePlacementConcentratesTheHotCohort) {
+  auto bundle = Bundle(400, 4);
+  ShardConfig shard = Shards(4);
+  shard.placement = ShardConfig::Placement::kSlice;
+  shard.slice_attr = 0;
+  shard.slice_value = bundle.data.Code(0, 0);  // a code that exists
+  shard.hot_shards = 1;
+  auto forest = ShardedForest::Train(bundle.data, Config(5), shard);
+  ASSERT_TRUE(forest.ok());
+  for (RowId g = 0; g < forest->num_global_ids(); ++g) {
+    if (bundle.data.Code(g, 0) == shard.slice_value) {
+      EXPECT_EQ(forest->shard_of(g), 3) << "hot row " << g;
+    } else {
+      EXPECT_LT(forest->shard_of(g), 3) << "cold row " << g;
+    }
+  }
+}
+
+TEST(ShardedForestTest, ShardedDeleteEqualsPerShardMonolithicDelete) {
+  auto bundle = Bundle(500, 6);
+  const ForestConfig config = Config(21);
+  auto forest = ShardedForest::Train(bundle.data, config, Shards(4));
+  ASSERT_TRUE(forest.ok());
+
+  // Reference: each shard as a standalone monolithic forest over exactly
+  // its member rows, trained with the derived per-shard seed.
+  const auto members = MembersPerShard(*forest);
+  std::vector<DareForest> reference;
+  for (int s = 0; s < 4; ++s) {
+    ForestConfig cfg = config;
+    cfg.seed = config.seed +
+               ShardedForest::kShardSeedStride * static_cast<uint64_t>(s);
+    const Dataset select = bundle.data.Select(members[static_cast<size_t>(s)]);
+    auto ref = DareForest::Train(select, cfg);
+    ASSERT_TRUE(ref.ok());
+    reference.push_back(std::move(*ref));
+  }
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(Bytes(forest->shard(s)), Bytes(reference[static_cast<size_t>(s)]))
+        << "shard " << s << " after train";
+  }
+
+  // Delete a global batch; route the same rows by hand into the refs.
+  std::vector<RowId> doomed;
+  for (RowId g = 0; g < forest->num_global_ids(); g += 7) doomed.push_back(g);
+  std::vector<std::vector<RowId>> local(4);
+  for (const RowId g : doomed) {
+    local[static_cast<size_t>(forest->shard_of(g))].push_back(
+        forest->local_of(g));
+  }
+  std::vector<std::vector<DeletionStats>> report;
+  ASSERT_TRUE(forest->DeleteRows(doomed, &report).ok());
+  ASSERT_EQ(report.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    ASSERT_TRUE(
+        reference[static_cast<size_t>(s)].DeleteRows(local[static_cast<size_t>(s)]).ok());
+    EXPECT_TRUE(forest->shard(s).StructurallyEquals(
+        reference[static_cast<size_t>(s)]))
+        << "shard " << s;
+    EXPECT_EQ(Bytes(forest->shard(s)), Bytes(reference[static_cast<size_t>(s)]))
+        << "shard " << s << " after delete";
+    // The per-call report covers exactly the touched shards.
+    EXPECT_EQ(report[static_cast<size_t>(s)].empty(),
+              local[static_cast<size_t>(s)].empty());
+  }
+  EXPECT_TRUE(forest->ValidateStats());
+}
+
+TEST(ShardedForestTest, ResultsAreIdenticalAcrossThreadCounts) {
+  auto bundle = Bundle(400, 7);
+  const ForestConfig config = Config(33);
+  std::vector<RowId> doomed;
+  for (RowId g = 1; g < 400; g += 5) doomed.push_back(g);
+
+  std::string serial_bytes;
+  std::vector<double> serial_probs;
+  std::vector<std::vector<DeletionStats>> serial_report;
+  for (const int threads : {0, 1, 4, 8}) {
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 0) pool = std::make_unique<util::ThreadPool>(threads);
+    auto forest =
+        ShardedForest::Train(bundle.data, config, Shards(4), pool.get());
+    ASSERT_TRUE(forest.ok());
+    std::vector<std::vector<DeletionStats>> report;
+    std::vector<DeletionScratch> scratch;
+    ASSERT_TRUE(forest->DeleteRows(doomed, &report, pool.get(), &scratch).ok());
+    const std::string bytes = Bytes(*forest);
+    const auto probs = forest->PredictProbAll(bundle.data);
+    if (threads == 0) {
+      serial_bytes = bytes;
+      serial_probs = probs;
+      serial_report = report;
+    } else {
+      EXPECT_EQ(bytes, serial_bytes) << threads << " threads";
+      EXPECT_EQ(probs, serial_probs) << threads << " threads";
+      // The merged per-shard reports are schedule-independent too.
+      ASSERT_EQ(report.size(), serial_report.size());
+      for (size_t s = 0; s < report.size(); ++s) {
+        EXPECT_EQ(report[s], serial_report[s]) << "shard " << s;
+      }
+    }
+  }
+}
+
+TEST(ShardedForestTest, AddDataRoutesAndAssignsSequentialIds) {
+  auto bundle = Bundle(300, 8);
+  auto extra = synth::MakeParametric(40, 8, 4, 99);
+  ASSERT_TRUE(extra.ok());
+  auto forest = ShardedForest::Train(bundle.data, Config(13), Shards(3));
+  ASSERT_TRUE(forest.ok());
+  const int64_t before = forest->num_global_ids();
+  auto ids = forest->AddData(extra->data);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 40u);
+  for (size_t i = 0; i < ids->size(); ++i) {
+    const RowId g = (*ids)[i];
+    EXPECT_EQ(g, before + static_cast<int64_t>(i));  // arrival order
+    EXPECT_EQ(forest->shard_of(g),
+              forest->PlaceRow(g, extra->data.Code(static_cast<int64_t>(i),
+                                                   0)));
+    EXPECT_EQ(forest->Label(g), extra->data.Label(static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(forest->num_training_rows(), 340);
+  EXPECT_TRUE(forest->ValidateStats());
+}
+
+TEST(ShardedForestTest, CloneSharesPlacementUntilAddData) {
+  auto bundle = Bundle(300, 9);
+  auto forest = ShardedForest::Train(bundle.data, Config(13), Shards(3));
+  ASSERT_TRUE(forest.ok());
+  ShardedForest clone = forest->Clone();
+  EXPECT_TRUE(clone.StructurallyEquals(*forest));
+  // Mutating the clone never disturbs the base (CoW maps + CoW nodes).
+  auto extra = synth::MakeParametric(10, 8, 4, 55);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(clone.AddData(extra->data).ok());
+  ASSERT_TRUE(clone.DeleteRows({1, 2, 3}).ok());
+  EXPECT_EQ(forest->num_global_ids(), 300);
+  EXPECT_EQ(clone.num_global_ids(), 310);
+  EXPECT_FALSE(clone.StructurallyEquals(*forest));
+}
+
+TEST(ShardedForestTest, SaveLoadRoundTrip) {
+  auto bundle = Bundle(350, 10);
+  auto forest = ShardedForest::Train(bundle.data, Config(17), Shards(4));
+  ASSERT_TRUE(forest.ok());
+  ASSERT_TRUE(forest->DeleteRows({2, 40, 41, 200, 349}).ok());
+  const std::string bytes = Bytes(*forest);
+  std::istringstream in(bytes, std::ios::binary);
+  auto loaded = ShardedForest::Load(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->StructurallyEquals(*forest));
+  EXPECT_EQ(loaded->num_global_ids(), forest->num_global_ids());
+  for (RowId g = 0; g < forest->num_global_ids(); ++g) {
+    ASSERT_EQ(loaded->shard_of(g), forest->shard_of(g));
+    ASSERT_EQ(loaded->local_of(g), forest->local_of(g));
+  }
+  EXPECT_EQ(Bytes(*loaded), bytes);  // save(load(x)) == x
+
+  // Continued unlearning stays in lockstep.
+  ASSERT_TRUE(forest->DeleteRows({7, 8, 9}).ok());
+  ASSERT_TRUE(loaded->DeleteRows({7, 8, 9}).ok());
+  EXPECT_EQ(Bytes(*loaded), Bytes(*forest));
+
+  // Corrupt input fails cleanly.
+  for (size_t cut : {size_t{4}, size_t{60}, bytes.size() / 2}) {
+    std::istringstream trunc(bytes.substr(0, cut), std::ios::binary);
+    EXPECT_FALSE(ShardedForest::Load(trunc).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ShardedForestTest, SaveWithCacheReusesCleanShardsVerbatim) {
+  auto bundle = Bundle(400, 11);
+  auto forest = ShardedForest::Train(bundle.data, Config(19), Shards(4));
+  ASSERT_TRUE(forest.ok());
+  const std::string full = Bytes(*forest);
+
+  // Cold cache: everything serializes, bytes match Save().
+  std::vector<std::string> blobs;
+  std::ostringstream first(std::ios::binary);
+  ASSERT_TRUE(
+      forest->SaveWithCache(first, &blobs, std::vector<bool>(4, true)).ok());
+  EXPECT_EQ(first.str(), full);
+  ASSERT_EQ(blobs.size(), 4u);
+
+  // All-clean: every shard reuses its cached blob; bytes still match.
+  std::ostringstream clean(std::ios::binary);
+  ASSERT_TRUE(
+      forest->SaveWithCache(clean, &blobs, std::vector<bool>(4, false)).ok());
+  EXPECT_EQ(clean.str(), full);
+
+  // Dirty exactly the shards a delete touched; output equals a full Save.
+  std::vector<RowId> doomed;
+  for (RowId g = 0; g < forest->num_global_ids(); ++g) {
+    if (forest->shard_of(g) == 2 && doomed.size() < 12) doomed.push_back(g);
+  }
+  std::vector<std::vector<DeletionStats>> report;
+  ASSERT_TRUE(forest->DeleteRows(doomed, &report).ok());
+  std::vector<bool> dirty(4, false);
+  for (size_t s = 0; s < report.size(); ++s) dirty[s] = !report[s].empty();
+  EXPECT_EQ(dirty, (std::vector<bool>{false, false, true, false}));
+  std::ostringstream incremental(std::ios::binary);
+  ASSERT_TRUE(forest->SaveWithCache(incremental, &blobs, dirty).ok());
+  EXPECT_EQ(incremental.str(), Bytes(*forest));
+}
+
+TEST(ShardedForestTest, VotesAreDeterministicAndMajorityMatchesManual) {
+  auto bundle = Bundle(300, 12);
+  ShardConfig majority = Shards(3);
+  majority.vote = ShardConfig::Vote::kMajority;
+  auto forest = ShardedForest::Train(bundle.data, Config(23), majority);
+  ASSERT_TRUE(forest.ok());
+  std::vector<double> probs;
+  std::vector<int> preds;
+  forest->Predict(bundle.data, &probs, &preds);
+  // Recompute the vote from the per-shard means through the shared helper.
+  std::vector<std::vector<double>> shard_probs;
+  for (int s = 0; s < 3; ++s) {
+    shard_probs.push_back(forest->shard(s).PredictProbAll(bundle.data));
+  }
+  std::vector<const std::vector<double>*> ptrs;
+  for (const auto& p : shard_probs) ptrs.push_back(&p);
+  std::vector<double> mean;
+  std::vector<int> manual;
+  VoteFromShardProbs(ptrs, ShardConfig::Vote::kMajority, &mean, &manual);
+  EXPECT_EQ(probs, mean);
+  EXPECT_EQ(preds, manual);
+  for (int64_t r = 0; r < bundle.data.num_rows(); ++r) {
+    int votes = 0;
+    for (int s = 0; s < 3; ++s) {
+      if (shard_probs[static_cast<size_t>(s)][static_cast<size_t>(r)] >= 0.5) {
+        ++votes;
+      }
+    }
+    const int expect = 2 * votes > 3 ? 1 : (2 * votes < 3 ? 0 : (mean[static_cast<size_t>(r)] >= 0.5 ? 1 : 0));
+    ASSERT_EQ(preds[static_cast<size_t>(r)], expect) << "row " << r;
+  }
+}
+
+TEST(ShardedForestTest, LazyFlushMatchesEagerBytes) {
+  auto bundle = Bundle(400, 13);
+  ForestConfig eager_cfg = Config(27);
+  ForestConfig lazy_cfg = eager_cfg;
+  lazy_cfg.lazy_unlearn = true;
+  auto eager = ShardedForest::Train(bundle.data, eager_cfg, Shards(4));
+  auto lazy = ShardedForest::Train(bundle.data, lazy_cfg, Shards(4));
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(lazy.ok());
+  std::vector<RowId> doomed;
+  for (RowId g = 0; g < 200; g += 2) doomed.push_back(g);
+  ASSERT_TRUE(eager->DeleteRows(doomed).ok());
+  ASSERT_TRUE(lazy->DeleteRows(doomed).ok());
+  std::vector<std::vector<DeletionStats>> flush_report;
+  lazy->FlushAll(&flush_report);
+  EXPECT_FALSE(lazy->HasLazyTags());
+  // Work counters legitimately differ (lazy does less); zero both before
+  // the byte comparison, as in serialize_test's monolithic twin.
+  eager->ResetDeletionStats();
+  lazy->ResetDeletionStats();
+  EXPECT_EQ(Bytes(*lazy), Bytes(*eager));
+}
+
+TEST(ShardedCachePredictionTest, CacheMatchesForestThroughUpdates) {
+  auto bundle = Bundle(400, 14);
+  std::vector<int64_t> head, tail;
+  for (int64_t r = 0; r < 300; ++r) head.push_back(r);
+  for (int64_t r = 300; r < 400; ++r) tail.push_back(r);
+  const Dataset train = bundle.data.Select(head);
+  const Dataset test = bundle.data.Select(tail);
+  auto forest = ShardedForest::Train(train, Config(29), Shards(4));
+  ASSERT_TRUE(forest.ok());
+
+  ShardedPredictionCache cache;
+  cache.Rebuild(*forest, test);
+  EXPECT_EQ(cache.probs(), forest->PredictProbAll(test));
+  EXPECT_EQ(cache.predictions(), forest->PredictAll(test));
+
+  // Mutate two shards, refresh with per-shard tree-dirty flags.
+  std::vector<RowId> doomed;
+  for (RowId g = 0; g < forest->num_global_ids() && doomed.size() < 30; ++g) {
+    if (forest->shard_of(g) <= 1) doomed.push_back(g);
+  }
+  std::vector<std::vector<DeletionStats>> report;
+  ASSERT_TRUE(forest->DeleteRows(doomed, &report).ok());
+  std::vector<std::vector<bool>> dirty(4);
+  for (size_t s = 0; s < report.size(); ++s) {
+    if (!report[s].empty()) {
+      dirty[s].assign(report[s].size(), true);
+    }
+  }
+  cache.Update(*forest, test, dirty);
+  EXPECT_EQ(cache.probs(), forest->PredictProbAll(test));
+  EXPECT_EQ(cache.predictions(), forest->PredictAll(test));
+
+  // What-if against a clone: voted preds equal the clone's own PredictAll,
+  // and only the touched shards are counted as changed.
+  ShardedForest clone = forest->Clone();
+  std::vector<RowId> what_if;
+  for (RowId g = 0; g < forest->num_global_ids() && what_if.size() < 10; ++g) {
+    if (forest->shard_of(g) == 3 && forest->Label(g) == 1) what_if.push_back(g);
+  }
+  ASSERT_FALSE(what_if.empty());
+  ASSERT_TRUE(clone.DeleteRows(what_if).ok());
+  ShardedPredictionCache::WhatIfScratch scratch;
+  cache.ScoreWhatIf(*forest, clone, test, &scratch);
+  EXPECT_EQ(scratch.preds, clone.PredictAll(test));
+  EXPECT_EQ(scratch.shards_changed, 1);
+}
+
+TEST(ShardedRemovalMethodTest, MatchesManualCloneDeletePredict) {
+  auto bundle = Bundle(500, 15);
+  std::vector<int64_t> head, tail;
+  for (int64_t r = 0; r < 350; ++r) head.push_back(r);
+  for (int64_t r = 350; r < 500; ++r) tail.push_back(r);
+  const Dataset train = bundle.data.Select(head);
+  const Dataset test = bundle.data.Select(tail);
+  auto forest = ShardedForest::Train(train, Config(37), Shards(4));
+  ASSERT_TRUE(forest.ok());
+
+  ShardedRemovalMethod removal(&*forest, &test, bundle.group,
+                               FairnessMetric::kStatisticalParity);
+  const std::vector<RowId> rows = {1, 5, 44, 120, 121, 300, 349};
+  auto eval = removal.EvaluateWithout(rows);
+  ASSERT_TRUE(eval.ok());
+
+  ShardedForest clone = forest->Clone();
+  ASSERT_TRUE(clone.DeleteRows(rows).ok());
+  const ModelEval manual = {
+      ComputeFairness(test, clone.PredictAll(test), bundle.group,
+                      FairnessMetric::kStatisticalParity),
+      clone.Accuracy(test)};
+  EXPECT_EQ(eval->fairness, manual.fairness);
+  EXPECT_EQ(eval->accuracy, manual.accuracy);
+
+  // Deterministic pure function of the row set, including under the
+  // parallel bracket with per-worker scratch slots.
+  auto again = removal.EvaluateWithout(rows);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->fairness, eval->fairness);
+  removal.BeginParallel(4);
+  auto on3 = removal.EvaluateWithoutOn(3, rows);
+  removal.EndParallel();
+  ASSERT_TRUE(on3.ok());
+  EXPECT_EQ(on3->fairness, eval->fairness);
+  EXPECT_EQ(on3->accuracy, eval->accuracy);
+}
+
+TEST(ShardedRemovalMethodTest, OneShardMatchesMonolithicRemoval) {
+  auto bundle = Bundle(400, 16);
+  std::vector<int64_t> head, tail;
+  for (int64_t r = 0; r < 280; ++r) head.push_back(r);
+  for (int64_t r = 280; r < 400; ++r) tail.push_back(r);
+  const Dataset train = bundle.data.Select(head);
+  const Dataset test = bundle.data.Select(tail);
+  const ForestConfig config = Config(41);
+  auto mono = DareForest::Train(train, config);
+  auto sharded = ShardedForest::Train(train, config, Shards(1));
+  ASSERT_TRUE(mono.ok());
+  ASSERT_TRUE(sharded.ok());
+
+  UnlearnRemovalMethod mono_removal(&*mono, &test, bundle.group,
+                                    FairnessMetric::kStatisticalParity);
+  ShardedRemovalMethod shard_removal(&*sharded, &test, bundle.group,
+                                     FairnessMetric::kStatisticalParity);
+  for (const auto& rows : std::vector<std::vector<RowId>>{
+           {0}, {5, 6, 7}, {10, 50, 90, 130, 170, 210, 250, 279}}) {
+    auto a = mono_removal.EvaluateWithout(rows);
+    auto b = shard_removal.EvaluateWithout(rows);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->fairness, b->fairness) << rows.size() << " rows";
+    EXPECT_EQ(a->accuracy, b->accuracy) << rows.size() << " rows";
+  }
+}
+
+}  // namespace
+}  // namespace fume

@@ -29,6 +29,7 @@ constexpr const char* kDefaultArtifacts[] = {
     "BENCH_unlearn.json",
     "BENCH_incremental.json",
     "BENCH_serve.json",
+    "BENCH_shard.json",
 };
 
 struct CheckOptions {
@@ -53,7 +54,7 @@ void PrintUsage() {
   --fresh-dir DIR       freshly produced artifacts (default bench_artifacts)
   ARTIFACT...           file names to check (default BENCH_eval.json
                         BENCH_unlearn.json BENCH_incremental.json
-                        BENCH_serve.json)
+                        BENCH_serve.json BENCH_shard.json)
   --help, -h            this text
 )";
 }

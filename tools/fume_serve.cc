@@ -61,6 +61,8 @@ struct CliOptions {
   double drift_rel = 0.10;
   bool lazy = false;
   int64_t lazy_budget = 0;  // 0 = ForestConfig default
+  int shards = 1;
+  std::string placement = "hash";
   // Serving.
   int port = 7733;
   std::string port_file;
@@ -98,6 +100,13 @@ Model / search (applied to every tenant; same defaults as fume_stream):
                         snapshot never contains pending work
   --lazy-budget N       auto-flush once N doomed rows are pending per tenant
                         (default 4096)
+  --shards N            SISA shards per tenant (default 1 = monolithic):
+                        each tenant serves a hash-partitioned ensemble,
+                        stream deletes unlearn shard-locally and whatifs
+                        rescore only the shards they touch
+  --placement P         hash | slice (default hash); slice concentrates
+                        each tenant's sensitive privileged cohort into the
+                        last shard
 
 Serving:
   --port N              TCP port on 127.0.0.1 (default 7733; 0 = ephemeral)
@@ -160,6 +169,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
         return false;
       }
       opts->tenants.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (flag == "--placement") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->placement = v;
     } else if (flag == "--port-file") {
       if ((v = need_value()) == nullptr) return false;
       opts->port_file = v;
@@ -187,7 +199,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
           "--drift-abs",    "--drift-rel",    "--port",
           "--max-connections", "--batch-window-us", "--max-batch",
           "--queue-cap",    "--whatif-threads", "--deadline-ms",
-          "--lazy-budget"};
+          "--lazy-budget",  "--shards"};
       if (kNumericFlags.count(flag) == 0) {
         std::cerr << "unknown flag: " << flag << " (see --help)\n";
         return false;
@@ -219,6 +231,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       else if (flag == "--whatif-threads" && is_int) opts->whatif_threads = iv;
       else if (flag == "--deadline-ms" && is_int) opts->deadline_ms = iv;
       else if (flag == "--lazy-budget" && is_int) opts->lazy_budget = iv;
+      else if (flag == "--shards" && is_int) opts->shards = iv;
       else {
         std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
         return false;
@@ -346,6 +359,20 @@ int Run(const CliOptions& opts) {
     config.engine.forest.lazy_unlearn = opts.lazy;
     if (opts.lazy_budget > 0) {
       config.engine.forest.max_lazy_rows = opts.lazy_budget;
+    }
+    config.engine.shard.num_shards = opts.shards;
+    if (opts.shards > 1) {
+      auto placement = ParsePlacement(opts.placement);
+      if (!placement.ok()) {
+        std::cerr << placement.status().ToString() << "\n";
+        return 1;
+      }
+      config.engine.shard.placement = *placement;
+      if (config.engine.shard.placement == ShardConfig::Placement::kSlice) {
+        config.engine.shard.slice_attr = bundle->group.sensitive_attr;
+        config.engine.shard.slice_value = bundle->group.privileged_code;
+        config.engine.shard.hot_shards = 1;
+      }
     }
     if (!opts.checkpoint_dir.empty()) {
       config.engine.checkpoint_path =

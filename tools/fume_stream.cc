@@ -58,6 +58,8 @@ struct CliOptions {
   uint64_t model_seed = 31;
   bool lazy = false;
   int64_t lazy_budget = 0;  // 0 = ForestConfig default
+  int shards = 1;
+  std::string placement = "hash";
   // Search.
   FairnessMetric metric = FairnessMetric::kStatisticalParity;
   int top_k = 5;
@@ -106,6 +108,13 @@ Model:
                         final model equals a cold retrain exactly
   --lazy-budget N       auto-flush once N doomed rows are pending
                         (default 4096)
+  --shards N            SISA shards (default 1 = monolithic): rows
+                        hash-partition across N sub-forests, deletes run
+                        shard-locally, searches use the sharded removal
+                        method, checkpoints re-serialize dirty shards only
+  --placement P         hash | slice (default hash); slice concentrates
+                        the dataset's sensitive privileged cohort — the
+                        rows FUME's deletions target — into the last shard
 
 Search:
   --metric M            statistical-parity | equalized-odds |
@@ -211,6 +220,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
     } else if (flag == "--resume") {
       if ((v = need_value()) == nullptr) return false;
       opts->resume = v;
+    } else if (flag == "--placement") {
+      if ((v = need_value()) == nullptr) return false;
+      opts->placement = v;
     } else if (flag == "--metric") {
       if ((v = need_value()) == nullptr) return false;
       auto metric = ParseMetric(v);
@@ -227,7 +239,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
           "--support-max",   "--literals",      "--threads",
           "--ops",           "--insert-batch",  "--delete-batch",
           "--checkpoint-every", "--workload-seed", "--drift-abs",
-          "--drift-rel",     "--lazy-budget"};
+          "--drift-rel",     "--lazy-budget",   "--shards"};
       if (kNumericFlags.count(flag) == 0) {
         std::cerr << "unknown flag: " << flag << " (see --help)\n";
         return false;
@@ -257,6 +269,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts, bool* want_help) {
       else if (flag == "--drift-abs" && is_double) opts->drift_abs = dv;
       else if (flag == "--drift-rel" && is_double) opts->drift_rel = dv;
       else if (flag == "--lazy-budget" && is_int) opts->lazy_budget = iv;
+      else if (flag == "--shards" && is_int) opts->shards = iv;
       else {
         std::cerr << "unknown or malformed flag: " << flag << " " << v << "\n";
         return false;
@@ -378,6 +391,22 @@ int Run(const CliOptions& opts) {
   config.fume.num_threads = opts.threads;
   config.fume.metric = opts.metric;
   config.fume.group = bundle->group;
+  config.shard.num_shards = opts.shards;
+  if (opts.shards > 1) {
+    auto placement = ParsePlacement(opts.placement);
+    if (!placement.ok()) {
+      std::cerr << placement.status().ToString() << "\n";
+      return 1;
+    }
+    config.shard.placement = *placement;
+    if (config.shard.placement == ShardConfig::Placement::kSlice) {
+      // Concentrate the privileged cohort — the rows a parity-reducing
+      // deletion targets — into the trailing hot shard.
+      config.shard.slice_attr = bundle->group.sensitive_attr;
+      config.shard.slice_value = bundle->group.privileged_code;
+      config.shard.hot_shards = 1;
+    }
+  }
   config.drift.abs_threshold = opts.drift_abs;
   config.drift.rel_threshold = opts.drift_rel;
   config.search_on_checkpoint = !opts.no_search_on_checkpoint;
@@ -510,7 +539,51 @@ int Run(const CliOptions& opts) {
     // final metric below reflects a fully flushed model.
     engine->FlushLazy();
   }
-  if (opts.lazy && !interrupted) {
+  if (opts.lazy && !interrupted && engine->is_sharded()) {
+    // Sharded lazy identity: each shard must equal a cold retrain of its
+    // own surviving rows (arrival order, the shard's derived seed). A
+    // whole-ensemble cold ShardedForest::Train would re-place rows under
+    // fresh global ids and legitimately differ — exactness is per shard.
+    const ShardedForest& live_model = engine->sharded_forest();
+    const Dataset& train = engine->train_data();
+    const std::vector<RowId>& ids = engine->live_ids();
+    bool ok = live_model.ValidateStats();
+    int64_t compared = 0;
+    for (int s = 0; ok && s < live_model.num_shards(); ++s) {
+      std::vector<int64_t> members;
+      for (size_t r = 0; r < ids.size(); ++r) {
+        if (live_model.shard_of(ids[r]) == s) {
+          members.push_back(static_cast<int64_t>(r));
+        }
+      }
+      ForestConfig cfg = config.forest;
+      cfg.seed = config.forest.seed +
+                 ShardedForest::kShardSeedStride * static_cast<uint64_t>(s);
+      auto cold = DareForest::Train(train.Select(members), cfg);
+      if (!cold.ok()) {
+        std::cerr << cold.status().ToString() << "\n";
+        return 1;
+      }
+      const std::vector<double> live_probs =
+          live_model.shard(s).PredictProbAll(engine->test_data());
+      ok = ok && live_probs == cold->PredictProbAll(engine->test_data());
+      compared += static_cast<int64_t>(live_probs.size());
+    }
+    // The served metric comes from the warm per-shard cache; it must agree
+    // with a fresh ensemble vote over the flushed model.
+    ok = ok && engine->current_metric() ==
+                   ComputeFairness(engine->test_data(),
+                                   live_model.PredictAll(engine->test_data()),
+                                   config.fume.group, opts.metric);
+    if (!ok) {
+      std::cerr << "lazy identity: MISMATCH — flushed sharded model differs "
+                   "from per-shard cold retrains on the surviving rows\n";
+      return 1;
+    }
+    std::cout << "\nlazy identity: ok (" << live_model.num_shards()
+              << " flushed shards == per-shard cold retrains, " << compared
+              << " test predictions compared)\n";
+  } else if (opts.lazy && !interrupted) {
     // Lazy identity attestation (DESIGN.md §6 invariant 9): after the final
     // flush, the engine's model must be indistinguishable from a cold
     // retrain on the surviving rows — predictions, fairness metric, and
